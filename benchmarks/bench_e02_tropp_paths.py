@@ -1,0 +1,110 @@
+"""E2 — Example 4.1 over ``Trop+_1``: two shortest path lengths.
+
+Paper artifact: the converged bags on Fig. 2(a),
+``L(a)={{0,3}}, L(b)={{1,4}}, L(c)={{4,5}}, L(d)={{8,9}}``.
+Also sweeps ``p`` on a larger random graph and cross-checks the bags
+against brute-force k-shortest-path enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from conftest import emit_table
+
+from repro import core, programs, semirings, workloads
+
+PAPER = {
+    "a": (0.0, 3.0),
+    "b": (1.0, 4.0),
+    "c": (4.0, 5.0),
+    "d": (8.0, 9.0),
+}
+
+
+def _run_fig2a(p: int):
+    tp = semirings.TropicalPSemiring(p)
+    db = core.Database(
+        pops=tp,
+        relations={
+            "E": {
+                e: tp.singleton(w)
+                for e, w in workloads.fig_2a_graph().items()
+            }
+        },
+    )
+    prog = programs.sssp("a", source_value=tp.one, missing_value=tp.zero)
+    return core.solve(prog, db)
+
+
+def brute_force_k_shortest(edges, source, target, k, max_hops=12):
+    """Enumerate all ≤max_hops walks, return the k smallest lengths."""
+    lengths = []
+    frontier = [(source, 0.0)]
+    for _ in range(max_hops):
+        nxt = []
+        for node, dist in frontier:
+            for (a, b), w in edges.items():
+                if a == node:
+                    nd = dist + w
+                    nxt.append((b, nd))
+                    if b == target:
+                        lengths.append(nd)
+        frontier = nxt
+    pad = [float("inf")] * k
+    return tuple(sorted(lengths + pad)[:k])
+
+
+def test_e02_fig2a_bags_match_paper(benchmark):
+    result = benchmark(lambda: _run_fig2a(1))
+    measured = {n: result.instance.get("L", (n,)) for n in "abcd"}
+    emit_table(
+        "E2: Trop+_1 two-shortest bags on Fig. 2(a)",
+        ("node", "paper", "measured"),
+        [(n, PAPER[n], measured[n]) for n in "abcd"],
+    )
+    assert measured == PAPER
+
+
+def test_e02_bags_match_brute_force(benchmark):
+    p = 2
+    edges = workloads.random_weighted_digraph(7, 0.35, seed=21)
+    tp = semirings.TropicalPSemiring(p)
+    db = core.Database(
+        pops=tp,
+        relations={"E": {e: tp.singleton(w) for e, w in edges.items()}},
+    )
+    prog = programs.sssp(0, source_value=tp.one, missing_value=tp.zero)
+    result = benchmark(lambda: core.solve(prog, db))
+    nodes = sorted({n for e in edges for n in e})
+    for target in nodes:
+        if target == 0:
+            continue
+        expected = brute_force_k_shortest(edges, 0, target, p + 1)
+        assert result.instance.get("L", (target,)) == expected, target
+
+
+def test_e02_p_sweep_row_counts(benchmark):
+    """Shape: larger p keeps more path lengths (weakly) per node."""
+    def sweep():
+        out = {}
+        for p in (0, 1, 2, 3):
+            res = _run_fig2a(p)
+            out[p] = {
+                n: res.instance.get("L", (n,)) for n in "abcd"
+            }
+        return out
+
+    bags = benchmark(sweep)
+    finite_counts = {
+        p: sum(
+            sum(1 for x in bags[p][n] if x != float("inf")) for n in "abcd"
+        )
+        for p in bags
+    }
+    emit_table(
+        "E2: finite path lengths kept vs p (Fig. 2a)",
+        ("p", "finite entries"),
+        sorted(finite_counts.items()),
+    )
+    assert finite_counts[0] < finite_counts[1] <= finite_counts[2] <= finite_counts[3]

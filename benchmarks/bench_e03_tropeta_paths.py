@@ -1,0 +1,89 @@
+"""E3 — Example 4.1 over ``Trop+_≤η``: path lengths within η of optimum.
+
+Paper artifact: "the program computes, for each x, the set of all
+possible lengths of paths from a to x that are no longer than the
+shortest path plus η".  Verified on Fig. 2(a) for a sweep of η and
+cross-checked against brute-force walk enumeration.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro import core, programs, semirings, workloads
+
+
+def _run(eta: float):
+    te = semirings.TropicalEtaSemiring(eta)
+    db = core.Database(
+        pops=te,
+        relations={
+            "E": {
+                e: te.singleton(w)
+                for e, w in workloads.fig_2a_graph().items()
+            }
+        },
+    )
+    prog = programs.sssp("a", source_value=te.one, missing_value=te.zero)
+    return core.solve(prog, db, max_iterations=5000)
+
+
+def brute_force_near_optimal(edges, source, target, eta, max_hops=10):
+    lengths = set()
+    frontier = [(source, 0.0)]
+    for _ in range(max_hops):
+        nxt = []
+        for node, dist in frontier:
+            for (a, b), w in edges.items():
+                if a == node and dist + w < 100:
+                    nxt.append((b, dist + w))
+                    if b == target:
+                        lengths.add(dist + w)
+        frontier = nxt
+    if not lengths:
+        return (float("inf"),)
+    lo = min(lengths)
+    return tuple(sorted(v for v in lengths if v <= lo + eta))
+
+
+def test_e03_eta_sweep_on_fig2a(benchmark):
+    def sweep():
+        return {eta: _run(eta) for eta in (0.0, 1.0, 1.5, 4.0)}
+
+    results = benchmark(sweep)
+    rows = []
+    for eta, res in sorted(results.items()):
+        for n in "abcd":
+            rows.append((eta, n, res.instance.get("L", (n,))))
+    emit_table("E3: Trop+_≤η near-optimal lengths (Fig. 2a)",
+               ("η", "node", "L"), rows)
+    # η = 0 degenerates to Trop+.
+    assert results[0.0].instance.get("L", ("c",)) == (4.0,)
+    # η = 1.5 keeps both c-paths (4 via b, 5 direct).
+    assert results[1.5].instance.get("L", ("c",)) == (4.0, 5.0)
+    # Monotone: larger η keeps (weakly) more lengths everywhere.
+    for n in "abcd":
+        sizes = [
+            len([v for v in results[eta].instance.get("L", (n,))
+                 if v != float("inf")])
+            for eta in (0.0, 1.0, 1.5, 4.0)
+        ]
+        assert sizes == sorted(sizes)
+
+
+def test_e03_matches_brute_force(benchmark):
+    eta = 2.0
+    edges = workloads.random_weighted_digraph(6, 0.4, seed=5)
+    te = semirings.TropicalEtaSemiring(eta)
+    db = core.Database(
+        pops=te,
+        relations={"E": {e: te.singleton(w) for e, w in edges.items()}},
+    )
+    prog = programs.sssp(0, source_value=te.one, missing_value=te.zero)
+    result = benchmark(lambda: core.solve(prog, db, max_iterations=5000))
+    nodes = sorted({n for e in edges for n in e})
+    for target in nodes:
+        if target == 0:
+            continue
+        expected = brute_force_near_optimal(edges, 0, target, eta)
+        assert result.instance.get("L", (target,)) == expected, target

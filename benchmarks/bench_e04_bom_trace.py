@@ -1,0 +1,95 @@
+"""E4 — Example 4.2: bill of material over ``R⊥`` (Fig. 2b).
+
+Paper artifact: the 4-row trace converging in 3 steps to
+``T(a) = T(b) = ⊥, T(c) = 11, T(d) = 10``, plus the observation that
+the same program *diverges* over ``N``.  Scaled variant on a 3-level
+hierarchy with cyclic back-edges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit_table
+
+from repro import core, programs, semirings, workloads
+from repro.fixpoint import DivergenceError
+from repro.semirings import BOTTOM
+
+PAPER_ROWS = [
+    ("T0", "⊥", "⊥", "⊥", "⊥"),
+    ("T1", "⊥", "⊥", "⊥", "10"),
+    ("T2", "⊥", "⊥", "11", "10"),
+    ("T3", "⊥", "⊥", "11", "10"),
+]
+
+
+def _db():
+    edges, costs = workloads.fig_2b_bom()
+    return core.Database(
+        pops=semirings.LIFTED_REAL,
+        relations={"C": {(k,): v for k, v in costs.items()}},
+        bool_relations={"E": set(edges)},
+    )
+
+
+def _fmt(v):
+    return "⊥" if v is BOTTOM else f"{v:g}"
+
+
+def test_e04_trace_matches_paper(benchmark):
+    result = benchmark(
+        lambda: core.solve(programs.bill_of_material(), _db(), capture_trace=True)
+    )
+    measured = [
+        (f"T{t}",) + tuple(_fmt(snap.get("T", (n,))) for n in "abcd")
+        for t, snap in enumerate(result.trace)
+    ]
+    emit_table(
+        "E4: Example 4.2 BOM over R⊥ (paper == measured)",
+        ("iter", "T(a)", "T(b)", "T(c)", "T(d)"),
+        measured,
+    )
+    assert measured == PAPER_ROWS
+    assert result.steps == 2  # T⁽³⁾ = T⁽²⁾
+
+
+def test_e04_divergence_over_naturals(benchmark):
+    edges, costs = workloads.fig_2b_bom()
+    db = core.Database(
+        pops=semirings.NAT,
+        relations={"C": {(k,): int(v) for k, v in costs.items()}},
+        bool_relations={"E": set(edges)},
+    )
+
+    def diverges() -> bool:
+        try:
+            core.solve(programs.bill_of_material(), db, max_iterations=60)
+            return False
+        except DivergenceError:
+            return True
+
+    assert benchmark(diverges)
+
+
+def test_e04_scaled_hierarchy(benchmark):
+    edges, costs = workloads.part_hierarchy(
+        depth=4, fanout=3, seed=2, cyclic_back_edges=2
+    )
+    db = core.Database(
+        pops=semirings.LIFTED_REAL,
+        relations={"C": {(k,): v for k, v in costs.items()}},
+        bool_relations={"E": set(edges)},
+    )
+    result = benchmark(lambda: core.solve(programs.bill_of_material(), db))
+    bottoms = sum(
+        1 for n in costs if result.instance.get("T", (n,)) is BOTTOM
+    )
+    priced = len(costs) - bottoms
+    emit_table(
+        "E4 (scaled): cyclic hierarchy over R⊥",
+        ("parts", "un-priceable (⊥)", "priced"),
+        [(len(costs), bottoms, priced)],
+    )
+    assert bottoms > 0
+    assert priced > 0

@@ -1,0 +1,77 @@
+"""E5 — Section 7.1: win-move alternating fixpoint on Fig. 4.
+
+Paper artifact: the J⁽⁰⁾…J⁽⁶⁾ table with even/odd limits
+L = J⁽⁴⁾ = {W(c), W(e)} and G = J⁽³⁾ = {W(a), W(b), W(c), W(e)}, giving
+well-founded model: true {c, e}, false {d, f}, undefined {a, b}.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro import negation, workloads
+
+PAPER_ROWS = [
+    ("J(0)", 0, 0, 0, 0, 0, 0),
+    ("J(1)", 1, 1, 1, 1, 1, 0),
+    ("J(2)", 0, 0, 0, 0, 1, 0),
+    ("J(3)", 1, 1, 1, 0, 1, 0),
+    ("J(4)", 0, 0, 1, 0, 1, 0),
+    ("J(5)", 1, 1, 1, 0, 1, 0),
+    ("J(6)", 0, 0, 1, 0, 1, 0),
+]
+
+
+def test_e05_alternating_fixpoint_table(benchmark):
+    model = benchmark(
+        lambda: negation.alternating_fixpoint(
+            negation.win_move_program(workloads.fig_4_edges())
+        )
+    )
+    measured = [
+        (f"J({t})",)
+        + tuple(1 if ("Win", n) in state else 0 for n in "abcdef")
+        for t, state in enumerate(model.trace)
+    ]
+    emit_table(
+        "E5: §7.1 alternating fixpoint (paper == measured)",
+        ("iter", "W(a)", "W(b)", "W(c)", "W(d)", "W(e)", "W(f)"),
+        measured,
+    )
+    assert measured == PAPER_ROWS
+    assert model.true_atoms == {("Win", "c"), ("Win", "e")}
+    assert model.false_atoms == {("Win", "d"), ("Win", "f")}
+    assert model.undefined_atoms == {("Win", "a"), ("Win", "b")}
+
+
+def test_e05_scaled_random_game(benchmark):
+    import random
+
+    rng = random.Random(3)
+    nodes = list(range(40))
+    edges = {
+        (a, b)
+        for a in nodes
+        for b in nodes
+        if a != b and rng.random() < 0.06
+    }
+    program = negation.win_move_program(edges)
+    model = benchmark(lambda: negation.alternating_fixpoint(program))
+    total = len(program.atoms)
+    emit_table(
+        "E5 (scaled): random 40-node game",
+        ("atoms", "true", "false", "undef", "rounds"),
+        [(
+            total,
+            len(model.true_atoms),
+            len(model.false_atoms),
+            len(model.undefined_atoms),
+            len(model.trace) - 1,
+        )],
+    )
+    assert (
+        len(model.true_atoms)
+        + len(model.false_atoms)
+        + len(model.undefined_atoms)
+        == total
+    )

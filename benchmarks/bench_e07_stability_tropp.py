@@ -1,0 +1,69 @@
+"""E7 — Proposition 5.3: ``Trop+_p`` is p-stable and the bound is tight.
+
+Paper artifact: every element of ``Trop+_p`` is p-stable; the 1-element
+``{{0, ∞, …, ∞}}`` is *not* (p−1)-stable.  We measure stability indices
+over random elements for a sweep of p and report max/tightness.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit_table
+
+from repro.semirings import TropicalPSemiring, element_stability_index
+
+
+def random_elements(tp, count, seed):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        size = rng.randint(0, tp.p + 2)
+        out.append(
+            tp.from_values([round(rng.uniform(0, 9), 2) for _ in range(size)])
+        )
+    return out
+
+
+def measure(p: int, count: int = 120):
+    tp = TropicalPSemiring(p)
+    worst = 0
+    for c in random_elements(tp, count, seed=p):
+        report = element_stability_index(tp, c, budget=4 * (p + 2))
+        assert report.stable
+        worst = max(worst, report.index)
+    one_index = element_stability_index(tp, tp.one).index
+    return worst, one_index
+
+
+def test_e07_p_stability_sweep(benchmark):
+    results = benchmark(lambda: {p: measure(p) for p in (0, 1, 2, 3, 4)})
+    rows = []
+    for p, (worst, one_index) in sorted(results.items()):
+        rows.append((p, worst, one_index, p))
+    emit_table(
+        "E7: Trop+_p stability indices (paper bound = p, tight at 1_p)",
+        ("p", "max over random elems", "index of 1_p", "paper bound"),
+        rows,
+    )
+    for p, (worst, one_index) in results.items():
+        assert worst <= p
+        assert one_index == p  # tightness witness
+
+
+def test_e07_stability_implies_program_convergence(benchmark):
+    """The semiring-level property transfers to programs: geometric
+    iteration c^(q) stabilizes by q = p for every sampled c."""
+    p = 3
+    tp = TropicalPSemiring(p)
+
+    def all_stable():
+        for c in random_elements(tp, 200, seed=99):
+            gp = tp.geometric(c, p)
+            if not tp.eq(gp, tp.geometric(c, p + 1)):
+                return False
+            if not tp.eq(gp, tp.geometric(c, p + 3)):
+                return False
+        return True
+
+    assert benchmark(all_stable)

@@ -1,0 +1,61 @@
+"""E8 — Proposition 5.4: ``Trop+_≤η`` is stable but not uniformly.
+
+Paper artifact: the index of ``{a}`` grows like η/a, so no single p
+works for every element — case (iii) of the taxonomy.  We plot (print)
+the measured index series against the exact ⌊η/a⌋ and the paper's
+⌈η/a⌉ upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit_table
+
+from repro.semirings import TropicalEtaSemiring, element_stability_index
+
+ETA = 6.5
+
+
+def measure_series():
+    te = TropicalEtaSemiring(ETA)
+    rows = []
+    for a in (6.5, 3.0, 2.0, 1.0, 0.5, 0.25, 0.125):
+        report = element_stability_index(te, te.singleton(a), budget=200)
+        rows.append((a, report.index, math.floor(ETA / a), math.ceil(ETA / a)))
+    return rows
+
+
+def test_e08_unbounded_index_series(benchmark):
+    rows = benchmark(measure_series)
+    emit_table(
+        "E8: Trop+_≤η stability index of {a} (η = 6.5)",
+        ("a", "measured", "⌊η/a⌋ (exact)", "⌈η/a⌉ (paper bound)"),
+        rows,
+    )
+    for a, measured, floor_bound, ceil_bound in rows:
+        assert measured == floor_bound
+        assert measured <= ceil_bound
+    indices = [row[1] for row in rows]
+    assert indices == sorted(indices)          # grows as a shrinks
+    assert indices[-1] >= 8 * (indices[0] or 1)  # …without bound
+
+
+def test_e08_every_probed_element_is_stable(benchmark):
+    """Stability holds element-wise (Theorem 5.10 applies: every
+    program over Trop+_≤η converges, in value-dependent time)."""
+    import random
+
+    te = TropicalEtaSemiring(2.0)
+    rng = random.Random(17)
+
+    def probe_all():
+        for _ in range(150):
+            vals = [round(rng.uniform(0.05, 9), 3) for _ in range(rng.randint(1, 4))]
+            c = te.from_values(vals)
+            report = element_stability_index(te, c, budget=500)
+            if not report.stable:
+                return False
+        return True
+
+    assert benchmark(probe_all)

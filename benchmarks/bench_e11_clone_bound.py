@@ -1,0 +1,118 @@
+"""E11 — Theorem 3.4: the composition bound E_N(p₁…p_N) = Σ_k Π_{i≤k} pᵢ.
+
+Paper artifact: every N-tuple of clone functions over posets with unary
+stability indices p₁ ≥ … ≥ p_N is E_N-stable, and the bound is tight
+over suitable posets (the paper's Appendix A construction — omitted
+from the available text; we reproduce the *upper* bound on measured
+systems and search small poset clones for the largest attainable index,
+reporting the gap to both Lemma 3.3's pq + max(p, q) and E_N).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit_table
+
+from repro import core, programs
+from repro.core import Monomial, Polynomial, PolynomialSystem
+from repro.fixpoint import (
+    FiniteChain,
+    e_bound,
+    general_datalog_bound,
+    lemma_3_3_bound,
+    linear_datalog_bound,
+    pair_tightness_search,
+)
+from repro.semirings import TropicalPSemiring
+
+
+def random_tropp_system(tp, n_vars, seed, linear=False):
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(n_vars)]
+    polys = {}
+    for name in names:
+        monos = [Monomial.make(tp.singleton(round(rng.uniform(0, 4), 1)), {})]
+        for _ in range(rng.randint(1, 2)):
+            degree = 1 if linear else rng.randint(1, 2)
+            powers = {}
+            for _ in range(degree):
+                v = rng.choice(names)
+                powers[v] = powers.get(v, 0) + 1
+            monos.append(
+                Monomial.make(
+                    tp.singleton(round(rng.uniform(0, 4), 1)), powers
+                )
+            )
+        polys[name] = Polynomial(tuple(monos))
+    return PolynomialSystem(pops=tp, polynomials=polys)
+
+
+def test_e11_upper_bound_on_random_systems(benchmark):
+    p = 1
+    tp = TropicalPSemiring(p)
+
+    def sweep():
+        rows = []
+        for n_vars in (1, 2, 3):
+            worst_general = 0
+            worst_linear = 0
+            for seed in range(12):
+                sys_g = random_tropp_system(tp, n_vars, seed)
+                worst_general = max(worst_general, sys_g.kleene().steps)
+                sys_l = random_tropp_system(tp, n_vars, seed, linear=True)
+                worst_linear = max(worst_linear, sys_l.kleene().steps)
+            rows.append(
+                (
+                    n_vars,
+                    worst_general,
+                    general_datalog_bound(p, n_vars),
+                    worst_linear,
+                    linear_datalog_bound(p, n_vars),
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit_table(
+        "E11: measured stability vs Theorem 5.12 bounds (Trop+_1)",
+        ("N", "worst general", "Σ(p+2)^i", "worst linear", "Σ(p+1)^i"),
+        rows,
+    )
+    for _, wg, bg, wl, bl in rows:
+        assert wg <= bg
+        assert wl <= bl
+
+
+def test_e11_e_bound_arithmetic(benchmark):
+    def compute():
+        return [
+            (ps, e_bound(ps))
+            for ps in ([2], [2, 2], [3, 2], [3, 2, 1], [1] * 5)
+        ]
+
+    rows = benchmark(compute)
+    emit_table("E11: E_N(p₁…p_N) values", ("p vector", "E_N"), rows)
+    values = dict((tuple(ps), v) for ps, v in rows)
+    assert values[(2,)] == 2
+    assert values[(2, 2)] == 2 + 4
+    assert values[(3, 2)] == 3 + 6
+    assert values[(3, 2, 1)] == 3 + 6 + 6
+    assert values[(1, 1, 1, 1, 1)] == 5
+
+
+def test_e11_small_poset_clone_search(benchmark):
+    """Exhaustive search over chain×chain clones: the measured maximum
+    exceeds max(p, q) (composition really costs extra iterations) and
+    respects Lemma 3.3's pq + max(p, q)."""
+    p, q, best = benchmark(
+        lambda: pair_tightness_search(FiniteChain(1), FiniteChain(2))
+    )
+    emit_table(
+        "E11: exhaustive clone search on chain[0..1] × chain[0..2]",
+        ("p", "q", "best h index", "Lemma 3.3 bound"),
+        [(p, q, best, lemma_3_3_bound(p, q))],
+    )
+    assert (p, q) == (1, 2)
+    assert best <= lemma_3_3_bound(p, q)
+    assert best >= max(p, q)

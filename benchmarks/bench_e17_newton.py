@@ -1,0 +1,108 @@
+"""E17 (extension) — Newton's method vs Kleene/naïve iteration.
+
+The paper (Sections 1, 8) discusses Newton's method as the second-order
+alternative: fewer iterations, each requiring an inner linear-fixpoint
+solve ("the materialization of a large intermediate result").  We
+implement it for idempotent commutative semirings and measure both
+sides of the trade-off on quadratic transitive closure and tropical
+SSSP.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_table
+
+from repro import core, programs, workloads
+from repro.core import ground_program, newton_fixpoint
+from repro.semirings import BOOL, TROP
+
+
+def test_e17_iteration_counts(benchmark):
+    def sweep():
+        rows = []
+        for n in (8, 16, 24):
+            edges = workloads.line_edges(n)
+            db = core.Database(pops=TROP, relations={"E": dict(edges)})
+            system = ground_program(programs.sssp(0), db)
+            newton = newton_fixpoint(system)
+            kleene = system.kleene()
+            for var in system.order:
+                assert TROP.eq(newton.value[var], kleene.value[var])
+            rows.append(
+                ("SSSP/line", n, kleene.steps, newton.iterations,
+                 newton.closure_calls)
+            )
+        for n in (6, 9):
+            dag = workloads.random_dag(n, 0.3, seed=n)
+            db = core.Database(
+                pops=BOOL, relations={"E": {e: True for e in dag}}
+            )
+            system = ground_program(
+                programs.quadratic_transitive_closure(), db
+            )
+            newton = newton_fixpoint(system)
+            kleene = system.kleene()
+            for var in system.order:
+                assert newton.value[var] == kleene.value[var]
+            rows.append(
+                ("TC²/dag", n, kleene.steps, newton.iterations,
+                 newton.closure_calls)
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit_table(
+        "E17: Kleene vs Newton outer iterations (identical fixpoints)",
+        ("workload", "n", "Kleene steps", "Newton iters", "closures"),
+        rows,
+    )
+    for _, _, kleene_steps, newton_iters, _c in rows:
+        assert newton_iters <= kleene_steps + 1
+    # On the longest chain the gap must be dramatic.
+    line24 = next(r for r in rows if r[0] == "SSSP/line" and r[1] == 24)
+    assert line24[3] * 4 <= line24[2]
+
+
+def test_e17_per_step_cost(benchmark):
+    """Newton's steps are few but heavy: wall-time per outer iteration
+    dwarfs a Kleene application (the Hessian/closure materialization)."""
+    edges = workloads.line_edges(20)
+    db = core.Database(pops=TROP, relations={"E": dict(edges)})
+    system = ground_program(programs.sssp(0), db)
+
+    def measure():
+        t0 = time.perf_counter()
+        newton = newton_fixpoint(system)
+        t_newton = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        kleene = system.kleene()
+        t_kleene = time.perf_counter() - t0
+        return (
+            newton.iterations,
+            t_newton / newton.iterations,
+            kleene.steps,
+            t_kleene / max(kleene.steps, 1),
+        )
+
+    n_it, n_per, k_it, k_per = benchmark.pedantic(
+        measure, rounds=5, iterations=1
+    )
+    emit_table(
+        "E17: per-iteration cost (line(20), Trop+)",
+        ("method", "iterations", "sec/iteration"),
+        [
+            ("Newton", n_it, f"{n_per:.2e}"),
+            ("Kleene", k_it, f"{k_per:.2e}"),
+        ],
+    )
+    assert n_it < k_it
+    assert n_per > k_per  # each Newton step is more expensive
+
+
+def test_e17_newton_runtime(benchmark):
+    edges = workloads.line_edges(16)
+    db = core.Database(pops=TROP, relations={"E": dict(edges)})
+    system = ground_program(programs.sssp(0), db)
+    benchmark(lambda: newton_fixpoint(system))

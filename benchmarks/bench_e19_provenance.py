@@ -1,0 +1,101 @@
+"""E19 (extension) — truncated provenance over the free semiring.
+
+Section 2.4 defines datalog° via provenance polynomials; Lemma 5.6
+identifies the q-th iterate with depth-≤q derivation trees.  We compute
+symbolic provenance of transitive closure and count derivations,
+verifying path/derivation combinatorics on structured graphs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit_table
+
+from repro import programs, workloads
+from repro.analysis import derivation_count, monomial_support, provenance
+from repro.core import Database
+from repro.semirings import BOOL
+
+
+def test_e19_diamond_chain_counts(benchmark):
+    """k diamonds in series: 2^k shortest derivations for the far end."""
+    def build(k):
+        edges = {}
+        node = 0
+        for _ in range(k):
+            s, l_, r, t = node, node + 1, node + 2, node + 3
+            edges.update({
+                (s, l_): True, (s, r): True, (l_, t): True, (r, t): True,
+            })
+            node = t
+        return Database(pops=BOOL, relations={"E": edges}), node
+
+    def run():
+        rows = []
+        for k in (1, 2, 3):
+            db, target = build(k)
+            prov = provenance(
+                programs.transitive_closure(), db, depth=2 * k + 2
+            )
+            element = prov[("T", (0, target))]
+            rows.append((k, derivation_count(element), 2 ** k,
+                         len(monomial_support(element))))
+        return rows
+
+    rows = benchmark(run)
+    emit_table(
+        "E19: provenance of k chained diamonds (TC)",
+        ("k", "derivations", "expected 2^k", "distinct fact bags"),
+        rows,
+    )
+    for k, count, expected, bags in rows:
+        assert count == expected
+        assert bags == expected  # all-distinct edges ⇒ distinct bags
+
+
+def test_e19_depth_controls_derivations(benchmark):
+    """On a cycle, each extra unit of depth admits more walks — the
+    free semiring's instability made tangible (Eq. 29 over ℕ[x̄])."""
+    db = Database(
+        pops=BOOL,
+        relations={"E": {("a", "b"): True, ("b", "a"): True}},
+    )
+    prog = programs.transitive_closure()
+
+    def run():
+        return [
+            (
+                q,
+                derivation_count(
+                    provenance(prog, db, q).get(("T", ("a", "a")), ())
+                ),
+            )
+            for q in (2, 4, 6, 8)
+        ]
+
+    rows = benchmark(run)
+    emit_table(
+        "E19: derivations of T(a,a) on the 2-cycle vs depth",
+        ("depth q", "derivation count"),
+        rows,
+    )
+    counts = [c for _, c in rows]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0] >= 1
+
+
+def test_e19_line_graph_single_derivations(benchmark):
+    """A simple path admits exactly one derivation per reachable pair
+    under the left-linear TC rule."""
+    edges = workloads.line_edges(8)
+    db = Database(pops=BOOL, relations={"E": {e: True for e in edges}})
+
+    prov = benchmark(
+        lambda: provenance(programs.transitive_closure(), db, depth=9)
+    )
+    for (rel, key), element in prov.items():
+        assert rel == "T"
+        assert derivation_count(element) == 1
+        (bag,) = monomial_support(element)
+        assert len(bag) == key[1] - key[0]  # one edge symbol per hop

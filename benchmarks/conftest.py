@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark module reproduces one table/figure of the paper
+(experiment ids E1–E16, see DESIGN.md).  Benchmarks both *assert* the
+reproduced rows (so `--benchmark-only` runs double as verification) and
+print the table for EXPERIMENTS.md; run with ``-s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned table (visible with pytest -s)."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    headers = tuple(str(h) for h in headers)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print(f"\n── {title} " + "─" * max(0, 60 - len(title)))
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))

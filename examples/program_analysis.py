@@ -1,0 +1,144 @@
+"""Constant propagation as datalog° over a completed POPS.
+
+Section 8 motivates semiring datalog with program analysis (Cousot &
+Cousot's abstract interpretation).  The classic *constant propagation*
+lattice is exactly the completed POPS ``N⊤⊥`` of Section 2.5.1:
+
+    ⊥  — "no information yet"   (unreached definition)
+    n  — "always the constant n"
+    ⊤  — "conflicting values"   (not a constant)
+
+A tiny SSA-ish program is encoded as Boolean EDB facts:
+
+* ``Const(v, c)`` — v := literal c;
+* ``Copy(v, w)``  — v := w;
+* ``Mul(v, w, u)``— v := w · u  (the POPS ``⊗`` of ``N⊤⊥``);
+* ``Phi1/Phi2(v, w)`` — the two inputs of v := φ(·, ·).
+
+φ's merge is *not* the POPS ``⊕`` (which adds numerically); it is the
+lattice join — agreeing constants stay, disagreement goes to ``⊤``,
+an unreached input is neutral.  That join is monotone in the knowledge
+order, so it enters the rule as an interpreted function (Section 4.5)
+and the least-fixpoint semantics still applies.  Run:
+
+    python examples/program_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BoolAtom,
+    Database,
+    FuncFactor,
+    KeyAsValue,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+    naive_fixpoint,
+    terms,
+    var,
+)
+from repro.semirings import BOTTOM, TOP, CompletedPOPS, NAT
+from repro.semirings.base import FunctionRegistry
+
+
+def phi_join(a, b):
+    """Constant-propagation merge: ⊥ neutral, conflicts go to ⊤.
+
+    Monotone w.r.t. the knowledge order ⊥ ⊑ n ⊑ ⊤ in both arguments.
+    """
+    if a is BOTTOM:
+        return b
+    if b is BOTTOM:
+        return a
+    if a is TOP or b is TOP or a != b:
+        return TOP
+    return a
+
+
+def constant_propagation_program() -> Program:
+    """``Val(v)`` defined by literals, copies, products and φ-joins."""
+    rule = Rule(
+        "Val",
+        terms(["V"]),
+        (
+            SumProduct(
+                (KeyAsValue(var("C"), convert="lit"),),
+                condition=BoolAtom("Const", terms(["V", "C"])),
+            ),
+            SumProduct(
+                (RelAtom("Val", terms(["W"])),),
+                condition=BoolAtom("Copy", terms(["V", "W"])),
+            ),
+            SumProduct(
+                (RelAtom("Val", terms(["W"])), RelAtom("Val", terms(["U"]))),
+                condition=BoolAtom("Mul", terms(["V", "W", "U"])),
+            ),
+            SumProduct(
+                (
+                    FuncFactor(
+                        "phi",
+                        (
+                            RelAtom("Val", terms(["W"])),
+                            RelAtom("Val", terms(["U"])),
+                        ),
+                    ),
+                ),
+                condition=BoolAtom("Phi1", terms(["V", "W"]))
+                & BoolAtom("Phi2", terms(["V", "U"])),
+            ),
+        ),
+    )
+    return Program(
+        rules=[rule],
+        bool_edbs={"Const": 2, "Copy": 2, "Mul": 3, "Phi1": 2, "Phi2": 2},
+    )
+
+
+def analyse(facts) -> dict:
+    """Run the analysis; returns variable → ⊥ | int | ⊤."""
+    pops = CompletedPOPS(NAT)
+    registry = FunctionRegistry()
+    registry.register("lit", lambda c: c)
+    registry.register("phi", phi_join)
+    db = Database(pops=pops, bool_relations=facts)
+    result = naive_fixpoint(
+        constant_propagation_program(), db, functions=registry
+    )
+    variables = {key[0] for rel in facts.values() for key in rel}
+    return {
+        v: result.instance.get("Val", (v,))
+        for v in sorted(variables, key=str)
+    }
+
+
+def main() -> None:
+    # x = 3; y = 4; z = x * y;
+    # branch 1: w1 = 12; branch 2: w2 = z;
+    # v = φ(w1, w2)   → both 12: still the constant 12
+    # u = φ(x, y)     → 3 vs 4: conflict, ⊤
+    facts = {
+        "Const": {("x", 3), ("y", 4), ("w1", 12)},
+        "Copy": {("w2", "z")},
+        "Mul": {("z", "x", "y")},
+        "Phi1": {("v", "w1"), ("u", "x")},
+        "Phi2": {("v", "w2"), ("u", "y")},
+    }
+    values = analyse(facts)
+    print("constant-propagation results over N⊤⊥:")
+    for name, value in values.items():
+        reading = (
+            "unreached"
+            if value is BOTTOM
+            else "not a constant" if value is TOP else f"constant {value}"
+        )
+        print(f"  {name:3s} = {value!s:3s}  ({reading})")
+    assert values["z"] == 12
+    assert values["v"] == 12       # both φ inputs agree on 12
+    assert values["u"] is TOP      # 3 vs 4: conflict
+    print("\nφ with agreeing inputs stays constant; conflicts go to ⊤ ✓")
+
+
+if __name__ == "__main__":
+    main()

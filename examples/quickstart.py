@@ -1,0 +1,64 @@
+"""Quickstart: one datalog° program, many value spaces.
+
+The transitive-closure rule
+
+    T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).
+
+is *generic over the POPS*: over the Booleans it computes reachability,
+over the tropical semiring all-pairs shortest paths, over ``Trop+_1``
+the two best path lengths — the headline idea of the paper
+(Example 1.1).  Run:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import core, semirings, workloads
+
+
+PROGRAM_TEXT = "T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y)."
+
+
+def main() -> None:
+    program = core.parse_program(PROGRAM_TEXT)
+    weights = workloads.fig_2a_graph()
+    print("program:", program)
+    print("edges  :", weights)
+
+    # 1. Boolean reading: reachability.
+    bool_db = core.Database(
+        pops=semirings.BOOL, relations={"E": {e: True for e in weights}}
+    )
+    reach = core.solve(program, bool_db)
+    print("\nreachability over B:")
+    for key in sorted(reach.instance.support("T")):
+        print(f"  T{key} = true")
+
+    # 2. Tropical reading: all-pairs shortest paths.
+    trop_db = core.Database(pops=semirings.TROP, relations={"E": dict(weights)})
+    apsp = core.solve(program, trop_db)
+    print("\nshortest paths over Trop+:")
+    for key, value in sorted(apsp.instance.support("T").items()):
+        print(f"  T{key} = {value}")
+
+    # 3. Trop+_1 reading: the two best path lengths per pair.
+    t1 = semirings.TropicalPSemiring(1)
+    t1_db = core.Database(
+        pops=t1,
+        relations={"E": {e: t1.singleton(w) for e, w in weights.items()}},
+    )
+    two_best = core.solve(program, t1_db)
+    print("\ntwo best path lengths over Trop+_1:")
+    for key, value in sorted(two_best.instance.support("T").items()):
+        print(f"  T{key} = {value}")
+
+    # All three runs used the same rules — only the value space changed.
+    print(
+        f"\nconverged in {reach.steps} / {apsp.steps} / {two_best.steps} "
+        "steps respectively (Theorem 1.2 guarantees convergence here)."
+    )
+
+
+if __name__ == "__main__":
+    main()

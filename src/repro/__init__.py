@@ -1,0 +1,48 @@
+"""datalog°: Datalog over (pre-) semirings.
+
+A faithful, fully-tested reproduction of *"Convergence of Datalog over
+(Pre-) Semirings"* (Abo Khamis, Ngo, Pichler, Suciu, Wang; PODS 2022 /
+arXiv:2105.14435): the POPS algebra, the datalog° language, naïve /
+semi-naïve / LinearLFP evaluation, the stability-based convergence
+theory, and the THREE-valued treatment of negation.
+
+Quickstart::
+
+    from repro import semirings, core
+
+    trop = semirings.TROP
+    # T(x,y) :- E(x,y) ⊕ min_z (T(x,z) + E(z,y))   — APSP over Trop+
+    program = core.Program(rules=[core.Rule(
+        "T", core.terms(["X", "Y"]),
+        (core.SumProduct((core.RelAtom("E", core.terms(["X", "Y"])),)),
+         core.SumProduct((core.RelAtom("T", core.terms(["X", "Z"])),
+                          core.RelAtom("E", core.terms(["Z", "Y"])))))
+    )])
+    db = core.Database(pops=trop, relations={"E": {("a", "b"): 1.0}})
+    result = core.solve(program, db)
+"""
+
+from . import (
+    analysis,
+    apps,
+    core,
+    fixpoint,
+    negation,
+    programs,
+    semirings,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "fixpoint",
+    "negation",
+    "programs",
+    "semirings",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the datalog° command-line interface."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,63 @@
+"""Analysis: dependency graphs, grammars, Parikh images, bounds (§5)."""
+
+from .convergence import (
+    ConvergenceReport,
+    classify,
+    count_ground_atoms,
+    tropp_linear_bound,
+)
+from .grammar import ParseTree, Production, SystemGrammar
+from .graphs import (
+    DiGraph,
+    is_recursive,
+    predicate_graph,
+    recursive_predicates,
+    recursive_variables,
+    split_recursive,
+    strata,
+    system_graph,
+)
+from .provenance import (
+    derivation_count,
+    monomial_support,
+    provenance,
+    symbol_for,
+    symbolic_database,
+)
+from .parikh import (
+    LinearSet,
+    SemiLinearSet,
+    univariate_basis,
+    univariate_image_valid,
+    vec_add,
+    vec_scale,
+)
+
+__all__ = [
+    "ConvergenceReport",
+    "DiGraph",
+    "LinearSet",
+    "ParseTree",
+    "Production",
+    "SemiLinearSet",
+    "SystemGrammar",
+    "classify",
+    "derivation_count",
+    "monomial_support",
+    "provenance",
+    "symbol_for",
+    "symbolic_database",
+    "count_ground_atoms",
+    "is_recursive",
+    "predicate_graph",
+    "recursive_predicates",
+    "recursive_variables",
+    "split_recursive",
+    "strata",
+    "system_graph",
+    "tropp_linear_bound",
+    "univariate_basis",
+    "univariate_image_valid",
+    "vec_add",
+    "vec_scale",
+]

@@ -1,0 +1,188 @@
+"""Context-free grammars from polynomial systems (Section 5.2).
+
+The formal expansion of ``f^{(q)}(0)`` is captured by a CFG: every IDB
+variable is a non-terminal, every monomial ``a · x₁^{k₁}⋯x_N^{k_N}`` of
+``f_i`` yields a production ``x_i → a x₁…x₁ … x_N…x_N`` (Eq. 38) with a
+*distinct* terminal symbol per monomial occurrence.  Lemma 5.6 then
+states::
+
+    (f^{(q)}(0))_i = Σ_{T ∈ 𝒯_i^q} Y(T)
+
+— the ``i``-th iterate is the ⊕-sum of the yields of all parse trees of
+depth ≤ q rooted at ``x_i``.  This module builds the grammar, enumerates
+bounded-depth parse trees, computes yields and Parikh images, and checks
+the lemma — the machinery behind Theorems 5.10/5.12 and experiments
+E14/E15.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.polynomial import PolynomialSystem, VarId
+from ..semirings.base import PreSemiring, Value
+
+#: A terminal symbol: (variable, monomial index within its polynomial).
+Terminal = Tuple[VarId, int]
+
+
+@dataclass(frozen=True)
+class Production:
+    """A production ``x → a · x_{j₁} … x_{j_m}`` (Eq. 38)."""
+
+    head: VarId
+    terminal: Terminal
+    coeff: Value
+    children: Tuple[VarId, ...]
+
+
+@dataclass(frozen=True)
+class ParseTree:
+    """A parse tree; ``children[k]`` derives ``production.children[k]``."""
+
+    production: Production
+    children: Tuple["ParseTree", ...]
+
+    def depth(self) -> int:
+        """Depth counted in variable levels (a leaf production is 1)."""
+        return 1 + max((c.depth() for c in self.children), default=0)
+
+    def terminals(self) -> Counter:
+        """Parikh image: multiset of terminal symbols in the yield."""
+        acc = Counter({self.production.terminal: 1})
+        for child in self.children:
+            acc.update(child.terminals())
+        return acc
+
+    def yield_value(self, structure: PreSemiring) -> Value:
+        """The yield ``Y(T)``: ⊗-product of all terminal coefficients."""
+        acc = self.production.coeff
+        for child in self.children:
+            acc = structure.mul(acc, child.yield_value(structure))
+        return acc
+
+    def size(self) -> int:
+        """Number of internal (variable) nodes."""
+        return 1 + sum(c.size() for c in self.children)
+
+
+class SystemGrammar:
+    """The CFG of a polynomial system, with bounded-depth enumeration."""
+
+    def __init__(self, system: PolynomialSystem):
+        self.system = system
+        self.structure = system.pops
+        self.productions: Dict[VarId, List[Production]] = {}
+        for var in system.order:
+            prods: List[Production] = []
+            for idx, mono in enumerate(system.polynomials[var].monomials):
+                children: List[VarId] = []
+                for v, k in mono.powers:
+                    children.extend([v] * k)
+                prods.append(
+                    Production(
+                        head=var,
+                        terminal=(var, idx),
+                        coeff=mono.coeff,
+                        children=tuple(children),
+                    )
+                )
+            self.productions[var] = prods
+
+    # ------------------------------------------------------------------
+    def trees(self, var: VarId, max_depth: int) -> Iterator[ParseTree]:
+        """Yield every parse tree rooted at ``var`` with depth ≤ max_depth.
+
+        Exponential in general — callers keep ``max_depth`` small (the
+        tests use ≤ 4), exactly as the paper's examples do (Fig. 3).
+        """
+        if max_depth <= 0:
+            return
+        for prod in self.productions[var]:
+            if not prod.children:
+                yield ParseTree(prod, ())
+                continue
+            child_options = [
+                list(self.trees(child, max_depth - 1)) for child in prod.children
+            ]
+            if any(not opts for opts in child_options):
+                continue
+            yield from self._combine(prod, child_options)
+
+    @staticmethod
+    def _combine(
+        prod: Production, options: List[List[ParseTree]]
+    ) -> Iterator[ParseTree]:
+        def recurse(i: int, chosen: Tuple[ParseTree, ...]) -> Iterator[ParseTree]:
+            if i == len(options):
+                yield ParseTree(prod, chosen)
+                return
+            for opt in options[i]:
+                yield from recurse(i + 1, chosen + (opt,))
+
+        yield from recurse(0, ())
+
+    def count_trees(self, var: VarId, max_depth: int) -> int:
+        """Count parse trees of depth ≤ max_depth without materializing.
+
+        Dynamic programming over (variable, depth); used to check the
+        λ-coefficient counting (Eq. 44) at depths where enumeration
+        would blow up.
+        """
+        memo: Dict[Tuple[VarId, int], int] = {}
+
+        def count(v: VarId, d: int) -> int:
+            if d <= 0:
+                return 0
+            key = (v, d)
+            if key in memo:
+                return memo[key]
+            total = 0
+            for prod in self.productions[v]:
+                ways = 1
+                for child in prod.children:
+                    ways *= count(child, d - 1)
+                    if ways == 0:
+                        break
+                total += ways
+            memo[key] = total
+            return total
+
+        return count(var, max_depth)
+
+    # ------------------------------------------------------------------
+    def yields_sum(self, var: VarId, max_depth: int) -> Value:
+        """Return ``Σ_{T ∈ 𝒯_var^depth} Y(T)`` — the RHS of Lemma 5.6."""
+        return self.structure.add_many(
+            t.yield_value(self.structure) for t in self.trees(var, max_depth)
+        )
+
+    def lemma_5_6_holds(self, q: int) -> bool:
+        """Check Lemma 5.6 at depth ``q`` for every component.
+
+        Compares ``f^{(q)}(0)`` computed by Kleene iteration against the
+        parse-tree yield sums.
+        """
+        assignment = self.system.bottom_assignment()
+        # Over a general POPS the grammar semantics matches iteration
+        # from 0 (the grounded system starts IDBs at ⊥ = 0 for the
+        # semiring case the lemma addresses).
+        current = {v: self.structure.zero for v in self.system.order}
+        for _ in range(q):
+            current = {
+                v: self.system.polynomials[v].evaluate(
+                    self.structure, current, self.structure.zero
+                )
+                for v in self.system.order
+            }
+        del assignment
+        for var in self.system.order:
+            if not self.structure.eq(current[var], self.yields_sum(var, q)):
+                return False
+        return True
+
+    def parikh_images(self, var: VarId, max_depth: int) -> List[Counter]:
+        """Return the Parikh images of all trees (with multiplicity)."""
+        return [t.terminals() for t in self.trees(var, max_depth)]

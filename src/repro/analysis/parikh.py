@@ -1,0 +1,120 @@
+"""Parikh images and semi-linear sets (Section 5.2, Proposition 5.13).
+
+Parikh's theorem: the Parikh images of a context-free language form a
+semi-linear subset of ``ℕ^M``.  For the grammar of a *univariate*
+polynomial ``f(x) = a₀ + a₁x + … + a_n xⁿ`` the proposition gives the
+exact one-linear-set characterization::
+
+    { Π(Y(T)) | T parse tree } = { v₀ + k₁v₁ + … + k_n v_n | k ∈ ℕⁿ }
+
+with ``v₀ = (1, 0, …, 0)`` and ``v_i = (i−1, 0, …, 1, …, 0)`` (the 1 in
+position ``i``): a tree using ``k_i`` productions of arity ``i`` must
+use exactly ``1 + Σ (i−1)k_i`` leaf productions (node/edge counting in
+the proof).  This module implements linear sets, membership testing,
+and the Proposition 5.13 basis, which the tests validate against
+exhaustive tree enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+Vector = Tuple[int, ...]
+
+
+def vec_add(a: Vector, b: Vector) -> Vector:
+    """Component-wise sum."""
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def vec_scale(k: int, a: Vector) -> Vector:
+    """Scalar multiple."""
+    return tuple(k * x for x in a)
+
+
+@dataclass(frozen=True)
+class LinearSet:
+    """``{ base + Σ kᵢ·periods[i] | kᵢ ∈ ℕ }`` (Definition 5.8)."""
+
+    base: Vector
+    periods: Tuple[Vector, ...]
+
+    def contains(self, v: Vector, budget: Optional[int] = None) -> bool:
+        """Decide membership by bounded search over the coefficients.
+
+        Coefficients are bounded component-wise by the target vector
+        (each period is non-negative and non-zero), so the search is
+        complete for non-negative periods.
+        """
+        if len(v) != len(self.base):
+            return False
+        diff = tuple(x - b for x, b in zip(v, self.base))
+        if any(d < 0 for d in diff):
+            return False
+        periods = [p for p in self.periods if any(p)]
+        if not periods:
+            return all(d == 0 for d in diff)
+        caps = []
+        for p in periods:
+            bound = min(
+                (d // c for d, c in zip(diff, p) if c > 0), default=0
+            )
+            caps.append(min(bound, budget) if budget is not None else bound)
+        for combo in itertools.product(*(range(c + 1) for c in caps)):
+            total = (0,) * len(diff)
+            for k, p in zip(combo, periods):
+                total = vec_add(total, vec_scale(k, p))
+            if total == diff:
+                return True
+        return False
+
+    def sample(self, max_coeff: int) -> Iterable[Vector]:
+        """Enumerate members with all coefficients ≤ max_coeff."""
+        periods = list(self.periods)
+        for combo in itertools.product(
+            range(max_coeff + 1), repeat=len(periods)
+        ):
+            v = self.base
+            for k, p in zip(combo, periods):
+                v = vec_add(v, vec_scale(k, p))
+            yield v
+
+
+@dataclass(frozen=True)
+class SemiLinearSet:
+    """A finite union of linear sets (Definition 5.8)."""
+
+    parts: Tuple[LinearSet, ...]
+
+    def contains(self, v: Vector, budget: Optional[int] = None) -> bool:
+        return any(p.contains(v, budget) for p in self.parts)
+
+
+def univariate_basis(n: int) -> LinearSet:
+    """Proposition 5.13's linear set for ``f(x) = a₀ + a₁x + … + a_nxⁿ``.
+
+    Coordinates index the terminals ``a₀ … a_n``.  The base is
+    ``v₀ = (1, 0, …, 0)`` (one leaf, nothing else); period ``v_i`` adds
+    one use of production ``x → aᵢ x…x`` and ``i − 1`` extra leaves.
+    """
+    base = (1,) + (0,) * n
+    periods: List[Vector] = []
+    for i in range(1, n + 1):
+        v = [0] * (n + 1)
+        v[0] = i - 1
+        v[i] = 1
+        periods.append(tuple(v))
+    return LinearSet(base=base, periods=tuple(periods))
+
+
+def univariate_image_valid(image: Sequence[int]) -> bool:
+    """Closed-form membership test: ``k₀ = 1 + Σ_{i≥1} (i−1)kᵢ``.
+
+    Equivalent to :func:`univariate_basis` membership (proof of
+    Proposition 5.13: internal nodes vs. edges of the parse tree).
+    """
+    k0 = image[0]
+    rest = sum((i - 1) * k for i, k in enumerate(image) if i >= 1)
+    return k0 == 1 + rest

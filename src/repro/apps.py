@@ -1,0 +1,176 @@
+"""Applications layer: one-call graph analytics on the datalog° engines.
+
+The paper's thesis is that one recursion template serves many analyses
+once the value space is a parameter.  This module packages the most
+common instantiations behind plain-function APIs so downstream users
+don't need to assemble programs and databases by hand:
+
+* :func:`reachability` / :func:`transitive_closure` — over ``B``;
+* :func:`shortest_paths` / :func:`all_pairs_shortest_paths` — ``Trop+``;
+* :func:`k_shortest_paths` — ``Trop+_{k−1}``;
+* :func:`near_optimal_paths` — ``Trop+_≤η``;
+* :func:`widest_paths` — the bottleneck semiring;
+* :func:`most_reliable_paths` — the Viterbi semiring;
+* :func:`bom_totals` — bill of material over ``R⊥`` (cycles → ``None``);
+* :func:`win_positions` — the win-move game under the well-founded /
+  THREE semantics.
+
+Every function accepts ``method=`` (``naive`` or ``seminaive`` where
+supported) and returns plain Python dicts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Set, Tuple
+
+from . import programs
+from .core import Database, solve
+from .negation import alternating_fixpoint, win_move_program
+from .semirings import (
+    BOOL,
+    BOTTLENECK,
+    BOTTOM,
+    LIFTED_REAL,
+    TROP,
+    VITERBI,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+Edge = Tuple[Hashable, Hashable]
+WeightedEdges = Mapping[Edge, float]
+
+
+def _nodes(edges: Iterable[Edge]) -> Set[Hashable]:
+    return {n for e in edges for n in e}
+
+
+def reachability(
+    edges: Iterable[Edge], source: Hashable, method: str = "seminaive"
+) -> Set[Hashable]:
+    """Nodes reachable from ``source`` (including it)."""
+    db = Database(pops=BOOL, relations={"E": {tuple(e): True for e in edges}})
+    result = solve(programs.sssp(source), db, method=method)
+    reached = {key[0] for key in result.instance.support("L")}
+    return reached | {source}
+
+
+def transitive_closure(
+    edges: Iterable[Edge], method: str = "seminaive"
+) -> Set[Edge]:
+    """All pairs ``(x, y)`` with a non-empty path ``x → y``."""
+    db = Database(pops=BOOL, relations={"E": {tuple(e): True for e in edges}})
+    result = solve(programs.transitive_closure(), db, method=method)
+    return set(result.instance.support("T"))
+
+
+def shortest_paths(
+    edges: WeightedEdges, source: Hashable, method: str = "seminaive"
+) -> Dict[Hashable, float]:
+    """Single-source shortest path lengths (unreachable nodes omitted)."""
+    db = Database(pops=TROP, relations={"E": dict(edges)})
+    result = solve(programs.sssp(source), db, method=method)
+    out = {key[0]: v for key, v in result.instance.support("L").items()}
+    out.setdefault(source, 0.0)
+    return out
+
+
+def all_pairs_shortest_paths(
+    edges: WeightedEdges, method: str = "seminaive"
+) -> Dict[Edge, float]:
+    """All-pairs shortest path lengths over ``Trop+`` (Example 1.1)."""
+    db = Database(pops=TROP, relations={"E": dict(edges)})
+    result = solve(programs.apsp(), db, method=method)
+    return dict(result.instance.support("T"))
+
+
+def k_shortest_paths(
+    edges: WeightedEdges, source: Hashable, k: int
+) -> Dict[Hashable, Tuple[float, ...]]:
+    """The ``k`` best path lengths per node over ``Trop+_{k−1}``.
+
+    Entries are padded with ``inf`` when fewer than ``k`` paths exist.
+    """
+    if k < 1:
+        raise ValueError("k must be ≥ 1")
+    tp = TropicalPSemiring(k - 1)
+    db = Database(
+        pops=tp,
+        relations={"E": {e: tp.singleton(w) for e, w in edges.items()}},
+    )
+    prog = programs.sssp(source, source_value=tp.one, missing_value=tp.zero)
+    result = solve(prog, db, method="naive")
+    return {key[0]: v for key, v in result.instance.support("L").items()}
+
+
+def near_optimal_paths(
+    edges: WeightedEdges, source: Hashable, eta: float
+) -> Dict[Hashable, Tuple[float, ...]]:
+    """All path lengths within ``eta`` of the optimum, per node."""
+    te = TropicalEtaSemiring(eta)
+    db = Database(
+        pops=te,
+        relations={"E": {e: te.singleton(w) for e, w in edges.items()}},
+    )
+    prog = programs.sssp(source, source_value=te.one, missing_value=te.zero)
+    result = solve(prog, db, method="naive", max_iterations=100_000)
+    return {key[0]: v for key, v in result.instance.support("L").items()}
+
+
+def widest_paths(
+    edges: WeightedEdges, method: str = "seminaive"
+) -> Dict[Edge, float]:
+    """Maximum bottleneck capacity between all pairs."""
+    db = Database(pops=BOTTLENECK, relations={"E": dict(edges)})
+    result = solve(programs.apsp(), db, method=method)
+    return dict(result.instance.support("T"))
+
+
+def most_reliable_paths(
+    edges: WeightedEdges, method: str = "seminaive"
+) -> Dict[Edge, float]:
+    """Highest path reliability (product of edge probabilities)."""
+    for e, w in edges.items():
+        if not 0.0 <= w <= 1.0:
+            raise ValueError(f"edge {e} has probability {w} outside [0, 1]")
+    db = Database(pops=VITERBI, relations={"E": dict(edges)})
+    result = solve(programs.apsp(), db, method=method)
+    return dict(result.instance.support("T"))
+
+
+def bom_totals(
+    part_of: Iterable[Edge], costs: Mapping[Hashable, float]
+) -> Dict[Hashable, Optional[float]]:
+    """Total cost per part over ``R⊥`` (Example 4.2).
+
+    Parts whose sub-part graph reaches a cycle come out ``None``
+    ("cannot be priced"); everything else is the recursive cost total.
+    """
+    db = Database(
+        pops=LIFTED_REAL,
+        relations={"C": {(k,): v for k, v in costs.items()}},
+        bool_relations={"E": {tuple(e) for e in part_of}},
+    )
+    result = solve(programs.bill_of_material(), db, method="naive")
+    out: Dict[Hashable, Optional[float]] = {}
+    for part in costs:
+        value = result.instance.get("T", (part,))
+        out[part] = None if value is BOTTOM else value
+    return out
+
+
+def win_positions(
+    edges: Iterable[Edge],
+) -> Dict[Hashable, str]:
+    """Win/lose/draw classification of the pebble game (Section 7).
+
+    Returns ``{node: "win" | "lose" | "draw"}`` under the well-founded
+    semantics (draws are the undefined atoms).
+    """
+    model = alternating_fixpoint(win_move_program(set(edges)))
+    out: Dict[Hashable, str] = {}
+    for node in _nodes(edges):
+        verdict = model.value(("Win", node))
+        out[node] = {"true": "win", "false": "lose", "undef": "draw"}[verdict]
+    return out

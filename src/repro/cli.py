@@ -1,0 +1,210 @@
+"""Command-line interface: run datalog° programs from files.
+
+Usage::
+
+    python -m repro run PROGRAM.dl --pops trop --edb data.json [--method naive]
+    python -m repro classify PROGRAM.dl --pops trop --edb data.json
+    python -m repro pops-list
+
+The EDB file is JSON::
+
+    {
+      "relations":      {"E": [[["a", "b"], 1.0], [["b", "c"], 3.0]]},
+      "bool_relations": {"Src": [["a"]]}
+    }
+
+— each POPS relation is a list of ``[key_tuple, value]`` pairs, each
+Boolean relation a list of key tuples.  Values are passed to the chosen
+value space verbatim (numbers for ``trop``/``nat``/…, booleans for
+``bool``); for ``tropp:K`` a plain number is lifted to a singleton bag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable, Dict, Optional
+
+from . import analysis, semirings
+from .core import Database, parse_program, solve
+from .semirings import POPS
+
+
+def _tropp(spec: str) -> POPS:
+    p = int(spec.split(":", 1)[1])
+    return semirings.TropicalPSemiring(p)
+
+
+def _tropeta(spec: str) -> POPS:
+    eta = float(spec.split(":", 1)[1])
+    return semirings.TropicalEtaSemiring(eta)
+
+
+#: name (or prefixed family) → POPS factory.
+POPS_FACTORIES: Dict[str, Callable[[str], POPS]] = {
+    "bool": lambda _s: semirings.BOOL,
+    "nat": lambda _s: semirings.NAT,
+    "natinf": lambda _s: semirings.NAT_INF,
+    "realplus": lambda _s: semirings.REAL_PLUS,
+    "trop": lambda _s: semirings.TROP,
+    "bottleneck": lambda _s: semirings.BOTTLENECK,
+    "viterbi": lambda _s: semirings.VITERBI,
+    "tropnat": lambda _s: semirings.TROP_NAT,
+    "lifted-real": lambda _s: semirings.LIFTED_REAL,
+    "lifted-nat": lambda _s: semirings.LIFTED_NAT,
+    "three": lambda _s: semirings.THREE,
+    "tropp": _tropp,
+    "tropeta": _tropeta,
+}
+
+
+def resolve_pops(spec: str) -> POPS:
+    """Resolve a ``--pops`` spec like ``trop`` or ``tropp:2``."""
+    family = spec.split(":", 1)[0]
+    factory = POPS_FACTORIES.get(family)
+    if factory is None:
+        known = ", ".join(sorted(POPS_FACTORIES))
+        raise SystemExit(f"unknown value space {spec!r}; known: {known}")
+    return factory(spec)
+
+
+def _lift_value(pops: POPS, value: Any) -> Any:
+    """Coerce a JSON value into the chosen value space."""
+    if isinstance(pops, semirings.TropicalPSemiring) and isinstance(
+        value, (int, float)
+    ):
+        return pops.singleton(float(value))
+    if isinstance(pops, semirings.TropicalEtaSemiring) and isinstance(
+        value, (int, float)
+    ):
+        return pops.singleton(float(value))
+    return value
+
+
+def load_database(path: str, pops: POPS) -> Database:
+    """Load the JSON EDB format described in the module docstring."""
+    with open(path) as f:
+        payload = json.load(f)
+    relations = {
+        rel: {
+            tuple(key): _lift_value(pops, value)
+            for key, value in entries
+        }
+        for rel, entries in payload.get("relations", {}).items()
+    }
+    bool_relations = {
+        rel: {tuple(key) for key in keys}
+        for rel, keys in payload.get("bool_relations", {}).items()
+    }
+    return Database(
+        pops=pops, relations=relations, bool_relations=bool_relations
+    )
+
+
+def _format_value(value: Any) -> str:
+    if value is semirings.BOTTOM:
+        return "⊥"
+    return repr(value)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    pops = resolve_pops(args.pops)
+    with open(args.program) as f:
+        program = parse_program(f.read())
+    database = load_database(args.edb, pops)
+    result = solve(
+        program,
+        database,
+        method=args.method,
+        max_iterations=args.max_iterations,
+    )
+    if args.output == "json":
+        from .core.io import instance_to_dict
+
+        payload = {
+            "steps": result.steps,
+            "pops": pops.name,
+            "instance": instance_to_dict(result.instance),
+        }
+        print(json.dumps(payload, indent=2, ensure_ascii=False))
+        return 0
+    print(f"# converged in {result.steps} steps over {pops.name}")
+    for rel in sorted(result.instance.relations()):
+        for key in sorted(result.instance.support(rel), key=repr):
+            value = result.instance.get(rel, key)
+            key_text = ", ".join(str(k) for k in key)
+            print(f"{rel}({key_text}) = {_format_value(value)}")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    pops = resolve_pops(args.pops)
+    with open(args.program) as f:
+        program = parse_program(f.read())
+    database = load_database(args.edb, pops)
+    report = analysis.classify(program, database)
+    print(f"value space     : {pops.name}")
+    print(f"taxonomy case   : {report.taxonomy_case}")
+    print(f"linear program  : {report.linear}")
+    print(f"ground IDB atoms: {report.n_ground_atoms}")
+    print(f"stability p     : {report.stability_p}")
+    print(f"step bound      : {report.bound}")
+    print(f"why             : {report.explanation}")
+    return 0
+
+
+def cmd_pops_list(_args: argparse.Namespace) -> int:
+    for name in sorted(POPS_FACTORIES):
+        suffix = (
+            " (parameterized, e.g. tropp:2)" if name in ("tropp", "tropeta") else ""
+        )
+        print(name + suffix)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="datalog°: run Datalog over (pre-) semirings",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a program to its fixpoint")
+    run.add_argument("program", help="datalog° source file")
+    run.add_argument("--pops", required=True, help="value space, e.g. trop")
+    run.add_argument("--edb", required=True, help="JSON EDB file")
+    run.add_argument(
+        "--method",
+        default="naive",
+        choices=("naive", "seminaive", "grounded"),
+    )
+    run.add_argument("--max-iterations", type=int, default=100_000)
+    run.add_argument(
+        "--output", default="text", choices=("text", "json"),
+        help="result format (text facts or a JSON document)",
+    )
+    run.set_defaults(handler=cmd_run)
+
+    classify = sub.add_parser(
+        "classify", help="predict convergence (Theorem 1.2)"
+    )
+    classify.add_argument("program")
+    classify.add_argument("--pops", required=True)
+    classify.add_argument("--edb", required=True)
+    classify.set_defaults(handler=cmd_classify)
+
+    pops_list = sub.add_parser("pops-list", help="list known value spaces")
+    pops_list.set_defaults(handler=cmd_pops_list)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point (also exposed as ``python -m repro``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

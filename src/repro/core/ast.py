@@ -1,0 +1,282 @@
+"""Terms and conditions of datalog° (Section 2.4).
+
+datalog° rules mention two kinds of variables (Definition 2.5): **key
+variables** ranging over the key space ``D`` (upper-case in the paper)
+and implicit *value* positions ranging over the POPS.  This module
+defines the key-level syntax:
+
+* :class:`Variable` / :class:`Constant` — key terms;
+* :class:`KeyFunc` — an interpreted function over the key space
+  (Section 4.5, e.g. ``date + 1``), usable in heads and conditions;
+* the condition language ``Φ`` of conditional sum-products: Boolean
+  atoms over the ``σ_B`` vocabulary, negation, conjunction, disjunction
+  and interpreted comparisons.  ``Φ`` is what restricts the range of
+  bound variables and makes rule semantics domain-independent over a
+  POPS whose ``0`` is not absorbing (Example 2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Sequence, Tuple, Union
+
+KeyValue = Any
+Valuation = Dict[str, KeyValue]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A key variable, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A key constant (any hashable Python value)."""
+
+    value: KeyValue
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class KeyFunc:
+    """An interpreted function applied to key terms (Section 4.5).
+
+    ``fn`` must be a total function over the key space; it is applied
+    once all argument variables are bound.  Because interpreted key
+    functions can grow the active domain indefinitely (the ``date + 1``
+    example), the engine guards evaluation with a domain budget.
+    """
+
+    name: str
+    fn: Callable[..., KeyValue] = field(compare=False)
+    args: Tuple["Term", ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+Term = Union[Variable, Constant, KeyFunc]
+
+
+def term_variables(term: Term) -> Iterator[Variable]:
+    """Yield every variable occurring in a term."""
+    if isinstance(term, Variable):
+        yield term
+    elif isinstance(term, KeyFunc):
+        for arg in term.args:
+            yield from term_variables(arg)
+
+
+def eval_term(term: Term, valuation: Valuation) -> KeyValue:
+    """Evaluate a term under a (total, for its variables) valuation."""
+    if isinstance(term, Variable):
+        return valuation[term.name]
+    if isinstance(term, Constant):
+        return term.value
+    return term.fn(*(eval_term(a, valuation) for a in term.args))
+
+
+def var(name: str) -> Variable:
+    """Convenience constructor for a variable."""
+    return Variable(name)
+
+
+def const(value: KeyValue) -> Constant:
+    """Convenience constructor for a constant."""
+    return Constant(value)
+
+
+def _as_term(item: Union[Term, str, KeyValue]) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings become variables when they look like identifiers starting
+    with an upper-case letter (the paper's convention for key
+    variables), otherwise constants; pass explicit
+    :class:`Variable`/:class:`Constant` objects to override.
+    """
+    if isinstance(item, (Variable, Constant, KeyFunc)):
+        return item
+    if isinstance(item, str) and item[:1].isupper() and item.isidentifier():
+        return Variable(item)
+    return Constant(item)
+
+
+def terms(items: Sequence[Union[Term, str, KeyValue]]) -> Tuple[Term, ...]:
+    """Coerce a sequence of values into terms (see :func:`_as_term`)."""
+    return tuple(_as_term(item) for item in items)
+
+
+# ---------------------------------------------------------------------------
+# Conditions Φ (first-order formulas over σ_B plus comparisons)
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """Base class of the condition language ``Φ``."""
+
+    def variables(self) -> FrozenSet[str]:
+        """Return the names of the free variables of the condition."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueCond(Condition):
+    """The trivially true condition (no restriction)."""
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class BoolAtom(Condition):
+    """An atom ``B(t̄)`` over the Boolean vocabulary ``σ_B``."""
+
+    relation: str
+    args: Tuple[Term, ...]
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(
+            v.name for arg in self.args for v in term_variables(arg)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation of a condition."""
+
+    inner: Condition
+
+    def variables(self) -> FrozenSet[str]:
+        return self.inner.variables()
+
+    def __str__(self) -> str:
+        return f"¬({self.inner})"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of conditions."""
+
+    parts: Tuple[Condition, ...]
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.variables() for p in self.parts))
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of conditions."""
+
+    parts: Tuple[Condition, ...]
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.variables() for p in self.parts))
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({p})" for p in self.parts)
+
+
+_COMPARATORS: Dict[str, Callable[[KeyValue, KeyValue], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Condition):
+    """An interpreted comparison between two key terms."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(
+            v.name
+            for t in (self.left, self.right)
+            for v in term_variables(t)
+        )
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        """Evaluate the comparison under a valuation."""
+        return _COMPARATORS[self.op](
+            eval_term(self.left, valuation), eval_term(self.right, valuation)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+def positive_bool_atoms(cond: Condition) -> Iterator[BoolAtom]:
+    """Yield the Boolean atoms occurring *positively conjunctively*.
+
+    These are the atoms usable as enumeration guards: atoms reachable
+    from the root through ``And`` nodes only.  Atoms under ``Not`` or
+    ``Or`` still *filter*, but cannot safely *generate* bindings.
+    """
+    if isinstance(cond, BoolAtom):
+        yield cond
+    elif isinstance(cond, And):
+        for part in cond.parts:
+            yield from positive_bool_atoms(part)
+
+
+def condition_holds(
+    cond: Condition,
+    valuation: Valuation,
+    bool_lookup: Callable[[str, Tuple[KeyValue, ...]], bool],
+) -> bool:
+    """Evaluate ``Φ`` under a total valuation.
+
+    Args:
+        cond: The condition.
+        valuation: Bindings for every free variable.
+        bool_lookup: Membership oracle for the ``σ_B`` relations.
+    """
+    if isinstance(cond, TrueCond):
+        return True
+    if isinstance(cond, BoolAtom):
+        key = tuple(eval_term(a, valuation) for a in cond.args)
+        return bool_lookup(cond.relation, key)
+    if isinstance(cond, Not):
+        return not condition_holds(cond.inner, valuation, bool_lookup)
+    if isinstance(cond, And):
+        return all(condition_holds(p, valuation, bool_lookup) for p in cond.parts)
+    if isinstance(cond, Or):
+        return any(condition_holds(p, valuation, bool_lookup) for p in cond.parts)
+    if isinstance(cond, Compare):
+        return cond.evaluate(valuation)
+    raise TypeError(f"unknown condition node {cond!r}")

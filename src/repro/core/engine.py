@@ -1,0 +1,96 @@
+"""Engine facade: one entry point over every evaluation strategy.
+
+``solve(program, database, method=…)`` dispatches to:
+
+* ``"naive"`` — Algorithm 1, rule-at-a-time (the default);
+* ``"seminaive"`` — Algorithm 3 with the differential rule (complete
+  distributive dioids only);
+* ``"grounded"`` — ground to the provenance-polynomial system
+  (Section 4.3) and Kleene-iterate it (the definitional semantics);
+* ``"linear"`` — ground, then LinearLFP (Algorithm 2; linear programs
+  over a uniformly ``p``-stable POPS).
+
+All strategies return an :class:`~repro.core.naive.EvaluationResult`
+over the same :class:`~repro.core.instance.Instance` type, so callers
+(and the differential tests) can compare them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..semirings.base import FunctionRegistry
+from .grounding import assignment_to_instance, ground_program
+from .instance import Database
+from .linear import linear_lfp
+from .naive import EvaluationResult, naive_fixpoint
+from .rules import Program
+from .seminaive import seminaive_fixpoint
+
+
+def solve(
+    program: Program,
+    database: Database,
+    method: str = "naive",
+    functions: Optional[FunctionRegistry] = None,
+    max_iterations: int = 100_000,
+    capture_trace: bool = False,
+    stability_p: Optional[int] = None,
+) -> EvaluationResult:
+    """Evaluate a datalog° program to its least fixpoint.
+
+    Args:
+        program: The datalog° program.
+        database: The EDB instance over some POPS.
+        method: One of ``naive``, ``seminaive``, ``grounded``,
+            ``linear``.
+        functions: Interpreted value-space functions (Section 4.5 / 7).
+        max_iterations: Divergence guard for the iterative methods.
+        capture_trace: Record per-iteration snapshots.
+        stability_p: Uniform stability index of the value space,
+            required by ``method="linear"``.
+
+    Returns:
+        The least-fixpoint instance plus step counts and statistics.
+    """
+    if method == "naive":
+        return naive_fixpoint(
+            program,
+            database,
+            functions=functions,
+            max_iterations=max_iterations,
+            capture_trace=capture_trace,
+        )
+    if method == "seminaive":
+        return seminaive_fixpoint(
+            program,
+            database,
+            functions=functions,
+            max_iterations=max_iterations,
+            capture_trace=capture_trace,
+        )
+    if method == "grounded":
+        system = ground_program(program, database, functions=functions)
+        result = system.kleene(
+            max_steps=max_iterations, capture_trace=capture_trace
+        )
+        instance = assignment_to_instance(system, result.value)
+        trace = [
+            assignment_to_instance(system, snapshot)
+            for snapshot in result.trace
+        ]
+        return EvaluationResult(
+            instance=instance, steps=result.steps, trace=trace, stats={}
+        )
+    if method == "linear":
+        if stability_p is None:
+            raise ValueError("method='linear' requires stability_p")
+        system = ground_program(program, database, functions=functions)
+        assignment = linear_lfp(system, stability_p)
+        return EvaluationResult(
+            instance=assignment_to_instance(system, assignment),
+            steps=0,
+            trace=[],
+            stats={},
+        )
+    raise ValueError(f"unknown method {method!r}")

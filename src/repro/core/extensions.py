@@ -1,0 +1,138 @@
+"""Extensions of Section 4.5: multiple value spaces in one program.
+
+Example 4.3 (company control) interleaves two value spaces: ``CV`` and
+``T`` are ``R+``-relations while ``C`` is Boolean, with the indicator
+``[C(x, z)] ∈ R+`` mapping one space into the other and the threshold
+``[T(x, y) > 0.5]`` mapping back.  Both mappings are monotone w.r.t. the
+natural orders of ``R+`` and ``B``, so the joint least fixpoint exists
+(the paper notes the grounded program is no longer polynomial, so the
+Section-5 bounds do not apply syntactically — only Knaster–Tarski /
+Kleene does).
+
+:class:`HybridEvaluator` runs the joint naïve iteration: POPS rules are
+ordinary datalog° rules whose conditions may mention *Boolean IDBs*
+(resolved against the growing Boolean store), and Boolean IDBs are
+defined by :class:`ThresholdRule`: a sum-product over the POPS plus a
+monotone predicate on its value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..fixpoint.iteration import DivergenceError
+from ..semirings.base import FunctionRegistry, Value
+from .ast import Term, eval_term
+from .instance import Database, Instance, Key
+from .naive import EvaluationResult, NaiveEvaluator
+from .rules import Program, SumProduct
+from .valuations import body_guards, enumerate_valuations
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """A Boolean IDB defined by thresholding a POPS sum-product.
+
+    ``head(t̄)`` becomes true when ``predicate(Σ body)`` holds, e.g.
+    Example 4.3's ``C(x, y) :- [T(x, y) > 0.5]`` with
+    ``predicate = lambda v: v > 0.5``.  The predicate must be monotone
+    w.r.t. the POPS order for the least-fixpoint semantics to apply.
+    """
+
+    head_relation: str
+    head_args: Tuple[Term, ...]
+    body: SumProduct
+    predicate: Callable[[Value], bool]
+
+
+class HybridEvaluator:
+    """Joint fixpoint of POPS rules and Boolean threshold rules."""
+
+    def __init__(
+        self,
+        program: Program,
+        threshold_rules: Sequence[ThresholdRule],
+        database: Database,
+        functions: Optional[FunctionRegistry] = None,
+        max_iterations: int = 10_000,
+    ):
+        self.program = program
+        self.threshold_rules = list(threshold_rules)
+        self.database = database
+        self.pops = database.pops
+        self.max_iterations = max_iterations
+        self.bool_idb_names = {r.head_relation for r in self.threshold_rules}
+        # Boolean IDB facts are injected into the database's Boolean
+        # store so that conditions and indicators see them transparently.
+        for name in self.bool_idb_names:
+            database.bool_relations.setdefault(name, set())
+        self._base = NaiveEvaluator(
+            program,
+            database,
+            functions=functions,
+            max_iterations=max_iterations,
+        )
+
+    # ------------------------------------------------------------------
+    def _threshold_step(self, idb: Instance) -> Set[Tuple[str, Key]]:
+        """Evaluate every threshold rule, returning new Boolean facts."""
+        new_facts: Set[Tuple[str, Key]] = set()
+        for rule in self.threshold_rules:
+            guards = body_guards(
+                rule.body,
+                self.pops,
+                self.database,
+                self.program.idb_names(),
+                self._base._idb_supplier,
+            )
+            acc: Dict[Key, Value] = {}
+            self._base._current = idb
+            for valuation in enumerate_valuations(
+                sorted(rule.body.variables()),
+                guards,
+                self._base.domain,
+                rule.body.condition,
+                self.database.bool_holds,
+            ):
+                value = self._base.evaluator.product_value(
+                    rule.body, valuation, idb, self.program.idb_names()
+                )
+                head_key = tuple(eval_term(t, valuation) for t in rule.head_args)
+                if head_key in acc:
+                    acc[head_key] = self.pops.add(acc[head_key], value)
+                else:
+                    acc[head_key] = value
+            store = self.database.bool_relations[rule.head_relation]
+            for key, value in acc.items():
+                if key not in store and rule.predicate(value):
+                    new_facts.add((rule.head_relation, key))
+        return new_facts
+
+    def run(self, capture_trace: bool = False) -> EvaluationResult:
+        """Iterate the joint ICO until both stores are stationary."""
+        current = Instance(self.pops)
+        trace: List[Instance] = [current.copy()] if capture_trace else []
+        for step in range(self.max_iterations):
+            nxt = self._base.ico(current)
+            new_facts = self._threshold_step(nxt)
+            for rel, key in new_facts:
+                self.database.bool_relations[rel].add(key)
+            if not new_facts and nxt.equals(current):
+                return EvaluationResult(
+                    instance=current,
+                    steps=step,
+                    trace=trace,
+                    stats=self._base.stats.snapshot(),
+                )
+            if capture_trace:
+                trace.append(nxt.copy())
+            current = nxt
+        raise DivergenceError(
+            f"hybrid evaluation did not converge within "
+            f"{self.max_iterations} iterations"
+        )
+
+    def bool_facts(self, relation: str) -> Set[Key]:
+        """Return the derived Boolean facts of one threshold IDB."""
+        return set(self.database.bool_relations.get(relation, set()))

@@ -1,0 +1,144 @@
+"""LinearLFP: polynomial-time least fixpoints of linear programs
+(Algorithm 2, Theorem 5.22).
+
+Over a ``p``-stable POPS with strict multiplication, the least fixpoint
+of ``N`` *linear* functions in ``N`` variables is computable in
+``O(pN + N³)`` operations by variable elimination: writing
+``f_N = a·x_N ⊕ b(x₁…x_{N−1})``, the inner fixpoint in ``x_N`` alone is
+``c(x⃗) = a^(p) ⊗ b(x⃗) ⊕ ⊥`` (the ``g_x^{(p+1)}(⊥)`` of Lemma 3.3);
+substituting ``c`` for ``x_N`` in the remaining functions reduces the
+dimension by one, and back-substitution recovers all components.
+
+A key POPS subtlety (spelled out in the proof of Theorem 5.22): a
+linear function is a *set* of monomials ``Σ_{i∈V} aᵢxᵢ ⊕ b`` — a
+variable absent from ``V`` cannot be simulated by coefficient ``0``
+because ``0 ⊗ ⊥ = ⊥ ≠ 0`` in general.  :class:`LinearFunction` stores an
+explicit coefficient map for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..semirings.base import POPS, Value
+from .polynomial import Polynomial, PolynomialSystem, VarId
+
+
+class LinearityError(ValueError):
+    """Raised when a system is not linear (degree > 1 somewhere)."""
+
+
+@dataclass
+class LinearFunction:
+    """An explicit linear form ``Σ_{v ∈ coeffs} coeffs[v]·v ⊕ const``.
+
+    The constant is always present (the empty sum is ``0``, which is
+    ⊕-neutral, so folding constants together is sound); the variable
+    set is explicit and never padded with zero coefficients.
+    """
+
+    coeffs: Dict[VarId, Value] = field(default_factory=dict)
+    const: Value = None  # filled by from_polynomial / callers
+
+    @staticmethod
+    def from_polynomial(pops: POPS, poly: Polynomial) -> "LinearFunction":
+        """Convert a degree-≤1 polynomial, merging like terms by ``⊕``."""
+        coeffs: Dict[VarId, Value] = {}
+        const = pops.zero
+        for m in poly.monomials:
+            if m.degree() == 0:
+                const = pops.add(const, m.coeff)
+            elif m.degree() == 1:
+                (var, _k), = m.powers
+                if var in coeffs:
+                    coeffs[var] = pops.add(coeffs[var], m.coeff)
+                else:
+                    coeffs[var] = m.coeff
+            else:
+                raise LinearityError(f"monomial {m} has degree {m.degree()}")
+        return LinearFunction(coeffs=coeffs, const=const)
+
+    def evaluate(self, pops: POPS, assignment: Dict[VarId, Value]) -> Value:
+        """Evaluate under a (total for ``coeffs``) assignment."""
+        acc = self.const
+        for var, a in self.coeffs.items():
+            acc = pops.add(acc, pops.mul(a, assignment[var]))
+        return acc
+
+    def substitute(
+        self, pops: POPS, variable: VarId, replacement: "LinearFunction"
+    ) -> "LinearFunction":
+        """Return ``self[replacement / variable]`` (still linear)."""
+        if variable not in self.coeffs:
+            return self
+        a = self.coeffs[variable]
+        coeffs = {v: c for v, c in self.coeffs.items() if v != variable}
+        for v, c in replacement.coeffs.items():
+            contrib = pops.mul(a, c)
+            if v in coeffs:
+                coeffs[v] = pops.add(coeffs[v], contrib)
+            else:
+                coeffs[v] = contrib
+        const = pops.add(self.const, pops.mul(a, replacement.const))
+        return LinearFunction(coeffs=coeffs, const=const)
+
+
+def linear_lfp(
+    system: PolynomialSystem, stability_p: int
+) -> Dict[VarId, Value]:
+    """Compute ``lfp`` of a linear system by Algorithm 2.
+
+    Args:
+        system: A linear grounded program over a ``p``-stable POPS.
+        stability_p: The uniform stability index ``p`` of the value
+            space (e.g. 0 for ``Trop+``/``B``, ``p`` for ``Trop+_p``).
+
+    Returns:
+        The least-fixpoint assignment, identical to what the naïve
+        algorithm converges to (Theorem 5.22) — but in ``O(pN + N³)``
+        rather than up to ``(p+1)N − 1`` iterations of an ``O(N²)``
+        operator.
+    """
+    pops = system.pops
+    if not system.is_linear():
+        raise LinearityError("system is not linear")
+    order: List[VarId] = list(system.order)
+    known = set(order)
+    funcs: Dict[VarId, LinearFunction] = {}
+    for v in order:
+        f = LinearFunction.from_polynomial(pops, system.polynomials[v])
+        # Sparse grounding may reference variables with no defining
+        # polynomial: they are identically ⊥ (= 0 over the naturally
+        # ordered semirings where sparse mode applies); fold a·⊥ into
+        # the constant term.
+        foreign = [u for u in f.coeffs if u not in known]
+        for u in foreign:
+            f.const = pops.add(f.const, pops.mul(f.coeffs.pop(u), pops.bottom))
+        funcs[v] = f
+
+    # Forward elimination, last variable first (the recursion of
+    # Algorithm 2 unrolled into a loop).
+    eliminated: List[Tuple[VarId, LinearFunction]] = []
+    for k in range(len(order) - 1, -1, -1):
+        var = order[k]
+        f = funcs[var]
+        if var not in f.coeffs:
+            c = f
+        else:
+            a = f.coeffs[var]
+            b_coeffs = {v: cf for v, cf in f.coeffs.items() if v != var}
+            b = LinearFunction(coeffs=b_coeffs, const=f.const)
+            a_star = pops.geometric(a, stability_p)
+            c_coeffs = {v: pops.mul(a_star, cf) for v, cf in b.coeffs.items()}
+            c_const = pops.add(pops.mul(a_star, b.const), pops.bottom)
+            c = LinearFunction(coeffs=c_coeffs, const=c_const)
+        eliminated.append((var, c))
+        for j in range(k):
+            funcs[order[j]] = funcs[order[j]].substitute(pops, var, c)
+
+    # Back substitution, first variable last-eliminated.
+    solution: Dict[VarId, Value] = {}
+    for var, c in reversed(eliminated):
+        solution[var] = c.evaluate(pops, solution)
+    return solution

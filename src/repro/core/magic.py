@@ -1,0 +1,241 @@
+"""Magic-set rewriting for datalog° (the §1 optimization, generalized).
+
+The paper names *semi-naïve evaluation* and *magic set rewriting* as the
+two classic datalog optimizations (its companion paper derives magic
+sets from the FGH rule).  This module implements the textbook
+transformation, lifted to value-annotated programs:
+
+Given a query pattern — an IDB with some argument positions **bound**
+to constants — the rewritten program derives only the part of the
+fixpoint *relevant* to the query:
+
+* every reachable ``(relation, adornment)`` pair gets a **magic
+  predicate** ``m_R_badornment(bound args)`` collecting the demanded
+  bindings, seeded with the query constants;
+* sideways information passing (left-to-right over each sum-product)
+  emits magic rules from the originals;
+* each original rule is guarded by ``supp(m_R_α(bound head args))``,
+  where ``supp`` maps ``0 ↦ 0`` and everything else to ``1`` — a
+  monotone function on every naturally ordered semiring.
+
+Correctness over a value space requires (and the implementation
+checks): a naturally ordered semiring without zero divisors — then the
+*support* of a magic predicate equals the classic Boolean magic set, so
+demanded atoms keep exactly their full-evaluation values (verified
+differentially by the tests over ``B``, ``Trop+``, bottleneck and
+Viterbi).  The flagship effect is query-directed evaluation: asking
+``T(a, ?)`` of the all-pairs program evaluates like the single-source
+program (experiment E21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..semirings.base import FunctionRegistry, POPS, Value
+from .ast import Constant, KeyFunc, Term, Variable, term_variables
+from .rules import (
+    Factor,
+    FuncFactor,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+    ValueConst,
+)
+
+Adornment = str  # e.g. "bf": first argument bound, second free.
+
+
+class MagicError(ValueError):
+    """Raised when a program/query is outside the supported fragment."""
+
+
+def support_function(pops: POPS):
+    """The monotone ``supp``: ``0 ↦ 0``, anything else ``↦ 1``."""
+
+    def supp(value: Value) -> Value:
+        if pops.eq(value, pops.zero):
+            return pops.zero
+        return pops.one
+
+    return supp
+
+
+def magic_registry(pops: POPS, base: Optional[FunctionRegistry] = None) -> FunctionRegistry:
+    """A function registry with ``supp`` installed for the value space."""
+    registry = base or FunctionRegistry()
+    registry.register("supp", support_function(pops))
+    return registry
+
+
+def _magic_name(relation: str, adornment: Adornment) -> str:
+    return f"m_{relation}_{adornment}"
+
+
+def _atom_adornment(atom: RelAtom, bound_vars: Set[str]) -> Adornment:
+    letters = []
+    for arg in atom.args:
+        if isinstance(arg, Constant):
+            letters.append("b")
+        elif isinstance(arg, Variable):
+            letters.append("b" if arg.name in bound_vars else "f")
+        else:
+            raise MagicError(
+                "interpreted key functions are not supported by the "
+                f"magic transformation: {arg}"
+            )
+    return "".join(letters)
+
+
+def _bound_args(args: Sequence[Term], adornment: Adornment) -> Tuple[Term, ...]:
+    return tuple(a for a, c in zip(args, adornment) if c == "b")
+
+
+@dataclass(frozen=True)
+class MagicQuery:
+    """A query pattern: relation, adornment and the bound constants.
+
+    ``bindings`` supplies one constant per ``b`` position, e.g.
+    ``MagicQuery("T", "bf", ("a",))`` asks for ``T(a, Y)``.
+    """
+
+    relation: str
+    adornment: Adornment
+    bindings: Tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.adornment.count("b") != len(self.bindings):
+            raise MagicError(
+                f"query {self.relation}^{self.adornment} needs "
+                f"{self.adornment.count('b')} bindings, got "
+                f"{len(self.bindings)}"
+            )
+        if not set(self.adornment) <= {"b", "f"}:
+            raise MagicError(f"bad adornment {self.adornment!r}")
+
+
+def _check_value_space(pops: POPS) -> None:
+    if not (pops.is_semiring and pops.is_naturally_ordered):
+        raise MagicError(
+            f"magic sets require a naturally ordered semiring, not {pops.name}"
+        )
+    # When a relation is demanded under several adornments its answer
+    # rules coexist; a non-idempotent ⊕ would then double-count
+    # derivations demanded by more than one pattern.
+    for v in pops.sample_values():
+        if not pops.eq(pops.add(v, v), v):
+            raise MagicError(
+                f"magic sets require an idempotent ⊕; {pops.name} is not "
+                "(a derivation demanded under two adornments would be "
+                "counted twice)"
+            )
+
+
+def magic_rewrite(program: Program, query: MagicQuery, pops: POPS) -> Program:
+    """Return the magic-rewritten program for a query pattern.
+
+    The result contains, for every reachable adorned IDB ``R^α``:
+
+    * ``m_R_α(b̄) :- seed | sideways-passing bodies``;
+    * ``R(x̄) :- supp(m_R_α(bound x̄)) ⊗ original body`` — note the
+      original relation names are kept for answer atoms, so demanded
+      answers can be read out directly.
+
+    Only one adornment per IDB may be *used* in rule bodies of this
+    implementation (rules are adorned per reachable pattern; patterns
+    are tracked through a worklist).
+    """
+    _check_value_space(pops)
+    if query.relation not in program.idbs:
+        raise MagicError(f"{query.relation} is not an IDB of the program")
+    if len(query.adornment) != program.idbs[query.relation]:
+        raise MagicError("adornment length must match the relation arity")
+
+    rules_by_head: Dict[str, List[Rule]] = {}
+    for r in program.rules:
+        rules_by_head.setdefault(r.head_relation, []).append(r)
+    idbs = set(program.idbs)
+
+    new_rules: List[Rule] = []
+    seen: Set[Tuple[str, Adornment]] = set()
+    worklist: List[Tuple[str, Adornment]] = [(query.relation, query.adornment)]
+
+    # Seed rule: m_Q_α(c̄) :- 1.
+    seed_head = _magic_name(query.relation, query.adornment)
+    seed_args = tuple(Constant(c) for c in query.bindings)
+    new_rules.append(
+        Rule(seed_head, seed_args, (SumProduct((ValueConst(pops.one),)),))
+    )
+
+    while worklist:
+        relation, adornment = worklist.pop()
+        if (relation, adornment) in seen:
+            continue
+        seen.add((relation, adornment))
+        for rule in rules_by_head.get(relation, ()):
+            magic_rel = _magic_name(relation, adornment)
+            head_bound = _bound_args(rule.head_args, adornment)
+            head_bound_vars = {
+                v.name for t in head_bound for v in term_variables(t)
+            }
+
+            for body in rule.bodies:
+                guard = FuncFactor("supp", (RelAtom(magic_rel, head_bound),))
+                guarded_factors: List[Factor] = [guard]
+                bound_vars = set(head_bound_vars)
+                prefix: List[Factor] = [guard]
+                for factor in body.factors:
+                    if isinstance(factor, RelAtom) and factor.relation in idbs:
+                        occ_adornment = _atom_adornment(factor, bound_vars)
+                        m_rel = _magic_name(factor.relation, occ_adornment)
+                        m_args = _bound_args(factor.args, occ_adornment)
+                        # Magic rule (0-ary for fully-free occurrences:
+                        # the demand is "everything", carried by the
+                        # nullary magic atom being derivable at all).
+                        new_rules.append(
+                            Rule(
+                                m_rel,
+                                m_args,
+                                (SumProduct(tuple(prefix), body.condition),),
+                            )
+                        )
+                        worklist.append((factor.relation, occ_adornment))
+                    # Every factor extends the sideways prefix and
+                    # binds its variables for later occurrences.
+                    prefix.append(factor)
+                    if isinstance(factor, RelAtom):
+                        for arg in factor.args:
+                            for v in term_variables(arg):
+                                bound_vars.add(v.name)
+                    guarded_factors.append(factor)
+                new_rules.append(
+                    Rule(
+                        relation,
+                        rule.head_args,
+                        (SumProduct(tuple(guarded_factors), body.condition),),
+                    )
+                )
+
+    rewritten = Program(
+        rules=new_rules,
+        edbs=dict(program.edbs),
+        bool_edbs=dict(program.bool_edbs),
+    )
+    return rewritten
+
+
+def demanded_keys(query: MagicQuery, keys: Sequence[Tuple]) -> List[Tuple]:
+    """Filter full-evaluation keys down to those matching the query."""
+    out = []
+    for key in keys:
+        ok = True
+        bound_iter = iter(query.bindings)
+        for value, c in zip(key, query.adornment):
+            if c == "b" and value != next(bound_iter):
+                ok = False
+                break
+        if ok:
+            out.append(key)
+    return out

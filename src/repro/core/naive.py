@@ -1,0 +1,187 @@
+"""Naïve evaluation of datalog° (Algorithm 1, Section 4.1).
+
+Start every IDB at ``⊥``, repeatedly apply the immediate consequence
+operator (ICO) ``F`` and stop as soon as ``J⁽ᵗ⁺¹⁾ = J⁽ᵗ⁾``; the result
+is the least fixpoint (when the iteration converges — over unstable
+value spaces it may not, and a step budget raises
+:class:`~repro.fixpoint.iteration.DivergenceError`).
+
+The ICO here is evaluated *rule-at-a-time* over sparse finite-support
+instances, with guard-driven join enumeration where the value space's
+flags make skipping sound (see :mod:`repro.core.valuations`).  Over
+POPS that distinguish "absent" (``⊥``) from ``0`` (e.g. ``R⊥``,
+``THREE``), head atoms are totalized over ``GA(τ, D₀)`` so that empty
+sums yield ``0`` exactly as the formal semantics prescribes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..fixpoint.iteration import DivergenceError
+from ..semirings.base import FunctionRegistry, Value
+from .ast import eval_term
+from .instance import Database, Instance, Key
+from .rules import Program, Rule, SumProduct
+from .valuations import FactorEvaluator, body_guards, enumerate_valuations
+
+
+@dataclass
+class EvalStats:
+    """Work counters for naïve/semi-naïve comparisons (experiment E12)."""
+
+    iterations: int = 0
+    valuations: int = 0
+    products: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "iterations": self.iterations,
+            "valuations": self.valuations,
+            "products": self.products,
+        }
+
+
+@dataclass
+class EvaluationResult:
+    """Result of running an evaluation strategy to fixpoint.
+
+    Attributes:
+        instance: The least-fixpoint IDB instance.
+        steps: Convergence step count ``t`` with ``J⁽ᵗ⁾ = J⁽ᵗ⁺¹⁾``.
+        trace: Per-iteration snapshots ``[J⁽⁰⁾, J⁽¹⁾, …]`` when captured.
+        stats: Work counters.
+    """
+
+    instance: Instance
+    steps: int
+    trace: List[Instance] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+class NaiveEvaluator:
+    """Rule-at-a-time naïve evaluation (Algorithm 1)."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        functions: Optional[FunctionRegistry] = None,
+        max_iterations: int = 100_000,
+        total_heads: Optional[bool] = None,
+        extra_domain: Sequence[Any] = (),
+    ):
+        self.program = program
+        self.database = database
+        self.pops = database.pops
+        self.functions = functions or FunctionRegistry()
+        self.max_iterations = max_iterations
+        self.idb_names = program.idb_names()
+        self.evaluator = FactorEvaluator(self.pops, database, self.functions)
+        self.domain: List[Any] = sorted(
+            database.active_domain() | program.constants() | set(extra_domain),
+            key=repr,
+        )
+        if total_heads is None:
+            total_heads = not (
+                self.pops.is_semiring and self.pops.is_naturally_ordered
+            )
+        self.total_heads = total_heads
+        self.stats = EvalStats()
+        self._current: Instance = Instance(self.pops)
+        self._plans = self._build_plans()
+
+    # ------------------------------------------------------------------
+    def _build_plans(self) -> List[Tuple[Rule, SumProduct, list, List[str]]]:
+        plans = []
+        for rule in self.program.rules:
+            for body in rule.bodies:
+                guards = body_guards(
+                    body,
+                    self.pops,
+                    self.database,
+                    self.idb_names,
+                    self._idb_supplier,
+                )
+                plans.append((rule, body, guards, sorted(body.variables())))
+        return plans
+
+    def _idb_supplier(self, name: str):
+        return lambda: list(self._current.support(name).keys())
+
+    # ------------------------------------------------------------------
+    def ico(self, instance: Instance) -> Instance:
+        """One application of the immediate consequence operator."""
+        self._current = instance
+        acc: Dict[Tuple[str, Key], Value] = {}
+        if self.total_heads:
+            for rel, arity in self.program.idbs.items():
+                for key in itertools.product(self.domain, repeat=arity):
+                    acc[(rel, key)] = self.pops.zero
+        for rule, body, guards, variables in self._plans:
+            for valuation in enumerate_valuations(
+                variables,
+                guards,
+                self.domain,
+                body.condition,
+                self.database.bool_holds,
+            ):
+                self.stats.valuations += 1
+                value = self.evaluator.product_value(
+                    body, valuation, instance, self.idb_names
+                )
+                self.stats.products += 1
+                head_key = tuple(eval_term(t, valuation) for t in rule.head_args)
+                slot = (rule.head_relation, head_key)
+                if slot in acc:
+                    acc[slot] = self.pops.add(acc[slot], value)
+                else:
+                    acc[slot] = value
+        out = Instance(self.pops)
+        for (rel, key), value in acc.items():
+            out.set(rel, key, value)
+        return out
+
+    def run(self, capture_trace: bool = False) -> EvaluationResult:
+        """Iterate the ICO from ``⊥`` until convergence (Algorithm 1)."""
+        current = Instance(self.pops)
+        trace: List[Instance] = [current.copy()] if capture_trace else []
+        for step in range(self.max_iterations):
+            self.stats.iterations += 1
+            nxt = self.ico(current)
+            if capture_trace:
+                trace.append(nxt.copy())
+            if nxt.equals(current):
+                return EvaluationResult(
+                    instance=current,
+                    steps=step,
+                    trace=trace,
+                    stats=self.stats.snapshot(),
+                )
+            current = nxt
+        raise DivergenceError(
+            f"naïve evaluation did not converge within "
+            f"{self.max_iterations} iterations",
+            trace=trace,
+        )
+
+
+def naive_fixpoint(
+    program: Program,
+    database: Database,
+    functions: Optional[FunctionRegistry] = None,
+    max_iterations: int = 100_000,
+    capture_trace: bool = False,
+    total_heads: Optional[bool] = None,
+) -> EvaluationResult:
+    """Convenience wrapper: build a :class:`NaiveEvaluator` and run it."""
+    evaluator = NaiveEvaluator(
+        program,
+        database,
+        functions=functions,
+        max_iterations=max_iterations,
+        total_heads=total_heads,
+    )
+    return evaluator.run(capture_trace=capture_trace)

@@ -1,0 +1,382 @@
+"""A textual surface syntax for datalog° programs.
+
+The concrete syntax mirrors the paper's notation with ASCII operators::
+
+    // comments run to end of line
+    edb  C/1.                  // POPS-valued EDB declaration
+    bool E/2.                  // Boolean EDB declaration
+    idb  T/2.                  // optional IDB declaration
+
+    T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).          // ⊕ of ⊗-products
+    L(X)    :- [X = a] | L(Z) * E(Z, X).             // indicator bracket
+    T(X)    :- C(X) | { T(Y) if E(X, Y) }.           // conditional body
+    Win(X)  :- { E(X, Y) * not(Win(Y)) }.            // interpreted fn
+    S(X, Y) :- { val(C) if Length(X, Y, C) }.        // key-as-value
+
+Lexical conventions (the paper's, Section 2.4): identifiers starting
+with an upper-case letter are **key variables**; lower-case identifiers
+are symbolic constants — except in call position, where an upper-case
+name is a relation atom and a lower-case name is an interpreted
+function (value-space function over factors in bodies; key-space
+function over terms inside atom arguments, resolved via the
+``key_functions`` mapping).  Numbers and single-quoted strings are
+constants; ``$3.5`` is an explicit POPS value constant.
+
+The parser is a hand-written recursive-descent over a regex tokenizer —
+no dependencies, precise error positions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .ast import (
+    And,
+    BoolAtom,
+    Compare,
+    Condition,
+    Constant,
+    KeyFunc,
+    Not,
+    Or,
+    Term,
+    TrueCond,
+    Variable,
+)
+from .rules import (
+    Factor,
+    FuncFactor,
+    Indicator,
+    KeyAsValue,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+)
+
+
+class ParseError(ValueError):
+    """Raised with a line/column-annotated message on syntax errors."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    col: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<implies>:-)
+  | (?P<cmp>==|!=|<=|>=|<|>|=)
+  | (?P<value>\$)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[(),.|*:;\[\]{}/])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"if", "and", "or", "not", "true", "val", "case", "else"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize; raises :class:`ParseError` on unrecognized input."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r} at line {line}, col {col}"
+            )
+        text = match.group(0)
+        kind = match.lastgroup or "?"
+        if kind not in ("ws", "comment"):
+            if kind == "name" and text in _KEYWORDS:
+                kind = text
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = match.end()
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+class _Parser:
+    def __init__(
+        self,
+        tokens: List[Token],
+        key_functions: Dict[str, Callable],
+    ):
+        self.tokens = tokens
+        self.pos = 0
+        self.key_functions = key_functions
+        self.edbs: Dict[str, int] = {}
+        self.bool_edbs: Dict[str, int] = {}
+        self.idbs: Dict[str, int] = {}
+        self.rules: List[Rule] = []
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r} but found {tok.text!r} "
+                f"at line {tok.line}, col {tok.col}"
+            )
+        return self.next()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def parse_program(self) -> Program:
+        while self.peek().kind != "eof":
+            self._parse_rule()
+        return Program(
+            rules=self.rules,
+            edbs=self.edbs,
+            bool_edbs=self.bool_edbs,
+            idbs=self.idbs,
+        )
+
+    def _parse_rule(self) -> None:
+        tok = self.peek()
+        if tok.kind == "name" and tok.text in ("edb", "bool", "idb"):
+            self._parse_decl_statement(tok.text)
+            return
+        head_rel = self.expect("name").text
+        self.expect("punct", "(")
+        head_args = self._parse_term_list()
+        self.expect("punct", ")")
+        self.expect("implies")
+        if self.peek().kind == "case":
+            self.rules.append(self._parse_case_rule(head_rel, head_args))
+            return
+        bodies = [self._parse_sum_product()]
+        while self.accept("punct", "|"):
+            bodies.append(self._parse_sum_product())
+        self.expect("punct", ".")
+        self.rules.append(Rule(head_rel, tuple(head_args), tuple(bodies)))
+
+    def _parse_case_rule(self, head_rel: str, head_args: List[Term]) -> Rule:
+        """``H(…) :- case C₁ : B₁ ; C₂ : B₂ ; else B_n.`` (§4.5).
+
+        Branch bodies are sum-products; branches are made mutually
+        exclusive by the standard desugaring (:func:`case_rule`).
+        """
+        from .rules import case_rule
+
+        self.expect("case")
+        branches: List[Tuple[Optional[Condition], SumProduct]] = []
+        while True:
+            if self.accept("else"):
+                self.accept("punct", ":")  # optional ':' after else
+                branches.append((None, self._parse_sum_product()))
+            else:
+                condition = self._parse_condition()
+                self.expect_colon()
+                branches.append((condition, self._parse_sum_product()))
+            if not self.accept("punct", ";"):
+                break
+        self.expect("punct", ".")
+        return case_rule(head_rel, tuple(head_args), branches)
+
+    def expect_colon(self) -> None:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text == ":":
+            self.next()
+            return
+        raise ParseError(
+            f"expected ':' but found {tok.text!r} at line {tok.line}, "
+            f"col {tok.col}"
+        )
+
+    def _parse_decl_statement(self, kind: str) -> None:
+        self.next()  # consume edb/bool/idb
+        name = self.expect("name").text
+        self.expect("punct", "/")
+        arity = int(self.expect("number").text)
+        self.expect("punct", ".")
+        target = {"edb": self.edbs, "bool": self.bool_edbs, "idb": self.idbs}[kind]
+        target[name] = arity
+
+    # -- bodies ---------------------------------------------------------
+    def _parse_sum_product(self) -> SumProduct:
+        if self.accept("punct", "{"):
+            factors = self._parse_factors()
+            condition: Condition = TrueCond()
+            if self.accept("if"):
+                condition = self._parse_condition()
+            self.expect("punct", "}")
+            return SumProduct(tuple(factors), condition)
+        factors = self._parse_factors()
+        return SumProduct(tuple(factors))
+
+    def _parse_factors(self) -> List[Factor]:
+        factors = [self._parse_factor()]
+        while self.accept("punct", "*"):
+            factors.append(self._parse_factor())
+        return factors
+
+    def _parse_factor(self) -> Factor:
+        tok = self.peek()
+        if tok.kind == "value":
+            self.next()
+            num = self.expect("number").text
+            return _value_const(num)
+        if tok.kind == "punct" and tok.text == "[":
+            self.next()
+            condition = self._parse_condition()
+            self.expect("punct", "]")
+            return Indicator(condition)
+        if tok.kind == "val":
+            self.next()
+            self.expect("punct", "(")
+            term = self._parse_term()
+            convert = None
+            if self.accept("punct", ","):
+                convert = self.expect("name").text
+            self.expect("punct", ")")
+            return KeyAsValue(term, convert=convert)
+        if tok.kind in ("name", "not"):
+            name = self.next().text
+            self.expect("punct", "(")
+            if name[0].isupper():
+                args = self._parse_term_list()
+                self.expect("punct", ")")
+                return RelAtom(name, tuple(args))
+            subs = [self._parse_factor()]
+            while self.accept("punct", ","):
+                subs.append(self._parse_factor())
+            self.expect("punct", ")")
+            return FuncFactor(name, tuple(subs))
+        raise ParseError(
+            f"expected a factor but found {tok.text!r} "
+            f"at line {tok.line}, col {tok.col}"
+        )
+
+    # -- conditions -----------------------------------------------------
+    def _parse_condition(self) -> Condition:
+        left = self._parse_and()
+        parts = [left]
+        while self.accept("or"):
+            parts.append(self._parse_and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _parse_and(self) -> Condition:
+        parts = [self._parse_unary_condition()]
+        while self.accept("and"):
+            parts.append(self._parse_unary_condition())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _parse_unary_condition(self) -> Condition:
+        if self.accept("not"):
+            return Not(self._parse_unary_condition())
+        if self.accept("true"):
+            return TrueCond()
+        if self.accept("punct", "("):
+            inner = self._parse_condition()
+            self.expect("punct", ")")
+            return inner
+        tok = self.peek()
+        if tok.kind == "name" and tok.text[0].isupper() and self.peek(1).text == "(":
+            name = self.next().text
+            self.expect("punct", "(")
+            args = self._parse_term_list()
+            self.expect("punct", ")")
+            atom = BoolAtom(name, tuple(args))
+            if self.peek().kind == "cmp":  # pragma: no cover - defensive
+                raise ParseError("comparison applied to an atom")
+            return atom
+        left = self._parse_term()
+        op_tok = self.expect("cmp")
+        op = "==" if op_tok.text == "=" else op_tok.text
+        right = self._parse_term()
+        return Compare(op, left, right)
+
+    # -- terms ----------------------------------------------------------
+    def _parse_term_list(self) -> List[Term]:
+        terms = [self._parse_term()]
+        while self.accept("punct", ","):
+            terms.append(self._parse_term())
+        return terms
+
+    def _parse_term(self) -> Term:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.next()
+            return Constant(_coerce_number(tok.text))
+        if tok.kind == "string":
+            self.next()
+            return Constant(tok.text[1:-1].replace("\\'", "'"))
+        if tok.kind == "name":
+            name = self.next().text
+            if self.peek().text == "(" and not name[0].isupper():
+                fn = self.key_functions.get(name)
+                if fn is None:
+                    raise ParseError(
+                        f"unknown key function {name!r} at line {tok.line}"
+                        " — pass it via key_functions="
+                    )
+                self.expect("punct", "(")
+                args = self._parse_term_list()
+                self.expect("punct", ")")
+                return KeyFunc(name, fn, tuple(args))
+            if name[0].isupper():
+                return Variable(name)
+            return Constant(name)
+        raise ParseError(
+            f"expected a term but found {tok.text!r} "
+            f"at line {tok.line}, col {tok.col}"
+        )
+
+
+def _coerce_number(text: str):
+    return float(text) if "." in text else int(text)
+
+
+def _value_const(text: str):
+    from .rules import ValueConst
+
+    return ValueConst(_coerce_number(text))
+
+
+def parse_program(
+    source: str,
+    key_functions: Optional[Dict[str, Callable]] = None,
+) -> Program:
+    """Parse datalog° source text into a :class:`Program`.
+
+    Args:
+        source: Program text in the surface syntax described above.
+        key_functions: Interpreted key-space functions referenced by the
+            program (e.g. ``{"pred": lambda i: i - 1}``).
+    """
+    parser = _Parser(tokenize(source), key_functions or {})
+    return parser.parse_program()

@@ -1,0 +1,261 @@
+"""Valuation enumeration and factor evaluation (the engine's join core).
+
+Grounding (Section 4.3) and direct ICO evaluation both need to iterate
+over the valuations ``θ : V → D₀`` of a sum-product body that satisfy
+the conditional ``Φ`` (Eq. 13).  Doing this naïvely as ``D₀^|V|`` is the
+formal definition; this module additionally supports *guard-driven*
+enumeration — joining over the supports of relations whose absent
+tuples provably contribute the ⊕-neutral ``0`` — which is the
+optimization every real datalog engine performs, and which is sound
+exactly when the flags of the value space say so:
+
+* Boolean-EDB atoms used as factors: absent ⇒ factor ``0``; skipping
+  needs ``0`` to absorb, i.e. ``is_semiring``.
+* POPS-relation atoms: absent ⇒ factor ``⊥``; skipping additionally
+  needs ``⊥ = 0``, i.e. ``is_naturally_ordered``.
+* Atoms under an interpreted function are never skipped (``f(0)`` or
+  ``f(⊥)`` may be anything, e.g. ``not(0) = 1`` over THREE).
+
+Positive conjunctive atoms of ``Φ`` itself are always usable as guards:
+a valuation violating them fails ``Φ`` outright.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..semirings.base import FunctionRegistry, POPS, Value
+from .ast import (
+    Condition,
+    Constant,
+    KeyFunc,
+    Valuation,
+    Variable,
+    condition_holds,
+    eval_term,
+    positive_bool_atoms,
+)
+from .instance import Database, Instance, Key
+from .rules import (
+    Factor,
+    FuncFactor,
+    Indicator,
+    KeyAsValue,
+    RelAtom,
+    SumProduct,
+    ValueConst,
+)
+
+
+@dataclass
+class Guard:
+    """A generator of candidate bindings: atom args + key supplier."""
+
+    args: Tuple
+    keys: Callable[[], Iterable[Key]]
+
+    def simple_args(self) -> bool:
+        """Whether every argument is a plain variable or constant."""
+        return all(isinstance(a, (Variable, Constant)) for a in self.args)
+
+
+def _unify(args: Tuple, key: Key, valuation: Valuation) -> Optional[Valuation]:
+    """Extend ``valuation`` so that ``args`` match ``key``; None on clash."""
+    out = valuation
+    copied = False
+    for arg, val in zip(args, key):
+        if isinstance(arg, Constant):
+            if arg.value != val:
+                return None
+        else:  # Variable (guards guarantee simple args)
+            bound = out.get(arg.name, _UNSET)
+            if bound is _UNSET:
+                if not copied:
+                    out = dict(out)
+                    copied = True
+                out[arg.name] = val
+            elif bound != val:
+                return None
+    return out
+
+
+_UNSET = object()
+
+
+def enumerate_valuations(
+    variables: Sequence[str],
+    guards: Sequence[Guard],
+    fallback_domain: Sequence[Any],
+    condition: Condition,
+    bool_lookup: Callable[[str, Key], bool],
+    base: Optional[Valuation] = None,
+) -> Iterator[Valuation]:
+    """Yield every valuation of ``variables`` satisfying ``condition``.
+
+    Bindings are produced by joining the guards in order; variables not
+    covered by any guard range over ``fallback_domain``.  Each valuation
+    is yielded exactly once (distinct valuations correspond to distinct
+    guard-key/fallback combinations).
+    """
+    usable = [g for g in guards if g.simple_args()]
+
+    def recurse(i: int, valuation: Valuation) -> Iterator[Valuation]:
+        if i == len(usable):
+            remaining = [v for v in variables if v not in valuation]
+            if not remaining:
+                if condition_holds(condition, valuation, bool_lookup):
+                    yield valuation
+                return
+            for combo in itertools.product(fallback_domain, repeat=len(remaining)):
+                candidate = dict(valuation)
+                candidate.update(zip(remaining, combo))
+                if condition_holds(condition, candidate, bool_lookup):
+                    yield candidate
+            return
+        guard = usable[i]
+        for key in guard.keys():
+            if len(key) != len(guard.args):
+                continue
+            extended = _unify(guard.args, key, valuation)
+            if extended is not None:
+                yield from recurse(i + 1, extended)
+
+    yield from recurse(0, dict(base) if base else {})
+
+
+class FactorEvaluator:
+    """Evaluates body factors under a valuation (Section 2.4 semantics).
+
+    Lookups default to the POPS bottom for ``σ``/``τ`` relations and to
+    ``0``/``1`` for Boolean relations used as factors (the standard
+    embedding ``B ↪ P`` via ``{0, 1}``).
+    """
+
+    def __init__(
+        self,
+        pops: POPS,
+        database: Database,
+        functions: Optional[FunctionRegistry] = None,
+    ):
+        self.pops = pops
+        self.database = database
+        self.functions = functions or FunctionRegistry()
+
+    def atom_value(self, atom: RelAtom, valuation: Valuation, idb: Instance, idb_names: frozenset) -> Value:
+        """Return the value of a relation atom under a valuation."""
+        key = tuple(eval_term(a, valuation) for a in atom.args)
+        if atom.relation in idb_names:
+            return idb.get(atom.relation, key)
+        if atom.relation in self.database.relations:
+            # A POPS relation wins over a same-named Boolean one (the
+            # stratified evaluator publishes both views of an IDB).
+            return self.database.value(atom.relation, key)
+        if atom.relation in self.database.bool_relations:
+            if self.database.bool_holds(atom.relation, key):
+                return self.pops.one
+            return self.pops.zero
+        return self.database.value(atom.relation, key)
+
+    def factor_value(
+        self,
+        factor: Factor,
+        valuation: Valuation,
+        idb: Instance,
+        idb_names: frozenset,
+    ) -> Value:
+        """Evaluate one factor under a valuation."""
+        if isinstance(factor, RelAtom):
+            return self.atom_value(factor, valuation, idb, idb_names)
+        if isinstance(factor, ValueConst):
+            return factor.value
+        if isinstance(factor, Indicator):
+            holds = condition_holds(
+                factor.condition, valuation, self.database.bool_holds
+            )
+            if holds:
+                return (
+                    factor.true_value
+                    if factor.true_value is not None
+                    else self.pops.one
+                )
+            return (
+                factor.false_value
+                if factor.false_value is not None
+                else self.pops.zero
+            )
+        if isinstance(factor, FuncFactor):
+            fn = self.functions.resolve(factor.name)
+            args = [
+                self.factor_value(sub, valuation, idb, idb_names)
+                for sub in factor.args
+            ]
+            return fn(*args)
+        if isinstance(factor, KeyAsValue):
+            key = eval_term(factor.term, valuation)
+            if factor.convert is None:
+                return key
+            return self.functions.resolve(factor.convert)(key)
+        raise TypeError(f"unknown factor {factor!r}")
+
+    def product_value(
+        self,
+        body: SumProduct,
+        valuation: Valuation,
+        idb: Instance,
+        idb_names: frozenset,
+    ) -> Value:
+        """Evaluate the ⊗-product of a sum-product body (unit for empty)."""
+        return self.pops.mul_many(
+            self.factor_value(f, valuation, idb, idb_names) for f in body.factors
+        )
+
+
+def body_guards(
+    body: SumProduct,
+    pops: POPS,
+    database: Database,
+    idb_names: frozenset,
+    idb_supplier: Callable[[str], Callable[[], Iterable[Key]]],
+    allow_idb_guards: bool = True,
+) -> List[Guard]:
+    """Build the guard list for a body under the soundness rules above.
+
+    Args:
+        body: The sum-product to plan.
+        pops: The value space (its flags decide eligibility).
+        database: EDB store (supports drive EDB guards).
+        idb_names: IDB relation names.
+        idb_supplier: Maps an IDB name to a key supplier reading the
+            *current* instance at enumeration time (late binding — the
+            instance changes between iterations).
+        allow_idb_guards: Disable to force fallback enumeration for IDB
+            atoms (used by grounding, where IDBs stay symbolic).
+    """
+    guards: List[Guard] = []
+    for atom in positive_bool_atoms(body.condition):
+        rel = database.bool_relations.get(atom.relation, set())
+        guards.append(Guard(args=atom.args, keys=lambda r=rel: r))
+    sparse_pops = pops.is_semiring and pops.is_naturally_ordered
+    for atom, under_fn in body.atoms():
+        if under_fn:
+            continue
+        if atom.relation in idb_names:
+            if sparse_pops and allow_idb_guards:
+                guards.append(
+                    Guard(args=atom.args, keys=idb_supplier(atom.relation))
+                )
+        elif atom.relation in database.relations:
+            if sparse_pops:
+                support = database.support(atom.relation)
+                guards.append(Guard(args=atom.args, keys=lambda s=support: s))
+        elif atom.relation in database.bool_relations:
+            if pops.is_semiring:
+                rel = database.bool_relations[atom.relation]
+                guards.append(Guard(args=atom.args, keys=lambda r=rel: r))
+        else:
+            if sparse_pops:
+                support = database.support(atom.relation)
+                guards.append(Guard(args=atom.args, keys=lambda s=support: s))
+    return guards

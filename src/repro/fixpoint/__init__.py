@@ -1,0 +1,51 @@
+"""Fixpoint theory: posets, Kleene iteration, composition bounds (§3)."""
+
+from .clone import (
+    e_bound,
+    general_datalog_bound,
+    lemma_3_2_bound,
+    lemma_3_3_bound,
+    linear_datalog_bound,
+    max_unary_index,
+    monotone_self_maps,
+    pair_tightness_search,
+    zero_stable_bound,
+)
+from .iteration import (
+    DivergenceError,
+    FixpointResult,
+    function_stability_index,
+    iterate_n,
+    kleene_fixpoint,
+)
+from .poset import (
+    ChainProbe,
+    FiniteChain,
+    MapPoset,
+    Poset,
+    ProductPoset,
+    ascending_chain_probe,
+)
+
+__all__ = [
+    "ChainProbe",
+    "DivergenceError",
+    "FiniteChain",
+    "FixpointResult",
+    "MapPoset",
+    "Poset",
+    "ProductPoset",
+    "ascending_chain_probe",
+    "e_bound",
+    "function_stability_index",
+    "general_datalog_bound",
+    "iterate_n",
+    "kleene_fixpoint",
+    "lemma_3_2_bound",
+    "lemma_3_3_bound",
+    "linear_datalog_bound",
+    "max_unary_index",
+    "monotone_self_maps",
+    "pair_tightness_search",
+    "zero_stable_bound",
+]

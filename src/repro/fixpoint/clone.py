@@ -1,0 +1,174 @@
+"""Composition bounds for stability indices (Lemmas 3.2/3.3, Theorem 3.4).
+
+Theorem 3.4: if every unary member of a c-clone over posets
+``L₁, …, L_N`` is ``p_i``-stable (sorted ``p₁ ≥ p₂ ≥ … ≥ p_N``), then
+every ``h = (f₁, …, f_N)`` from the clone is ``E_N``-stable for::
+
+    E_N(p₁, …, p_N) = Σ_{k=1..N} Π_{i=1..k} p_i
+                    = p₁ + p₁p₂ + p₁p₂p₃ + …
+
+and the bound is tight over suitably chosen posets.  Specializing the
+``p_i`` yields the datalog° convergence bounds of Theorem 5.12 /
+Corollary 5.18: ``Σ (p+2)^i`` for general programs over a ``p``-stable
+POPS and ``Σ (p+1)^i`` for linear ones.
+
+This module computes those bound expressions, the two-function indices
+of Lemmas 3.2/3.3, and provides a brute-force searcher over small finite
+posets that empirically exhibits how much larger than ``max pᵢ`` the
+product index can get (the tightness phenomenon; the paper's explicit
+lower-bound construction lives in its Appendix A).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .iteration import function_stability_index
+from .poset import Poset, ProductPoset
+
+
+def e_bound(ps: Sequence[int]) -> int:
+    """Return ``E_N(p₁,…,p_N) = Σ_k Π_{i≤k} p_i`` with ``p`` sorted desc.
+
+    The expression is maximized by the decreasing arrangement (remark in
+    the proof of Theorem 3.4), so inputs are sorted descending first.
+    """
+    sorted_ps = sorted(ps, reverse=True)
+    total = 0
+    prod = 1
+    for p in sorted_ps:
+        prod *= p
+        total += prod
+    return total
+
+
+def lemma_3_2_bound(p: int, q: int) -> int:
+    """Index bound ``p + q`` when ``g`` ignores the first argument."""
+    return p + q
+
+
+def lemma_3_3_bound(p: int, q: int) -> int:
+    """Index bound ``pq + max(p, q)`` for mutually dependent ``f, g``."""
+    return p * q + max(p, q)
+
+
+def general_datalog_bound(p: int, n: int) -> int:
+    """Theorem 5.12(1): ``Σ_{i=1..n} (p+2)^i`` for arbitrary programs."""
+    return sum((p + 2) ** i for i in range(1, n + 1))
+
+
+def linear_datalog_bound(p: int, n: int) -> int:
+    """Theorem 5.12(1): ``Σ_{i=1..n} (p+1)^i`` for linear programs."""
+    return sum((p + 1) ** i for i in range(1, n + 1))
+
+
+def zero_stable_bound(n: int) -> int:
+    """Theorem 5.12(2): ``n`` steps suffice over a 0-stable semiring."""
+    return n
+
+
+def monotone_self_maps(poset: Poset) -> List[Callable[[object], object]]:
+    """Enumerate all monotone self-maps of a finite poset.
+
+    Exponential in the carrier size; intended for carriers of ≤ ~6
+    elements as used by the tightness-search experiment (E11).
+    """
+    if poset.elements is None:
+        raise ValueError("need a finite carrier")
+    elems = poset.elements
+    index = {id(e): i for i, e in enumerate(elems)}
+    maps: List[Callable[[object], object]] = []
+    for images in itertools.product(range(len(elems)), repeat=len(elems)):
+        ok = True
+        for i, a in enumerate(elems):
+            for j, b in enumerate(elems):
+                if poset.leq(a, b) and not poset.leq(
+                    elems[images[i]], elems[images[j]]
+                ):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            lookup = {i: images[i] for i in range(len(elems))}
+            maps.append(
+                (lambda lk: (lambda x: elems[lk[elems.index(x)]]))(lookup)
+            )
+    del index
+    return maps
+
+
+def max_unary_index(poset: Poset, budget: int = 200) -> int:
+    """Max stability index over all monotone self-maps of a finite poset."""
+    worst = 0
+    for fn in monotone_self_maps(poset):
+        idx = function_stability_index(fn, poset.bottom, poset.eq, budget=budget)
+        if idx is None:
+            raise RuntimeError("monotone map on finite poset must stabilize")
+        worst = max(worst, idx)
+    return worst
+
+
+def pair_tightness_search(
+    poset1: Poset, poset2: Poset, budget: int = 500
+) -> Tuple[int, int, int]:
+    """Search two-poset clones for the largest product stability index.
+
+    Returns ``(p, q, best)`` where ``p``/``q`` are the max unary indices
+    on each factor and ``best`` is the largest index observed for any
+    monotone ``h : L₁×L₂ → L₁×L₂`` built from monotone components.
+    Lemma 3.3 guarantees ``best ≤ pq + max(p, q)``; the search shows how
+    close small posets get.  Exhaustive over all monotone component
+    functions of the product poset, so keep carriers tiny.
+    """
+    product = ProductPoset([poset1, poset2])
+    if product.elements is None:
+        raise ValueError("need finite carriers")
+    p = max_unary_index(poset1, budget)
+    q = max_unary_index(poset2, budget)
+
+    elems1 = poset1.elements or []
+    elems2 = poset2.elements or []
+
+    def monotone_component_maps(target: Poset) -> List[dict]:
+        """All monotone maps product → target, as dicts keyed by element."""
+        assert product.elements is not None
+        assert target.elements is not None
+        prod_elems = product.elements
+        out: List[dict] = []
+        for images in itertools.product(
+            range(len(target.elements)), repeat=len(prod_elems)
+        ):
+            ok = True
+            for i, a in enumerate(prod_elems):
+                for j, b in enumerate(prod_elems):
+                    if product.leq(a, b) and not target.leq(
+                        target.elements[images[i]], target.elements[images[j]]
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok:
+                out.append(
+                    {a: target.elements[images[i]] for i, a in enumerate(prod_elems)}
+                )
+        return out
+
+    fs = monotone_component_maps(poset1)
+    gs = monotone_component_maps(poset2)
+    best = 0
+    for f_map in fs:
+        for g_map in gs:
+            def h(x: tuple, _f=f_map, _g=g_map) -> tuple:
+                return (_f[x], _g[x])
+
+            idx = function_stability_index(
+                h, product.bottom, product.eq, budget=budget
+            )
+            if idx is None:
+                raise RuntimeError("finite product iteration must stabilize")
+            best = max(best, idx)
+    del elems1, elems2
+    return (p, q, best)

@@ -1,0 +1,109 @@
+"""Kleene iteration and stability of monotone maps (Section 3).
+
+The naïve algorithm is Kleene iteration of a monotone function from
+``⊥``: ``⊥, f(⊥), f²(⊥), …`` (Eq. 17).  A function is **p-stable** when
+``f^(p+1)(⊥) = f^(p)(⊥)`` (Definition 3.1); the least fixpoint then
+exists and equals ``f^(p)(⊥)``.  This module provides the iteration
+driver with trace capture, divergence guards and a
+:class:`FixpointResult` record shared by the datalog° engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class DivergenceError(RuntimeError):
+    """Raised when Kleene iteration exhausts its step budget.
+
+    Over an unstable value space (e.g. ``N``) the naïve algorithm may
+    genuinely diverge (Section 4.2, cases (i)/(ii)); the budget turns
+    that into a diagnosable error carrying the partial trace.
+    """
+
+    def __init__(self, message: str, trace: Optional[List] = None):
+        super().__init__(message)
+        self.trace = trace or []
+
+
+@dataclass
+class FixpointResult(Generic[T]):
+    """Outcome of a fixpoint computation.
+
+    Attributes:
+        value: The least fixpoint reached.
+        steps: Number of applications of ``f`` performed, i.e. the
+            iteration count ``t`` at which ``f^(t)(⊥) = f^(t+1)(⊥)`` was
+            detected (the paper's "converges in t steps").
+        trace: Optional list of iterates ``[⊥, f(⊥), …, lfp]`` when
+            trace capture was requested.
+    """
+
+    value: T
+    steps: int
+    trace: List[T] = field(default_factory=list)
+
+
+def kleene_fixpoint(
+    fn: Callable[[T], T],
+    bottom: T,
+    eq: Callable[[T, T], bool],
+    max_steps: int = 100_000,
+    capture_trace: bool = False,
+) -> FixpointResult[T]:
+    """Iterate ``fn`` from ``bottom`` until two iterates agree.
+
+    Args:
+        fn: A monotone function (monotonicity is the caller's
+            obligation; the driver only relies on it for semantics).
+        bottom: The starting element ``⊥``.
+        eq: Equality of iterates.
+        max_steps: Divergence guard; :class:`DivergenceError` is raised
+            when exceeded.
+        capture_trace: When true, the full chain of iterates is stored
+            on the result (used to print the paper's trace tables).
+
+    Returns:
+        A :class:`FixpointResult` whose ``steps`` is the least ``t``
+        with ``f^(t)(⊥) = f^(t+1)(⊥)``.
+    """
+    current = bottom
+    trace: List[T] = [current] if capture_trace else []
+    for step in range(max_steps):
+        nxt = fn(current)
+        if capture_trace:
+            trace.append(nxt)
+        if eq(current, nxt):
+            return FixpointResult(value=current, steps=step, trace=trace)
+        current = nxt
+    raise DivergenceError(
+        f"no fixpoint within {max_steps} Kleene iterations", trace=trace
+    )
+
+
+def function_stability_index(
+    fn: Callable[[T], T],
+    bottom: T,
+    eq: Callable[[T, T], bool],
+    budget: int = 100_000,
+) -> Optional[int]:
+    """Return the stability index of ``fn`` or ``None`` if not observed.
+
+    The stability index (Definition 3.1) is the least ``p`` with
+    ``f^(p+1)(⊥) = f^(p)(⊥)``; it equals ``FixpointResult.steps``.
+    """
+    try:
+        return kleene_fixpoint(fn, bottom, eq, max_steps=budget).steps
+    except DivergenceError:
+        return None
+
+
+def iterate_n(fn: Callable[[T], T], bottom: T, n: int) -> T:
+    """Return ``f^(n)(⊥)`` without convergence checking."""
+    current = bottom
+    for _ in range(n):
+        current = fn(current)
+    return current

@@ -1,0 +1,193 @@
+"""Posets, chains and least fixpoints (Section 3).
+
+Provides a small poset toolkit independent of the semiring layer:
+
+* :class:`Poset` — a carrier with ``leq``/``eq`` and a bottom element;
+* :class:`FiniteChain` — the chain ``0 ⊏ 1 ⊏ … ⊏ n``; every monotone
+  self-map of a chain with ``n+1`` elements is ``n``-stable, which makes
+  chains the canonical building block for stability experiments;
+* :class:`ProductPoset` — component-wise products (used by Lemma 3.2,
+  Lemma 3.3 and Theorem 3.4);
+* :class:`MapPoset` — the pointwise order on finite-support dictionaries,
+  i.e. the poset of IDB instances ``Inst(τ, D, P)`` in which the naïve
+  algorithm's chain ``J⁽⁰⁾ ⊑ J⁽¹⁾ ⊑ …`` lives;
+* ascending-chain-condition probes (the ACC sufficient condition
+  discussed in Sections 3 and 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Tuple
+
+Element = Any
+
+
+class Poset:
+    """A partially ordered set with an explicit bottom element.
+
+    Args:
+        leq: The order predicate ``a ⊑ b``.
+        bottom: The minimum element.
+        eq: Equality predicate; defaults to ``==``.
+        elements: Optional finite carrier used by exhaustive checks.
+        name: Cosmetic name.
+    """
+
+    def __init__(
+        self,
+        leq: Callable[[Element, Element], bool],
+        bottom: Element,
+        eq: Optional[Callable[[Element, Element], bool]] = None,
+        elements: Optional[Sequence[Element]] = None,
+        name: str = "poset",
+    ):
+        self._leq = leq
+        self.bottom = bottom
+        self._eq = eq if eq is not None else (lambda a, b: a == b)
+        self.elements = list(elements) if elements is not None else None
+        self.name = name
+
+    def leq(self, a: Element, b: Element) -> bool:
+        """Return ``a ⊑ b``."""
+        return self._leq(a, b)
+
+    def eq(self, a: Element, b: Element) -> bool:
+        """Return whether ``a`` and ``b`` denote the same element."""
+        return self._eq(a, b)
+
+    def lt(self, a: Element, b: Element) -> bool:
+        """Return ``a ⊏ b``."""
+        return self.leq(a, b) and not self.eq(a, b)
+
+    def is_monotone(self, fn: Callable[[Element], Element]) -> bool:
+        """Exhaustively check monotonicity (finite carriers only)."""
+        if self.elements is None:
+            raise ValueError("monotonicity check requires a finite carrier")
+        return all(
+            self.leq(fn(a), fn(b))
+            for a in self.elements
+            for b in self.elements
+            if self.leq(a, b)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Poset {self.name!r}>"
+
+
+class FiniteChain(Poset):
+    """The chain ``{0, 1, …, n}`` under the numeric order."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("chain length must be ≥ 0")
+        super().__init__(
+            leq=lambda a, b: a <= b,
+            bottom=0,
+            elements=list(range(n + 1)),
+            name=f"chain[0..{n}]",
+        )
+        self.top = n
+
+    def monotone_self_maps(self) -> Iterable[Callable[[int], int]]:
+        """Yield every monotone self-map (for exhaustive experiments)."""
+        n = self.top
+        values = range(n + 1)
+        for images in itertools.product(values, repeat=n + 1):
+            if all(images[i] <= images[i + 1] for i in range(n)):
+                yield (lambda imgs: (lambda x: imgs[x]))(images)
+
+
+class ProductPoset(Poset):
+    """Component-wise product of posets (Section 3)."""
+
+    def __init__(self, factors: Sequence[Poset]):
+        self.factors = list(factors)
+        elements = None
+        if all(f.elements is not None for f in self.factors):
+            elements = [
+                tuple(combo)
+                for combo in itertools.product(
+                    *[f.elements for f in self.factors]  # type: ignore[misc]
+                )
+            ]
+        super().__init__(
+            leq=self._leq_tuple,
+            bottom=tuple(f.bottom for f in self.factors),
+            eq=self._eq_tuple,
+            elements=elements,
+            name=" × ".join(f.name for f in self.factors),
+        )
+
+    def _leq_tuple(self, a: Tuple, b: Tuple) -> bool:
+        return all(f.leq(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def _eq_tuple(self, a: Tuple, b: Tuple) -> bool:
+        return all(f.eq(x, y) for f, x, y in zip(self.factors, a, b))
+
+
+class MapPoset(Poset):
+    """Pointwise order on finite-support maps ``key → value``.
+
+    Missing keys are implicitly ``⊥`` of the value poset; this is the
+    instance poset ``Inst(τ, D, P)`` in which datalog°'s ICO iterates.
+    """
+
+    def __init__(self, value_poset: Poset):
+        self.value_poset = value_poset
+        super().__init__(
+            leq=self._leq_map,
+            bottom={},
+            eq=self._eq_map,
+            name=f"maps→{value_poset.name}",
+        )
+
+    def _value(self, m: Mapping, key: Any) -> Element:
+        return m.get(key, self.value_poset.bottom)
+
+    def _leq_map(self, a: Mapping, b: Mapping) -> bool:
+        keys = set(a) | set(b)
+        return all(
+            self.value_poset.leq(self._value(a, k), self._value(b, k)) for k in keys
+        )
+
+    def _eq_map(self, a: Mapping, b: Mapping) -> bool:
+        keys = set(a) | set(b)
+        return all(
+            self.value_poset.eq(self._value(a, k), self._value(b, k)) for k in keys
+        )
+
+
+@dataclass(frozen=True)
+class ChainProbe:
+    """Result of an ACC probe along one generated ascending chain."""
+
+    strictly_ascended: int
+    exhausted_budget: bool
+
+
+def ascending_chain_probe(
+    poset: Poset,
+    start: Element,
+    step: Callable[[Element], Element],
+    budget: int = 1000,
+) -> ChainProbe:
+    """Follow ``start ⊑ step(start) ⊑ …`` counting strict ascents.
+
+    Used to exhibit ACC violations, e.g. the infinite descending-cost
+    chain ``1 > 1/2 > 1/3 > …`` in ``Trop+`` (which is an *ascending*
+    chain in the POPS order) showing that 0-stability does not require
+    ACC (Section 5.1).
+    """
+    current = start
+    ascents = 0
+    for _ in range(budget):
+        nxt = step(current)
+        if not poset.leq(current, nxt):
+            raise ValueError("step function is not ascending at " + repr(current))
+        if poset.eq(current, nxt):
+            return ChainProbe(strictly_ascended=ascents, exhausted_budget=False)
+        ascents += 1
+        current = nxt
+    return ChainProbe(strictly_ascended=ascents, exhausted_budget=True)

@@ -1,0 +1,37 @@
+"""Negation: well-founded and Fitting three-valued semantics (§7)."""
+
+from .fitting import (
+    agrees_with_well_founded,
+    fitting_fixpoint,
+    fitting_operator,
+    win_move_datalogo,
+)
+from .stratified import (
+    StratificationError,
+    StratifiedResult,
+    solve_stratified,
+    validate_strata,
+)
+from .wellfounded import (
+    GroundNormalProgram,
+    NormalRule,
+    WellFoundedModel,
+    alternating_fixpoint,
+    win_move_program,
+)
+
+__all__ = [
+    "GroundNormalProgram",
+    "NormalRule",
+    "StratificationError",
+    "StratifiedResult",
+    "solve_stratified",
+    "validate_strata",
+    "WellFoundedModel",
+    "agrees_with_well_founded",
+    "alternating_fixpoint",
+    "fitting_fixpoint",
+    "fitting_operator",
+    "win_move_datalogo",
+    "win_move_program",
+]

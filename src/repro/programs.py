@@ -1,0 +1,242 @@
+"""Canonical datalog° programs from the paper, as reusable builders.
+
+Each function returns a :class:`~repro.core.rules.Program`; pair it with
+a :class:`~repro.core.instance.Database` over the intended value space:
+
+* :func:`transitive_closure` / :func:`quadratic_transitive_closure` —
+  Eq. (2) and Example 6.6 over ``B`` (or any POPS: over ``Trop+`` the
+  first is APSP, Eq. (3)).
+* :func:`apsp` — all-pairs shortest paths, Example 1.1.
+* :func:`sssp` — single-source reachability/shortest-path, Example 4.1
+  (the same program reads as reachability over ``B``, SSSP over
+  ``Trop+``, top-(p+1) paths over ``Trop+_p``, …).
+* :func:`bill_of_material` — Example 4.2 over ``R⊥``/``N``.
+* :func:`shortest_length_from_bool` — the keys-to-values rule of §4.5.
+* :func:`prefix_sum` — the case-statement example of §4.5.
+* :func:`shipping_dates` — the interpreted-key-function example of §4.5.
+* :func:`one_rule_geometric` — the program ``x :- 1 ⊕ c·x`` (Eq. 29)
+  whose convergence defines stability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Sequence
+
+from .core.ast import Compare, Constant, KeyFunc, TrueCond, var
+from .core.ast import BoolAtom
+from .core.rules import (
+    Indicator,
+    KeyAsValue,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+    ValueConst,
+    case_rule,
+)
+from .core.ast import terms
+from .semirings.base import Value
+
+
+def transitive_closure(edge: str = "E", closure: str = "T") -> Program:
+    """Linear transitive closure (Eq. 2 / APSP Eq. 3 over ``Trop+``)::
+
+        T(x, y) :- E(x, y) ⊕ ⨁_z T(x, z) ⊗ E(z, y)
+    """
+    rule = Rule(
+        closure,
+        terms(["X", "Y"]),
+        (
+            SumProduct((RelAtom(edge, terms(["X", "Y"])),)),
+            SumProduct(
+                (
+                    RelAtom(closure, terms(["X", "Z"])),
+                    RelAtom(edge, terms(["Z", "Y"])),
+                )
+            ),
+        ),
+    )
+    return Program(rules=[rule], edbs={edge: 2})
+
+
+def quadratic_transitive_closure(edge: str = "E", closure: str = "T") -> Program:
+    """Non-linear transitive closure (Example 6.6)::
+
+        T(x, y) :- E(x, y) ⊕ ⨁_z T(x, z) ⊗ T(z, y)
+    """
+    rule = Rule(
+        closure,
+        terms(["X", "Y"]),
+        (
+            SumProduct((RelAtom(edge, terms(["X", "Y"])),)),
+            SumProduct(
+                (
+                    RelAtom(closure, terms(["X", "Z"])),
+                    RelAtom(closure, terms(["Z", "Y"])),
+                )
+            ),
+        ),
+    )
+    return Program(rules=[rule], edbs={edge: 2})
+
+
+def apsp(edge: str = "E", dist: str = "T") -> Program:
+    """All-pairs shortest paths (Example 1.1): the same shape as
+    :func:`transitive_closure`, read over ``Trop+``."""
+    return transitive_closure(edge=edge, closure=dist)
+
+
+def sssp(
+    source: Hashable,
+    edge: str = "E",
+    label: str = "L",
+    source_value: Optional[Value] = None,
+    missing_value: Optional[Value] = None,
+) -> Program:
+    """Single-source program of Example 4.1::
+
+        L(x) :- [x = a] ⊕ ⨁_z L(z) ⊗ E(z, x)
+
+    Over ``B`` this is reachability from ``a``; over ``Trop+`` it is
+    single-source shortest paths; over ``Trop+_p`` the top-(p+1)
+    shortest paths.  ``source_value``/``missing_value`` override the
+    indicator's ``(one, zero)`` when the value space needs it (e.g.
+    ``{{0, ∞}} / {{∞, ∞}}`` over ``Trop+_1``).
+    """
+    indicator = Indicator(
+        Compare("==", var("X"), Constant(source)),
+        true_value=source_value,
+        false_value=missing_value,
+    )
+    rule = Rule(
+        label,
+        terms(["X"]),
+        (
+            SumProduct((indicator,)),
+            SumProduct(
+                (
+                    RelAtom(label, terms(["Z"])),
+                    RelAtom(edge, terms(["Z", "X"])),
+                )
+            ),
+        ),
+    )
+    return Program(rules=[rule], edbs={edge: 2})
+
+
+def bill_of_material(
+    part_of: str = "E", cost: str = "C", total: str = "T"
+) -> Program:
+    """Bill of material (Example 4.2)::
+
+        T(x) :- C(x) ⊕ ⨁_y { T(y) | E(x, y) }
+
+    ``E`` is a Boolean EDB (sub-part edges); ``C`` a POPS EDB (costs,
+    over ``R⊥`` or ``N``); the conditional keeps the rule
+    domain-independent over the non-semiring ``R⊥``.
+    """
+    rule = Rule(
+        total,
+        terms(["X"]),
+        (
+            SumProduct((RelAtom(cost, terms(["X"])),)),
+            SumProduct(
+                (RelAtom(total, terms(["Y"])),),
+                condition=BoolAtom(part_of, terms(["X", "Y"])),
+            ),
+        ),
+    )
+    return Program(rules=[rule], edbs={cost: 1}, bool_edbs={part_of: 2})
+
+
+def shortest_length_from_bool(
+    length: str = "Length", shortest: str = "ShortestLength"
+) -> Program:
+    """The keys-to-values rule of Section 4.5 over ``Trop+``::
+
+        ShortestLength(x, y) :- min_c ( [Length(x, y, c)]⁰∞ + c )
+
+    ``Length`` is a Boolean relation of path lengths; the key ``c``
+    becomes a tropical value via :class:`KeyAsValue`.
+    """
+    rule = Rule(
+        shortest,
+        terms(["X", "Y"]),
+        (
+            SumProduct(
+                (KeyAsValue(var("C"), convert="key_to_trop"),),
+                condition=BoolAtom(length, terms(["X", "Y", "C"])),
+            ),
+        ),
+    )
+    return Program(rules=[rule], bool_edbs={length: 3})
+
+
+def prefix_sum(vector: str = "V", prefix: str = "W", length: int = 100) -> Program:
+    """Prefix sums by a case statement (Section 4.5)::
+
+        W(i) :- case i = 0 : V(0) ;  0 < i < length : W(i−1) ⊕ V(i)
+
+    The second branch's ``⊕`` is expressed by two sum-products sharing
+    the same (mutually exclusive with the first branch) condition — the
+    paper's desugaring.  The auxiliary Boolean relation ``Idx`` holds
+    the valid indices so that the bound variable ``i`` is range
+    restricted.  Over ``(ℕ, +, ×)`` or ``(R+, +, ×)`` this computes the
+    classic prefix sums of the vector ``V``.
+    """
+    minus_one = KeyFunc("pred", lambda i: i - 1, (var("I"),))
+    first = SumProduct(
+        (RelAtom(vector, (Constant(0),)),),
+        condition=Compare("==", var("I"), Constant(0)),
+    )
+    rest_w = SumProduct(
+        (RelAtom(prefix, (minus_one,)),),
+        condition=Compare("<", var("I"), Constant(length))
+        & Compare(">", var("I"), Constant(0))
+        & BoolAtom("Idx", (var("I"),)),
+    )
+    rest_v = SumProduct(
+        (RelAtom(vector, (var("I"),)),),
+        condition=Compare("<", var("I"), Constant(length))
+        & Compare(">", var("I"), Constant(0))
+        & BoolAtom("Idx", (var("I"),)),
+    )
+    rule = Rule(prefix, (var("I"),), (first, rest_w, rest_v))
+    return Program(rules=[rule], edbs={vector: 1}, bool_edbs={"Idx": 1})
+
+
+def shipping_dates(order: str = "Order", shipping: str = "Shipping") -> Program:
+    """Interpreted key functions (Section 4.5)::
+
+        Shipping(cid, date + 1) :- Order(cid, date)
+    """
+    next_day = KeyFunc("succ", lambda d: d + 1, (var("Date"),))
+    rule = Rule(
+        shipping,
+        (var("Cid"), next_day),
+        (SumProduct((RelAtom(order, terms(["Cid", "Date"])),)),),
+    )
+    return Program(rules=[rule], edbs={order: 2})
+
+
+def one_rule_program(one_value: Value) -> Program:
+    """Build ``X(u) :- 1 ⊕ Cval(u) ⊗ X(u)`` with ``1`` made explicit.
+
+    Evaluated against a database with ``Cval = {("u",): c}``, the naïve
+    iterates are exactly ``c^{(q)} = 1 ⊕ c ⊕ … ⊕ c^q`` — the program
+    converges iff ``c`` is stable (Section 5, Eq. 29).
+    """
+    rule = Rule(
+        "X",
+        (Constant("u"),),
+        (
+            SumProduct((ValueConst(one_value),)),
+            SumProduct(
+                (
+                    RelAtom("Cval", (Constant("u"),)),
+                    RelAtom("X", (Constant("u"),)),
+                )
+            ),
+        ),
+    )
+    return Program(rules=[rule], edbs={"Cval": 1})

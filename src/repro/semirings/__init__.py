@@ -1,0 +1,145 @@
+"""Value spaces for datalog°: (pre-)semirings and POPS (Section 2).
+
+The public surface re-exports the abstract classes, every concrete
+structure of the paper, and the stability/matrix utilities of Section 5.
+"""
+
+from .base import (
+    POPS,
+    AlgebraError,
+    CompleteDistributiveDioid,
+    CoreSemiring,
+    Dioid,
+    FunctionRegistry,
+    NaturallyOrderedSemiring,
+    PreSemiring,
+    Value,
+)
+from .boolean import BOOL, BooleanSemiring
+from .classic import (
+    BOTTLENECK,
+    TROP_NAT,
+    VITERBI,
+    BottleneckSemiring,
+    SetDioid,
+    TropicalNaturals,
+    ViterbiSemiring,
+)
+from .free import FREE, FreeElement, FreeMonomial, FreeSemiring, monomial
+from .lifted import BOTTOM, TOP, CompletedPOPS, LiftedPOPS
+from .matrix import (
+    KleeneClosure,
+    cycle_matrix,
+    identity_matrix,
+    mat_add,
+    mat_eq,
+    mat_geometric,
+    mat_mul,
+    mat_vec,
+    matrix_stability_index,
+    zero_matrix,
+)
+from .numeric import (
+    INF,
+    NAT,
+    NAT_INF,
+    REAL,
+    REAL_PLUS,
+    NaturalsSemiring,
+    NaturalsWithInfinity,
+    NonNegativeReals,
+    RealsPreSemiring,
+)
+from .powerset import PowersetPOPS
+from .product import LEX_NN, LexicographicNatPairs, ProductPOPS
+from .stability import (
+    StabilityReport,
+    core_is_trivial,
+    element_stability_index,
+    is_p_stable_element,
+    is_zero_stable,
+    semiring_stability_index,
+)
+from .three import FOUR, THREE, FourPOPS, ThreePOPS, four_not, three_not
+from .tropical import (
+    TROP,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+    TropicalSemiring,
+)
+
+#: The lifted reals ``R⊥`` of Example 4.2 (bill of material).
+LIFTED_REAL = LiftedPOPS(REAL)
+#: The lifted naturals ``N⊥``.
+LIFTED_NAT = LiftedPOPS(NAT)
+
+__all__ = [
+    "AlgebraError",
+    "BOOL",
+    "BOTTLENECK",
+    "BOTTOM",
+    "BottleneckSemiring",
+    "BooleanSemiring",
+    "CompleteDistributiveDioid",
+    "CompletedPOPS",
+    "CoreSemiring",
+    "Dioid",
+    "FOUR",
+    "FREE",
+    "FourPOPS",
+    "FreeElement",
+    "FreeMonomial",
+    "FreeSemiring",
+    "monomial",
+    "FunctionRegistry",
+    "INF",
+    "KleeneClosure",
+    "LEX_NN",
+    "LIFTED_NAT",
+    "LIFTED_REAL",
+    "LexicographicNatPairs",
+    "LiftedPOPS",
+    "NAT",
+    "NAT_INF",
+    "NaturallyOrderedSemiring",
+    "NaturalsSemiring",
+    "NaturalsWithInfinity",
+    "NonNegativeReals",
+    "POPS",
+    "PowersetPOPS",
+    "PreSemiring",
+    "ProductPOPS",
+    "REAL",
+    "REAL_PLUS",
+    "RealsPreSemiring",
+    "SetDioid",
+    "StabilityReport",
+    "THREE",
+    "TOP",
+    "TROP",
+    "TROP_NAT",
+    "ThreePOPS",
+    "TropicalEtaSemiring",
+    "TropicalPSemiring",
+    "TropicalNaturals",
+    "TropicalSemiring",
+    "VITERBI",
+    "ViterbiSemiring",
+    "Value",
+    "core_is_trivial",
+    "cycle_matrix",
+    "element_stability_index",
+    "four_not",
+    "identity_matrix",
+    "is_p_stable_element",
+    "is_zero_stable",
+    "mat_add",
+    "mat_eq",
+    "mat_geometric",
+    "mat_mul",
+    "mat_vec",
+    "matrix_stability_index",
+    "semiring_stability_index",
+    "three_not",
+    "zero_matrix",
+]

@@ -1,0 +1,45 @@
+"""The Boolean semiring ``B`` (Example 2.2).
+
+``B = ({0,1}, ∨, ∧, 0, 1)`` with the natural order ``0 ⪯ 1``.  Standard
+relations are ``B``-relations; interpreting a datalog° program over ``B``
+recovers classical datalog.  ``B`` is a complete distributive dioid, so
+semi-naïve evaluation applies, with ``b ⊖ a = b ∧ ¬a`` (set difference at
+the relation level, cf. Eq. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import CompleteDistributiveDioid, Value
+
+
+class BooleanSemiring(CompleteDistributiveDioid):
+    """``B``: two-valued logic as a 0-stable complete distributive dioid."""
+
+    name = "B"
+    zero = False
+    one = True
+
+    def add(self, a: Value, b: Value) -> Value:
+        return bool(a) or bool(b)
+
+    def mul(self, a: Value, b: Value) -> Value:
+        return bool(a) and bool(b)
+
+    def minus(self, b: Value, a: Value) -> Value:
+        """``b ⊖ a = b ∧ ¬a``: the new fact only if not already known."""
+        return bool(b) and not bool(a)
+
+    def meet(self, a: Value, b: Value) -> Value:
+        return bool(a) and bool(b)
+
+    def is_valid(self, a: Value) -> bool:
+        return isinstance(a, bool)
+
+    def sample_values(self) -> Sequence[Value]:
+        return (False, True)
+
+
+#: Module-level singleton; the structure is stateless.
+BOOL = BooleanSemiring()

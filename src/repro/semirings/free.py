@@ -1,0 +1,101 @@
+"""The free commutative semiring ``ℕ[x₁, x₂, …]`` (formal power sums).
+
+Elements are finitely-supported maps from *monomials* (multisets of
+symbols) to positive integer multiplicities — i.e. polynomials with
+natural-number coefficients.  ``⊕`` merges coefficient maps, ``⊗``
+convolves monomials.  This is the universal object of Section 5.2's
+proofs: iterating a grounded program over the free semiring computes,
+for each Parikh image ``v``, the coefficient ``λ_v^{(q)}`` of Eq. (43) —
+the number of parse trees of depth ≤ q with that yield (Eq. 44).
+
+Experiment E14 uses it to recover the Catalan numbers of Example 5.5,
+and the grammar tests use it to cross-check parse-tree counts against
+direct enumeration (Lemma 5.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from .base import NaturallyOrderedSemiring, Value
+
+#: A monomial: sorted tuple of (symbol, exponent) with exponents > 0.
+FreeMonomial = Tuple[Tuple[str, int], ...]
+#: An element: sorted tuple of (monomial, coefficient) with coeffs > 0.
+FreeElement = Tuple[Tuple[FreeMonomial, int], ...]
+
+
+def monomial(symbols: Mapping[str, int] | Iterable[Tuple[str, int]]) -> FreeMonomial:
+    """Canonicalize a symbol→exponent map into a monomial."""
+    items = symbols.items() if isinstance(symbols, Mapping) else symbols
+    merged: Dict[str, int] = {}
+    for s, k in items:
+        if k < 0:
+            raise ValueError("negative exponent")
+        if k:
+            merged[s] = merged.get(s, 0) + k
+    return tuple(sorted(merged.items()))
+
+
+def _canonical(coeffs: Mapping[FreeMonomial, int]) -> FreeElement:
+    return tuple(sorted((m, c) for m, c in coeffs.items() if c))
+
+
+class FreeSemiring(NaturallyOrderedSemiring):
+    """``ℕ[symbols]``: the free commutative semiring on a symbol set.
+
+    Natural order: coefficient-wise ``≤`` (an element is below another
+    when every monomial's multiplicity is).  It is naturally ordered but
+    — like ``ℕ`` itself — not stable, which is exactly why iterating a
+    program over it enumerates ever-deeper parse trees instead of
+    converging.
+    """
+
+    name = "ℕ[·]"
+    zero: FreeElement = ()
+    one: FreeElement = (((), 1),)
+
+    def generator(self, symbol: str) -> FreeElement:
+        """Return the element ``symbol`` (a single degree-1 monomial)."""
+        return ((monomial({symbol: 1}), 1),)
+
+    def add(self, a: Value, b: Value) -> Value:
+        coeffs: Dict[FreeMonomial, int] = dict(a)
+        for m, c in b:
+            coeffs[m] = coeffs.get(m, 0) + c
+        return _canonical(coeffs)
+
+    def mul(self, a: Value, b: Value) -> Value:
+        coeffs: Dict[FreeMonomial, int] = {}
+        for ma, ca in a:
+            for mb, cb in b:
+                m = monomial(list(ma) + list(mb))
+                coeffs[m] = coeffs.get(m, 0) + ca * cb
+        return _canonical(coeffs)
+
+    def leq(self, a: Value, b: Value) -> bool:
+        bmap = dict(b)
+        return all(bmap.get(m, 0) >= c for m, c in a)
+
+    def coefficient(self, element: Value, mono: FreeMonomial) -> int:
+        """Return the multiplicity of one monomial in an element."""
+        return dict(element).get(mono, 0)
+
+    def is_valid(self, a: Value) -> bool:
+        return isinstance(a, tuple) and all(
+            isinstance(c, int) and c > 0 and isinstance(m, tuple) for m, c in a
+        )
+
+    def sample_values(self) -> Sequence[Value]:
+        x = self.generator("x")
+        y = self.generator("y")
+        return (
+            self.zero,
+            self.one,
+            x,
+            self.add(x, y),
+            self.mul(x, self.add(self.one, y)),
+        )
+
+
+FREE = FreeSemiring()

@@ -1,0 +1,144 @@
+"""Lifted and completed POPS (Section 2.5.1).
+
+Given a pre-semiring ``S``:
+
+* the **lifted POPS** ``S⊥`` adds a fresh bottom ``⊥`` ("undefined") with
+  the flat order ``x ⊑ y ⟺ x = ⊥ or x = y`` and strict operations
+  ``x ⊕ ⊥ = x ⊗ ⊥ = ⊥``.  ``S⊥`` is never a semiring (``0 ⊗ ⊥ ≠ 0``);
+  its core semiring is the trivial ``{⊥}``.  ``R⊥`` (the lifted reals)
+  is the value space of the bill-of-material example (Example 4.2), and
+  ``N⊥`` its integer sibling.
+* the **completed POPS** ``S⊤⊥`` additionally adds a top ``⊤``
+  ("contradiction") with ``x ⊕ ⊤ = x ⊗ ⊤ = ⊤`` for ``x ≠ ⊥`` while ``⊥``
+  still absorbs everything.
+
+Both are 0-stable POPS: their core semiring is trivial, so every
+datalog° program over them converges in at most ``N`` steps
+(Corollary 5.19).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import POPS, PreSemiring, Value
+
+
+class _Sentinel:
+    """A named singleton sentinel with stable identity semantics."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __repr__(self) -> str:
+        return self.label
+
+    def __deepcopy__(self, memo: dict) -> "_Sentinel":
+        return self
+
+    def __copy__(self) -> "_Sentinel":
+        return self
+
+
+#: The global "undefined" element shared by every lifted POPS.
+BOTTOM = _Sentinel("⊥")
+#: The global "contradiction" element shared by every completed POPS.
+TOP = _Sentinel("⊤")
+
+
+class LiftedPOPS(POPS):
+    """``S⊥``: a pre-semiring lifted with a flat bottom element.
+
+    ``⊥`` propagates through both operations (strict ``⊕`` and ``⊗``),
+    modelling three-valued "unknown" arithmetic: any expression touching
+    an unknown input is unknown.
+    """
+
+    plus_is_strict = True
+    mul_is_strict = True
+    is_semiring = False
+    is_naturally_ordered = False
+
+    def __init__(self, base: PreSemiring):
+        self.base = base
+        self.name = f"{base.name}⊥"
+        self.zero = base.zero
+        self.one = base.one
+        self.bottom = BOTTOM
+
+    def add(self, a: Value, b: Value) -> Value:
+        if a is BOTTOM or b is BOTTOM:
+            return BOTTOM
+        return self.base.add(a, b)
+
+    def mul(self, a: Value, b: Value) -> Value:
+        if a is BOTTOM or b is BOTTOM:
+            return BOTTOM
+        return self.base.mul(a, b)
+
+    def eq(self, a: Value, b: Value) -> bool:
+        if a is BOTTOM or b is BOTTOM:
+            return a is b
+        return self.base.eq(a, b)
+
+    def leq(self, a: Value, b: Value) -> bool:
+        """Flat order: ``x ⊑ y`` iff ``x = ⊥`` or ``x = y``."""
+        return a is BOTTOM or self.eq(a, b)
+
+    def is_valid(self, a: Value) -> bool:
+        return a is BOTTOM or self.base.is_valid(a)
+
+    def sample_values(self) -> Sequence[Value]:
+        return (BOTTOM,) + tuple(self.base.sample_values())
+
+
+class CompletedPOPS(POPS):
+    """``S⊤⊥``: lift with both ``⊥`` (undefined) and ``⊤`` (contradiction).
+
+    Ordering: ``⊥ ⊑ x ⊑ ⊤`` for every ``x``, elements of ``S`` mutually
+    incomparable.  ``⊥`` beats ``⊤``: ``⊥ ⊕ ⊤ = ⊥ ⊗ ⊤ = ⊥`` (the paper
+    extends the operations to ``⊤`` only against ``x ≠ ⊥``).
+    """
+
+    plus_is_strict = True
+    mul_is_strict = True
+    is_semiring = False
+    is_naturally_ordered = False
+
+    def __init__(self, base: PreSemiring):
+        self.base = base
+        self.name = f"{base.name}⊤⊥"
+        self.zero = base.zero
+        self.one = base.one
+        self.bottom = BOTTOM
+        self.top = TOP
+
+    def add(self, a: Value, b: Value) -> Value:
+        if a is BOTTOM or b is BOTTOM:
+            return BOTTOM
+        if a is TOP or b is TOP:
+            return TOP
+        return self.base.add(a, b)
+
+    def mul(self, a: Value, b: Value) -> Value:
+        if a is BOTTOM or b is BOTTOM:
+            return BOTTOM
+        if a is TOP or b is TOP:
+            return TOP
+        return self.base.mul(a, b)
+
+    def eq(self, a: Value, b: Value) -> bool:
+        if a is BOTTOM or b is BOTTOM or a is TOP or b is TOP:
+            return a is b
+        return self.base.eq(a, b)
+
+    def leq(self, a: Value, b: Value) -> bool:
+        return a is BOTTOM or b is TOP or self.eq(a, b)
+
+    def is_valid(self, a: Value) -> bool:
+        return a is BOTTOM or a is TOP or self.base.is_valid(a)
+
+    def sample_values(self) -> Sequence[Value]:
+        return (BOTTOM, TOP) + tuple(self.base.sample_values())

@@ -1,0 +1,176 @@
+"""Matrix algebra over (pre-)semirings (Sections 5.5 and 8).
+
+A linear datalog° program grounds to ``X = A·X ⊕ B`` over the value
+space; the naïve algorithm computes ``A^(q)·B`` where
+``A^(q) = I ⊕ A ⊕ … ⊕ A^q``, and it converges in ``q+1`` steps iff the
+matrix ``A`` is ``q``-stable (``A^(q) = A^(q+1)``).  This module
+implements:
+
+* dense matrix/vector arithmetic over an arbitrary structure,
+* the matrix geometric series and a bounded matrix-stability probe
+  (used to reproduce Lemma 5.20: over ``Trop+_p`` every ``N × N`` matrix
+  is ``((p+1)N − 1)``-stable and the directed ``N``-cycle attains it),
+* the Floyd–Warshall–Kleene closure ``A* = I ⊕ A ⊕ A² ⊕ …`` for
+  ``p``-stable semirings, where the scalar star is ``a* = a^(p)``
+  (the Gaussian-elimination approach of Section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from .base import AlgebraError, PreSemiring, Value
+from .stability import StabilityReport
+
+Matrix = List[List[Value]]
+Vector = List[Value]
+
+
+def identity_matrix(structure: PreSemiring, n: int) -> Matrix:
+    """Return the ``n × n`` identity (1 on the diagonal, 0 elsewhere)."""
+    return [
+        [structure.one if i == j else structure.zero for j in range(n)]
+        for i in range(n)
+    ]
+
+
+def zero_matrix(structure: PreSemiring, n: int, m: Optional[int] = None) -> Matrix:
+    """Return an ``n × m`` matrix of zeros (square by default)."""
+    m = n if m is None else m
+    return [[structure.zero for _ in range(m)] for _ in range(n)]
+
+
+def mat_add(structure: PreSemiring, a: Matrix, b: Matrix) -> Matrix:
+    """Entry-wise ``⊕`` of two equal-shape matrices."""
+    return [
+        [structure.add(x, y) for x, y in zip(row_a, row_b)]
+        for row_a, row_b in zip(a, b)
+    ]
+
+
+def mat_mul(structure: PreSemiring, a: Matrix, b: Matrix) -> Matrix:
+    """Matrix product with ``(⊕, ⊗)`` in place of ``(+, ×)``."""
+    n, k = len(a), len(b)
+    m = len(b[0]) if b else 0
+    out = zero_matrix(structure, n, m)
+    for i in range(n):
+        row = a[i]
+        for t in range(k):
+            a_it = row[t]
+            b_row = b[t]
+            for j in range(m):
+                out[i][j] = structure.add(out[i][j], structure.mul(a_it, b_row[j]))
+    return out
+
+
+def mat_vec(structure: PreSemiring, a: Matrix, v: Vector) -> Vector:
+    """Matrix–vector product over the structure."""
+    return [
+        structure.add_many(structure.mul(a_ij, x) for a_ij, x in zip(row, v))
+        for row in a
+    ]
+
+
+def mat_eq(structure: PreSemiring, a: Matrix, b: Matrix) -> bool:
+    """Entry-wise equality of two equal-shape matrices."""
+    return all(
+        structure.eq(x, y)
+        for row_a, row_b in zip(a, b)
+        for x, y in zip(row_a, row_b)
+    )
+
+
+def mat_geometric(structure: PreSemiring, a: Matrix, q: int) -> Matrix:
+    """Return ``A^(q) = I ⊕ A ⊕ A² ⊕ … ⊕ A^q`` via Horner's recurrence."""
+    n = len(a)
+    acc = identity_matrix(structure, n)
+    for _ in range(q):
+        acc = mat_add(structure, identity_matrix(structure, n), mat_mul(structure, a, acc))
+    return acc
+
+
+def matrix_stability_index(
+    structure: PreSemiring, a: Matrix, budget: int = 4096
+) -> StabilityReport:
+    """Probe the stability index of a square matrix ``A``.
+
+    Iterates ``S_{q+1} = I ⊕ A·S_q`` until a repeat; by the matrix
+    analogue of Eq. (31) the first repeat is permanent.  Lemma 5.20
+    bounds the index by ``(p+1)·N − 1`` over ``Trop+_p``.
+    """
+    n = len(a)
+    ident = identity_matrix(structure, n)
+    prev = ident
+    for q in range(budget):
+        nxt = mat_add(structure, ident, mat_mul(structure, a, prev))
+        if mat_eq(structure, prev, nxt):
+            return StabilityReport(stable=True, index=q, budget=budget)
+        prev = nxt
+    return StabilityReport(stable=False, index=None, budget=budget)
+
+
+@dataclass
+class KleeneClosure:
+    """Floyd–Warshall–Kleene closure solver for ``X = A·X ⊕ B``.
+
+    For a ``p``-stable (or *closed*) semiring the scalar star is
+    ``a* = a^(p)`` and the Gauss–Jordan elimination scheme computes
+    ``A* = ⨁_k A^k`` in ``O(N³)`` semiring operations (Section 5.5,
+    after Lehmann and Rote).  ``solve_affine`` then returns
+    ``lfp(X ↦ A·X ⊕ B) = A*·B``.
+
+    Attributes:
+        structure: The underlying (pre-)semiring.
+        star: Scalar closure ``a ↦ a*``; defaults to ``a^(p)`` when
+            ``stability_p`` is given.
+    """
+
+    structure: PreSemiring
+    star: Optional[Callable[[Value], Value]] = None
+    stability_p: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.star is None:
+            if self.stability_p is None:
+                raise AlgebraError(
+                    "KleeneClosure needs either a scalar star or a stability index p"
+                )
+            p = self.stability_p
+            self.star = lambda a: self.structure.geometric(a, p)
+
+    def closure(self, a: Matrix) -> Matrix:
+        """Return ``A*`` by Floyd–Warshall–Kleene elimination."""
+        s = self.structure
+        assert self.star is not None
+        n = len(a)
+        cur = [row[:] for row in a]
+        for k in range(n):
+            pivot = self.star(cur[k][k])
+            nxt = [row[:] for row in cur]
+            for i in range(n):
+                for j in range(n):
+                    via_k = s.mul(cur[i][k], s.mul(pivot, cur[k][j]))
+                    nxt[i][j] = s.add(cur[i][j], via_k)
+            cur = nxt
+        # A* = I ⊕ (closure of proper paths)
+        ident = identity_matrix(s, n)
+        return mat_add(s, ident, cur)
+
+    def solve_affine(self, a: Matrix, b: Vector) -> Vector:
+        """Return the least solution of ``X = A·X ⊕ B`` as ``A*·B``."""
+        closed = self.closure(a)
+        return mat_vec(self.structure, closed, b)
+
+
+def cycle_matrix(structure: PreSemiring, n: int, edge: Value) -> Matrix:
+    """Adjacency matrix of the directed ``n``-cycle ``1→2→…→n→1``.
+
+    This is the lower-bound witness of Lemma 5.20: over ``Trop+_p`` its
+    stability index is exactly ``(p+1)·n − 1``.
+    """
+    mat = zero_matrix(structure, n)
+    for i in range(n - 1):
+        mat[i][i + 1] = edge
+    mat[n - 1][0] = edge
+    return mat

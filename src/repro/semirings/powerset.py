@@ -1,0 +1,79 @@
+"""The powerset POPS ``P(S)`` (Section 2.5.1, "incomplete values").
+
+``P(S) = (2^S, ⊕, ⊗, {0}, {1}, ⊆)``: elements are *sets* of base values,
+operations are lifted pointwise (``A ⊕ B = {a ⊕ b | a ∈ A, b ∈ B}``), and
+the order is set inclusion with ``⊥ = ∅`` ("no information"), singletons
+as fully known values and larger sets as partial knowledge.  Note that
+``⊕`` is strict at ``∅``, so — in the terminology of Proposition 2.4 —
+the core semiring here is the trivial ``{∅}`` (the paper's remark
+"``P(S) ⊕ {0} = P(S)``" reads the saturation at ``{0}`` rather than at
+``⊥ = ∅``; with ``⊥`` it collapses, as for any strict-plus POPS).
+
+The implementation restricts to finite sets (frozensets), which is all
+the engine and the tests need; the empty set is the bottom element and
+both operations are strict at it.
+
+Caveat: pointwise lifting is in general only *sub*-distributive —
+``A ⊗ (B ⊕ C) ⊆ (A ⊗ B) ⊕ (A ⊗ C)`` with the inclusion strict as soon
+as distinct elements of ``A`` can pair with ``B`` and ``C`` (e.g. over
+``N`` with ``A = {0,1}``, or over ``Trop+`` with ``A = {0,1,∞}``).
+This is the usual laxness of the abstract-interpretation reading: the
+right-hand side is the *less precise* over-approximation.  ``P(B)``
+satisfies the laws exactly (checked exhaustively by the tests); for
+other bases ``P(S)`` should be treated as a lax POPS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .base import POPS, PreSemiring, Value
+
+
+class PowersetPOPS(POPS):
+    """Finite-subset fragment of the powerset POPS ``P(S)``."""
+
+    mul_is_strict = True
+    plus_is_strict = True
+    # {0} absorbs every *nonempty* set when the base is a semiring, but
+    # ∅ ⊗ {0} = ∅ ≠ {0}: with ⊥ = ∅ in the domain the absorption law
+    # fails at ⊥, so P(S) is a strict POPS whose core semiring is the
+    # trivial {∅} — like every POPS with strict ⊕.
+    is_semiring = False
+    is_naturally_ordered = False
+
+    def __init__(self, base: PreSemiring):
+        self.base = base
+        self.name = f"P({base.name})"
+        self.zero = frozenset({base.zero})
+        self.one = frozenset({base.one})
+        self.bottom = frozenset()
+
+    def add(self, a: Value, b: Value) -> Value:
+        return frozenset(self.base.add(x, y) for x in a for y in b)
+
+    def mul(self, a: Value, b: Value) -> Value:
+        return frozenset(self.base.mul(x, y) for x in a for y in b)
+
+    def leq(self, a: Value, b: Value) -> bool:
+        return frozenset(a) <= frozenset(b)
+
+    def is_valid(self, a: Value) -> bool:
+        return isinstance(a, frozenset) and all(self.base.is_valid(x) for x in a)
+
+    def lift(self, value: Value) -> Value:
+        """Embed a fully-known base value as a singleton set."""
+        return frozenset({value})
+
+    def from_values(self, values: Iterable[Value]) -> Value:
+        """Build a partial-knowledge element from candidate values."""
+        return frozenset(values)
+
+    def sample_values(self) -> Sequence[Value]:
+        base_vals = list(self.base.sample_values())[:3]
+        singles = [self.lift(v) for v in base_vals]
+        return (
+            self.bottom,
+            *singles,
+            frozenset(base_vals),
+        )

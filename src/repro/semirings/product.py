@@ -1,0 +1,114 @@
+"""Product POPS and the divergence witnesses of Section 4.2.
+
+* :class:`ProductPOPS` — the Cartesian product of POPS (Section 2.5.4):
+  operations and order component-wise, bottom ``(⊥₁, ⊥₂)``.  Example
+  2.11 (a naturally ordered semiring × a strict-plus POPS) yields a
+  non-trivial core semiring, which the tests verify.
+* :class:`LexicographicNatPairs` — ``N × N`` with *pairwise* arithmetic
+  but the **lexicographic** order, the paper's witness for divergence
+  case (i) (Section 4.2): the function ``F(x, y) = (x, y + 1)`` has
+  ``⋁_t F^(t)(0,0) = (1,0)``, which is *not* a fixpoint — indeed ``F``
+  has no fixpoint at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from .base import POPS, Value
+
+
+class ProductPOPS(POPS):
+    """Cartesian product of two POPS, component-wise (Section 2.5.4)."""
+
+    def __init__(self, left: POPS, right: POPS):
+        self.left = left
+        self.right = right
+        self.name = f"{left.name}×{right.name}"
+        self.zero = (left.zero, right.zero)
+        self.one = (left.one, right.one)
+        self.bottom = (left.bottom, right.bottom)
+        self.is_semiring = left.is_semiring and right.is_semiring
+        self.is_naturally_ordered = (
+            left.is_naturally_ordered and right.is_naturally_ordered
+        )
+        self.mul_is_strict = left.mul_is_strict and right.mul_is_strict
+        self.plus_is_strict = left.plus_is_strict and right.plus_is_strict
+
+    def add(self, a: Value, b: Value) -> Value:
+        return (self.left.add(a[0], b[0]), self.right.add(a[1], b[1]))
+
+    def mul(self, a: Value, b: Value) -> Value:
+        return (self.left.mul(a[0], b[0]), self.right.mul(a[1], b[1]))
+
+    def eq(self, a: Value, b: Value) -> bool:
+        return self.left.eq(a[0], b[0]) and self.right.eq(a[1], b[1])
+
+    def leq(self, a: Value, b: Value) -> bool:
+        return self.left.leq(a[0], b[0]) and self.right.leq(a[1], b[1])
+
+    def is_valid(self, a: Value) -> bool:
+        return (
+            isinstance(a, tuple)
+            and len(a) == 2
+            and self.left.is_valid(a[0])
+            and self.right.is_valid(a[1])
+        )
+
+    def sample_values(self) -> Sequence[Value]:
+        lefts = list(self.left.sample_values())[:3]
+        rights = list(self.right.sample_values())[:3]
+        return tuple(itertools.product(lefts, rights))
+
+
+class LexicographicNatPairs(POPS):
+    """``N × N`` with pairwise ``(+, ×)`` and the lexicographic order.
+
+    The order ``(x, y) ⊑ (u, v) ⟺ x < u or (x = u and y ≤ v)`` is total
+    with minimum ``(0, 0)`` and makes ``⊕`` monotone (``⊗`` is monotone
+    against multipliers with non-zero first component; the divergence
+    witness below is purely additive) — yet the ω-limit of an increasing
+    chain need not be a fixpoint: the chain ``(0,0) ⊑ (0,1) ⊑ (0,2) ⊑ …``
+    produced by ``F(x, y) = (x, y + 1)`` has least upper bound ``(1, 0)``,
+    and ``F(1, 0) = (1, 1) ≠ (1, 0)`` (divergence case (i), Section 4.2);
+    in fact ``F`` has no fixpoint at all.
+    """
+
+    name = "N×N-lex"
+    zero = (0, 0)
+    one = (1, 1)
+    bottom = (0, 0)
+    is_semiring = True
+    is_naturally_ordered = False
+
+    def add(self, a: Value, b: Value) -> Value:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def mul(self, a: Value, b: Value) -> Value:
+        return (a[0] * b[0], a[1] * b[1])
+
+    def leq(self, a: Value, b: Value) -> bool:
+        return a[0] < b[0] or (a[0] == b[0] and a[1] <= b[1])
+
+    def omega_sup(self, chain_head: Value) -> Value:
+        """Least upper bound of ``{(x, y+t) | t ∈ ℕ}`` — i.e. ``(x+1, 0)``.
+
+        Helper for the divergence-taxonomy benchmark: the supremum of
+        the second-coordinate ω-chain jumps to the next first
+        coordinate.
+        """
+        return (chain_head[0] + 1, 0)
+
+    def is_valid(self, a: Value) -> bool:
+        return (
+            isinstance(a, tuple)
+            and len(a) == 2
+            and all(isinstance(x, int) and x >= 0 for x in a)
+        )
+
+    def sample_values(self) -> Sequence[Value]:
+        return ((0, 0), (0, 5), (1, 0), (1, 2), (3, 1))
+
+
+LEX_NN = LexicographicNatPairs()

@@ -1,0 +1,166 @@
+"""Exhaustive algebraic-law checkers over finite witness sets.
+
+Used by the test-suite (and available to library users) to validate that
+a structure actually satisfies the laws its flags claim: commutative
+monoid laws, distributivity, absorption (Definition 2.1), partial-order
+axioms and operator monotonicity (Definition 2.3), idempotency of
+dioids, and the ``⊖`` laws (59)/(60) of Lemma 6.3.
+
+All checks are *bounded*: they quantify over a finite sample of
+elements.  They are therefore refutation-sound (a reported violation is
+a real counterexample, returned as a witness tuple) but only evidence —
+not proof — of validity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import POPS, CompleteDistributiveDioid, PreSemiring, Value
+
+Witness = Optional[tuple]
+
+
+def check_commutative_monoid(
+    structure: PreSemiring,
+    values: Sequence[Value],
+    op: str,
+    unit: Value,
+) -> Witness:
+    """Check associativity, commutativity and the unit law for one op.
+
+    Returns ``None`` on success or a counterexample tuple
+    ``(law_name, *elements)``.
+    """
+    apply = structure.add if op == "add" else structure.mul
+    for a in values:
+        if not structure.eq(apply(a, unit), a):
+            return ("unit", a)
+        for b in values:
+            if not structure.eq(apply(a, b), apply(b, a)):
+                return ("commutativity", a, b)
+            for c in values:
+                if not structure.eq(apply(apply(a, b), c), apply(a, apply(b, c))):
+                    return ("associativity", a, b, c)
+    return None
+
+
+def check_distributivity(structure: PreSemiring, values: Sequence[Value]) -> Witness:
+    """Check ``a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)`` over the witnesses."""
+    for a in values:
+        for b in values:
+            for c in values:
+                lhs = structure.mul(a, structure.add(b, c))
+                rhs = structure.add(structure.mul(a, b), structure.mul(a, c))
+                if not structure.eq(lhs, rhs):
+                    return ("distributivity", a, b, c)
+    return None
+
+
+def check_absorption(structure: PreSemiring, values: Sequence[Value]) -> Witness:
+    """Check ``a ⊗ 0 = 0`` (the semiring law, Definition 2.1)."""
+    for a in values:
+        if not structure.eq(structure.mul(a, structure.zero), structure.zero):
+            return ("absorption", a)
+    return None
+
+
+def check_pre_semiring(structure: PreSemiring, values: Sequence[Value]) -> Witness:
+    """Check every pre-semiring law; absorption too if flagged."""
+    for op, unit in (("add", structure.zero), ("mul", structure.one)):
+        bad = check_commutative_monoid(structure, values, op, unit)
+        if bad is not None:
+            return (op,) + bad
+    bad = check_distributivity(structure, values)
+    if bad is not None:
+        return bad
+    if structure.is_semiring:
+        bad = check_absorption(structure, values)
+        if bad is not None:
+            return bad
+    return None
+
+
+def check_partial_order(pops: POPS, values: Sequence[Value]) -> Witness:
+    """Check reflexivity, antisymmetry, transitivity and minimality of ⊥."""
+    for a in values:
+        if not pops.leq(a, a):
+            return ("reflexivity", a)
+        if not pops.leq(pops.bottom, a):
+            return ("bottom-minimality", a)
+        for b in values:
+            if pops.leq(a, b) and pops.leq(b, a) and not pops.eq(a, b):
+                return ("antisymmetry", a, b)
+            for c in values:
+                if pops.leq(a, b) and pops.leq(b, c) and not pops.leq(a, c):
+                    return ("transitivity", a, b, c)
+    return None
+
+
+def check_monotonicity(pops: POPS, values: Sequence[Value]) -> Witness:
+    """Check that ``⊕`` and ``⊗`` are monotone w.r.t. ``⊑`` (Def. 2.3)."""
+    for a in values:
+        for a2 in values:
+            if not pops.leq(a, a2):
+                continue
+            for b in values:
+                if not pops.leq(pops.add(a, b), pops.add(a2, b)):
+                    return ("add-monotone", a, a2, b)
+                if not pops.leq(pops.mul(a, b), pops.mul(a2, b)):
+                    return ("mul-monotone", a, a2, b)
+    return None
+
+
+def check_strictness(pops: POPS, values: Sequence[Value]) -> Witness:
+    """Check the declared strictness flags for ``⊗`` (and ``⊕``)."""
+    bot = pops.bottom
+    for a in values:
+        if pops.mul_is_strict and not pops.eq(pops.mul(a, bot), bot):
+            return ("mul-strict", a)
+        if pops.plus_is_strict and not pops.eq(pops.add(a, bot), bot):
+            return ("plus-strict", a)
+    return None
+
+
+def check_pops(pops: POPS, values: Optional[Sequence[Value]] = None) -> Witness:
+    """Run the full POPS validation battery over a witness set."""
+    vals = list(values) if values is not None else list(pops.sample_values())
+    bad = check_pre_semiring(pops, vals)
+    if bad is not None:
+        return bad
+    bad = check_partial_order(pops, vals)
+    if bad is not None:
+        return bad
+    bad = check_monotonicity(pops, vals)
+    if bad is not None:
+        return bad
+    return check_strictness(pops, vals)
+
+
+def check_idempotent_add(structure: PreSemiring, values: Sequence[Value]) -> Witness:
+    """Check ``a ⊕ a = a`` (the dioid law, Section 6.1)."""
+    for a in values:
+        if not structure.eq(structure.add(a, a), a):
+            return ("idempotency", a)
+    return None
+
+
+def check_minus_laws(
+    dioid: CompleteDistributiveDioid, values: Sequence[Value]
+) -> Witness:
+    """Check the two ⊖ laws of Lemma 6.3 over the witnesses.
+
+    * Eq. (59): ``a ⊑ b ⟹ a ⊕ (b ⊖ a) = b``
+    * Eq. (60): ``(a ⊕ b) ⊖ (a ⊕ c) = b ⊖ (a ⊕ c)``
+    """
+    for a in values:
+        for b in values:
+            if dioid.leq(a, b):
+                if not dioid.eq(dioid.add(a, dioid.minus(b, a)), b):
+                    return ("eq59", a, b)
+            for c in values:
+                lhs = dioid.minus(dioid.add(a, b), dioid.add(a, c))
+                rhs = dioid.minus(b, dioid.add(a, c))
+                if not dioid.eq(lhs, rhs):
+                    return ("eq60", a, b, c)
+    return None

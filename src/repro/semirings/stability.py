@@ -1,0 +1,130 @@
+"""Stability of semiring elements and semirings (Section 5.1).
+
+An element ``c`` of a semiring is **p-stable** when the geometric series
+``c^(p) = 1 ⊕ c ⊕ … ⊕ c^p`` satisfies ``c^(p) = c^(p+1)`` (Definition
+5.1); equivalently ``c^(p) = c^(q)`` for all ``q > p`` (Eq. 31).  A
+semiring is *stable* when every element is stable and *uniformly
+p-stable* when a single ``p`` works for all elements.
+
+Stability of the core semiring ``P⊕⊥`` is exactly what characterizes
+convergence of datalog° over the POPS ``P`` (Theorem 1.2):
+
+* ``P⊕⊥`` stable           ⟺ every program converges;
+* ``P⊕⊥`` p-stable          ⟺ convergence in a number of steps that
+  depends only on the number of ground IDB atoms;
+* ``P⊕⊥`` 0-stable          ⟹ convergence in ``N`` steps (PTIME).
+
+This module provides empirical probes (bounded searches) for these
+properties; they power both the analysis API and the test-suite's
+cross-checks of Propositions 5.2–5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .base import POPS, PreSemiring, Value
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Outcome of a bounded stability probe.
+
+    Attributes:
+        stable: Whether stabilization was observed within the budget.
+        index: The stability index if observed (smallest ``p`` with
+            ``c^(p) = c^(p+1)``), else ``None``.
+        budget: The search cap that was used.
+    """
+
+    stable: bool
+    index: Optional[int]
+    budget: int
+
+
+def element_stability_index(
+    structure: PreSemiring, c: Value, budget: int = 64
+) -> StabilityReport:
+    """Probe the stability index of ``c`` by iterating ``c^(p)``.
+
+    Runs the recurrence ``s_{p+1} = 1 ⊕ c·s_p`` until two consecutive
+    values agree or ``budget`` is exhausted.  The returned index is the
+    least ``p`` such that ``c^(p) = c^(p+1)``; by Eq. (31) the sequence
+    then stays constant forever, so observing one repeat suffices.
+    """
+    prev = structure.one  # c^(0)
+    for p in range(budget):
+        nxt = structure.add(structure.one, structure.mul(c, prev))  # c^(p+1)
+        if structure.eq(nxt, prev):
+            return StabilityReport(stable=True, index=p, budget=budget)
+        prev = nxt
+    return StabilityReport(stable=False, index=None, budget=budget)
+
+
+def is_p_stable_element(structure: PreSemiring, c: Value, p: int) -> bool:
+    """Return whether ``c^(p) = c^(p+1)`` holds exactly at ``p``."""
+    cp = structure.geometric(c, p)
+    cp1 = structure.geometric(c, p + 1)
+    return structure.eq(cp, cp1)
+
+
+def semiring_stability_index(
+    structure: PreSemiring,
+    witnesses: Optional[Iterable[Value]] = None,
+    budget: int = 64,
+) -> StabilityReport:
+    """Probe uniform stability over a finite witness set of elements.
+
+    A genuine proof of ``p``-stability is algebraic (cf. Propositions
+    5.3/5.4); this probe reports the max element index over
+    ``witnesses`` (default: the structure's sample values), which tests
+    compare against the theoretical value.
+    """
+    values = list(witnesses) if witnesses is not None else list(
+        structure.sample_values()
+    )
+    worst = 0
+    for v in values:
+        report = element_stability_index(structure, v, budget)
+        if not report.stable:
+            return StabilityReport(stable=False, index=None, budget=budget)
+        assert report.index is not None
+        worst = max(worst, report.index)
+    return StabilityReport(stable=True, index=worst, budget=budget)
+
+
+def is_zero_stable(structure: PreSemiring, witnesses: Optional[Sequence[Value]] = None) -> bool:
+    """Check ``1 ⊕ c = 1`` on a witness set (0-stability, §5.1).
+
+    0-stable semirings are the *simple*/*absorptive*/*c-semirings* of
+    the literature; ``(S, ⊕)`` is then a join-semilattice with maximal
+    element 1, and every datalog° program converges in ``N`` steps
+    (Corollary 5.19).
+    """
+    values = witnesses if witnesses is not None else structure.sample_values()
+    one = structure.one
+    return all(structure.eq(structure.add(one, v), one) for v in values)
+
+
+def core_is_trivial(pops: POPS, witnesses: Optional[Sequence[Value]] = None) -> bool:
+    """Return whether the core semiring ``P⊕⊥`` collapses to ``{⊥}``.
+
+    True exactly when ``⊕`` is strict (``x ⊕ ⊥ = ⊥``), e.g. for every
+    lifted POPS ``S⊥``; a trivial core is 0-stable, hence such POPS
+    enjoy the ``N``-step convergence guarantee.
+    """
+    values = witnesses if witnesses is not None else pops.sample_values()
+    bot = pops.bottom
+    return all(pops.eq(pops.add(v, bot), bot) for v in values)
+
+
+def natural_preorder_holds(
+    structure: PreSemiring, a: Value, b: Value, witnesses: Sequence[Value]
+) -> bool:
+    """Test ``a ⪯ b`` (∃z. a ⊕ z = b) over a finite witness set for z.
+
+    Sound but incomplete — used by tests to cross-check the closed-form
+    ``leq`` implementations of naturally ordered semirings.
+    """
+    return any(structure.eq(structure.add(a, z), b) for z in witnesses)

@@ -1,0 +1,155 @@
+"""The POPS ``THREE`` and the bilattice ``FOUR`` (Sections 2.5.2 and 7).
+
+``THREE = ({⊥, 0, 1}, ∨, ∧, 0, 1, ≤_k)``:
+
+* ``∨`` / ``∧`` are max/min of Kleene's strong three-valued logic under
+  the *truth* order ``0 ≤_t ⊥ ≤_t 1`` (``⊥`` reads as "unknown", i.e.
+  truth value ½).
+* the POPS order is the *knowledge* order ``⊥ <_k 0`` and ``⊥ <_k 1``
+  (0 and 1 incomparable).
+
+``THREE`` **is** a semiring: ``x ∧ 0 = 0`` for every x *including* ⊥
+(min under the truth order), which distinguishes it from the lifted
+Booleans ``B⊥`` where ``0 ∧ ⊥ = ⊥``.  Its core semiring is
+``{⊥, 1} ≅ B``.  The monotone (w.r.t. ``≤_k``) function
+:func:`three_not` turns datalog° over ``THREE`` into Fitting's
+three-valued semantics for datalog with negation (Section 7.2).
+
+``FOUR`` adds ``⊤`` ("both true and false"), Belnap's logic, ordered as
+in Fig. 5; ``not(⊤) = ⊤``.  Proposition 7.1 of Fitting (cited in §7.3)
+shows ``⊤`` never appears in the ``≤_k``-least fixpoint, which the tests
+verify empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import POPS, Value
+from .lifted import BOTTOM, TOP, _Sentinel
+
+#: Truth rank used to implement Kleene ∨/∧ as max/min.
+_TRUTH_RANK = {False: 0, BOTTOM: 1, True: 2}
+_RANK_TO_VALUE = {0: False, 1: BOTTOM, 2: True}
+
+
+class ThreePOPS(POPS):
+    """``THREE``: Kleene logic ordered by knowledge."""
+
+    name = "THREE"
+    zero = False
+    one = True
+    bottom = BOTTOM
+    is_semiring = True
+    is_naturally_ordered = False
+    mul_is_strict = False  # 0 ∧ ⊥ = 0 ≠ ⊥: ∧ is not strict at ⊥.
+    core_is_closed = True  # {⊥, 1} is closed under ∨/∧ (Section 2.5.2).
+
+    def add(self, a: Value, b: Value) -> Value:
+        """Kleene ``∨`` = max in the truth order."""
+        return _RANK_TO_VALUE[max(_TRUTH_RANK[a], _TRUTH_RANK[b])]
+
+    def mul(self, a: Value, b: Value) -> Value:
+        """Kleene ``∧`` = min in the truth order."""
+        return _RANK_TO_VALUE[min(_TRUTH_RANK[a], _TRUTH_RANK[b])]
+
+    def leq(self, a: Value, b: Value) -> bool:
+        """Knowledge order: ``⊥`` below everything, 0/1 incomparable."""
+        return a is BOTTOM or a == b
+
+    def eq(self, a: Value, b: Value) -> bool:
+        if a is BOTTOM or b is BOTTOM:
+            return a is b
+        return a == b
+
+    def is_valid(self, a: Value) -> bool:
+        return a is BOTTOM or isinstance(a, bool)
+
+    def sample_values(self) -> Sequence[Value]:
+        return (BOTTOM, False, True)
+
+
+def three_not(a: Value) -> Value:
+    """Fitting's ``not``: 0↦1, 1↦0, ⊥↦⊥ — monotone w.r.t. ``≤_k``."""
+    if a is BOTTOM:
+        return BOTTOM
+    return not a
+
+
+class FourPOPS(POPS):
+    """``FOUR``: Belnap's bilattice as a POPS (Section 7.3, Fig. 5).
+
+    Truth order ``0 ≤_t ⊥, ⊤ ≤_t 1`` (⊥ and ⊤ incomparable); knowledge
+    order ``⊥ ≤_k 0, 1 ≤_k ⊤``.  The semiring operations ``⊕ = ∨_t`` and
+    ``⊗ = ∧_t`` are the lub/glb of the truth order; the POPS order is
+    the knowledge order.
+    """
+
+    name = "FOUR"
+    zero = False
+    one = True
+    bottom = BOTTOM
+    top = TOP
+    is_semiring = True
+    is_naturally_ordered = False
+    mul_is_strict = False
+    core_is_closed = True
+
+    def _join_t(self, a: Value, b: Value) -> Value:
+        if a == b:
+            return a
+        pair = {a, b}
+        if True in pair:
+            return True
+        if pair == {False, BOTTOM}:
+            return BOTTOM
+        if pair == {False, TOP}:
+            return TOP
+        # pair == {⊥, ⊤}: lub in the truth order is 1.
+        return True
+
+    def _meet_t(self, a: Value, b: Value) -> Value:
+        if a == b:
+            return a
+        pair = {a, b}
+        if False in pair:
+            return False
+        if pair == {True, BOTTOM}:
+            return BOTTOM
+        if pair == {True, TOP}:
+            return TOP
+        # pair == {⊥, ⊤}: glb in the truth order is 0.
+        return False
+
+    def add(self, a: Value, b: Value) -> Value:
+        return self._join_t(a, b)
+
+    def mul(self, a: Value, b: Value) -> Value:
+        return self._meet_t(a, b)
+
+    def leq(self, a: Value, b: Value) -> bool:
+        if a is BOTTOM or b is TOP:
+            return True
+        return self.eq(a, b)
+
+    def eq(self, a: Value, b: Value) -> bool:
+        if isinstance(a, _Sentinel) or isinstance(b, _Sentinel):
+            return a is b
+        return a == b
+
+    def is_valid(self, a: Value) -> bool:
+        return a is BOTTOM or a is TOP or isinstance(a, bool)
+
+    def sample_values(self) -> Sequence[Value]:
+        return (BOTTOM, False, True, TOP)
+
+
+def four_not(a: Value) -> Value:
+    """Belnap negation: 0↦1, 1↦0, ⊥↦⊥, ⊤↦⊤ — knowledge-monotone."""
+    if isinstance(a, _Sentinel):
+        return a
+    return not a
+
+
+THREE = ThreePOPS()
+FOUR = FourPOPS()

@@ -1,0 +1,218 @@
+"""Workload generators: the paper's figures and synthetic families.
+
+Exact reproductions of the paper's instances:
+
+* :func:`fig_2a_graph` — the weighted 4-node graph of Fig. 2(a)
+  (Example 4.1's SSSP trace);
+* :func:`fig_2b_bom` — the part-of graph and costs of Fig. 2(b)
+  (Example 4.2's bill of material);
+* :func:`fig_4_edges` — the 6-node win-move graph of Fig. 4.
+
+Synthetic families for the scaling experiments (seeded, dependency-free
+random generation):
+
+* :func:`random_weighted_digraph`, :func:`cycle_edges`,
+  :func:`grid_edges`, :func:`line_edges`, :func:`random_dag`,
+  :func:`part_hierarchy`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+Edge = Tuple[Hashable, Hashable]
+WeightedEdges = Dict[Tuple[Hashable, Hashable], float]
+
+
+def fig_2a_graph() -> WeightedEdges:
+    """The weighted graph of Fig. 2(a): a→b(1), b→a(2), b→c(3), c→d(4),
+    a→c(5).
+
+    Calibrated so that the naïve SSSP run from ``a`` over ``Trop+``
+    reproduces the paper's table exactly — ``L = (a:0, b:1, c:4, d:8)``
+    reached in 5 steps through the rows ``(0,1,5,∞)`` and ``(0,1,4,9)``
+    — and the ``Trop+_1`` run converges to the paper's two-shortest
+    bags ``L(a)={{0,3}}, L(b)={{1,4}}, L(c)={{4,5}}, L(d)={{8,9}}``.
+    """
+    return {
+        ("a", "b"): 1.0,
+        ("b", "a"): 2.0,
+        ("b", "c"): 3.0,
+        ("c", "d"): 4.0,
+        ("a", "c"): 5.0,
+    }
+
+
+def fig_2b_bom() -> Tuple[Set[Edge], Dict[Hashable, float]]:
+    """Fig. 2(b): the cyclic part-of graph and costs of Example 4.2.
+
+    Edges: a→b, a→c, b→a, c→d, c→e?  — the paper's grounding is::
+
+        T(a) :- C(a) + T(b) + T(c)
+        T(b) :- C(b) + T(a) + T(c)
+        T(c) :- C(c) + T(d)
+        T(d) :- C(d)
+
+    with costs ``C(a) = C(b) = C(c) = 1`` and ``C(d) = 10``; the ``R⊥``
+    fixpoint is ``T(a) = T(b) = ⊥``, ``T(c) = 11``, ``T(d) = 10``.
+    """
+    edges: Set[Edge] = {
+        ("a", "b"),
+        ("a", "c"),
+        ("b", "a"),
+        ("b", "c"),
+        ("c", "d"),
+    }
+    costs = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 10.0}
+    return edges, costs
+
+
+def fig_4_edges() -> Set[Edge]:
+    """Fig. 4: the win-move graph with edges
+    ``{(a,b), (a,c), (b,a), (c,d), (c,e), (d,e), (e,f)}``."""
+    return {
+        ("a", "b"),
+        ("a", "c"),
+        ("b", "a"),
+        ("c", "d"),
+        ("c", "e"),
+        ("d", "e"),
+        ("e", "f"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Synthetic families
+# ---------------------------------------------------------------------------
+
+
+def random_weighted_digraph(
+    n: int,
+    p: float,
+    seed: int = 0,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+) -> WeightedEdges:
+    """Erdős–Rényi digraph with uniform edge weights (no self-loops)."""
+    rng = random.Random(seed)
+    lo, hi = weight_range
+    edges: WeightedEdges = {}
+    for a in range(n):
+        for b in range(n):
+            if a != b and rng.random() < p:
+                edges[(a, b)] = round(rng.uniform(lo, hi), 3)
+    return edges
+
+
+def cycle_edges(n: int, weight: float = 1.0) -> WeightedEdges:
+    """The directed ``n``-cycle ``0→1→…→n−1→0`` (Lemma 5.20's witness)."""
+    return {(i, (i + 1) % n): weight for i in range(n)}
+
+
+def line_edges(n: int, weight: float = 1.0) -> WeightedEdges:
+    """The directed path ``0→1→…→n−1``."""
+    return {(i, i + 1): weight for i in range(n - 1)}
+
+
+def grid_edges(rows: int, cols: int, weight: float = 1.0) -> WeightedEdges:
+    """Right/down edges of a ``rows × cols`` grid (nodes are pairs)."""
+    edges: WeightedEdges = {}
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges[((r, c), (r, c + 1))] = weight
+            if r + 1 < rows:
+                edges[((r, c), (r + 1, c))] = weight
+    return edges
+
+
+def random_dag(n: int, p: float, seed: int = 0) -> Set[Edge]:
+    """Random DAG: edges only from lower to higher node ids."""
+    rng = random.Random(seed)
+    return {
+        (a, b)
+        for a in range(n)
+        for b in range(a + 1, n)
+        if rng.random() < p
+    }
+
+
+def part_hierarchy(
+    depth: int, fanout: int, seed: int = 0, cyclic_back_edges: int = 0
+) -> Tuple[Set[Edge], Dict[Hashable, float]]:
+    """A bill-of-material tree of given depth/fanout with random costs.
+
+    ``cyclic_back_edges`` adds that many random child→ancestor edges,
+    creating cycles whose nodes (and everything above them) must come
+    out ``⊥`` over ``R⊥`` (Example 4.2's phenomenon at scale).
+    """
+    rng = random.Random(seed)
+    edges: Set[Edge] = set()
+    costs: Dict[Hashable, float] = {}
+    parent: Dict[Hashable, Hashable] = {}
+    counter = [0]
+
+    def build(level: int) -> int:
+        node = counter[0]
+        counter[0] += 1
+        costs[node] = round(rng.uniform(1.0, 5.0), 2)
+        if level < depth:
+            for _ in range(fanout):
+                child = build(level + 1)
+                parent[child] = node
+                edges.add((node, child))
+        return node
+
+    build(0)
+    non_roots = [n for n in costs if n in parent]
+    for _ in range(cyclic_back_edges):
+        child = rng.choice(non_roots)
+        # Walk up the parent chain and aim at a genuine ancestor so the
+        # back edge closes a cycle.
+        chain = [child]
+        while chain[-1] in parent:
+            chain.append(parent[chain[-1]])
+        ancestor = rng.choice(chain[1:])
+        edges.add((child, ancestor))
+    return edges, costs
+
+
+def reachable_nodes(edges: Sequence[Edge] | Set[Edge], source: Hashable) -> Set[Hashable]:
+    """Plain BFS reachability — an oracle for cross-checking programs."""
+    adj: Dict[Hashable, List[Hashable]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+    seen = {source}
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        for nxt in adj.get(node, ()):  # pragma: no branch
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def dijkstra(edges: WeightedEdges, source: Hashable) -> Dict[Hashable, float]:
+    """Textbook Dijkstra — an oracle for SSSP over ``Trop+``."""
+    import heapq
+
+    adj: Dict[Hashable, List[Tuple[Hashable, float]]] = {}
+    nodes: Set[Hashable] = set()
+    for (a, b), w in edges.items():
+        adj.setdefault(a, []).append((b, w))
+        nodes.update((a, b))
+    dist: Dict[Hashable, float] = {source: 0.0}
+    heap: List[Tuple[float, int, Hashable]] = [(0.0, 0, source)]
+    tie = 0
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if d > dist.get(node, float("inf")):
+            continue
+        for nxt, w in adj.get(node, ()):  # pragma: no branch
+            nd = d + w
+            if nd < dist.get(nxt, float("inf")):
+                dist[nxt] = nd
+                tie += 1
+                heapq.heappush(heap, (nd, tie, nxt))
+    return dist

@@ -1,0 +1,96 @@
+"""Shared fixtures: value spaces, paper instances, program batteries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import core, programs, semirings, workloads
+from repro.semirings import (
+    BOOL,
+    FOUR,
+    FREE,
+    LEX_NN,
+    LIFTED_NAT,
+    LIFTED_REAL,
+    NAT,
+    NAT_INF,
+    REAL_PLUS,
+    THREE,
+    TROP,
+    CompletedPOPS,
+    PowersetPOPS,
+    ProductPOPS,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+
+@pytest.fixture(scope="session")
+def trop_p1() -> TropicalPSemiring:
+    return TropicalPSemiring(1)
+
+
+@pytest.fixture(scope="session")
+def trop_p2() -> TropicalPSemiring:
+    return TropicalPSemiring(2)
+
+
+@pytest.fixture(scope="session")
+def trop_eta() -> TropicalEtaSemiring:
+    return TropicalEtaSemiring(6.5)
+
+
+@pytest.fixture(scope="session")
+def all_pops() -> list:
+    """Every POPS in the library (for axiom batteries)."""
+    return [
+        BOOL,
+        NAT,
+        NAT_INF,
+        REAL_PLUS,
+        TROP,
+        TropicalPSemiring(0),
+        TropicalPSemiring(1),
+        TropicalPSemiring(2),
+        TropicalEtaSemiring(0.0),
+        TropicalEtaSemiring(2.0),
+        LIFTED_REAL,
+        LIFTED_NAT,
+        CompletedPOPS(semirings.REAL),
+        THREE,
+        FOUR,
+        PowersetPOPS(BOOL),
+        PowersetPOPS(TROP),
+        ProductPOPS(BOOL, TROP),
+        LEX_NN,
+        FREE,
+    ]
+
+
+@pytest.fixture()
+def fig2a_trop_db() -> core.Database:
+    """Fig. 2(a) edge weights over ``Trop+`` (Example 4.1)."""
+    return core.Database(
+        pops=TROP, relations={"E": dict(workloads.fig_2a_graph())}
+    )
+
+
+@pytest.fixture()
+def bom_db() -> core.Database:
+    """Fig. 2(b) bill-of-material instance over ``R⊥`` (Example 4.2)."""
+    edges, costs = workloads.fig_2b_bom()
+    return core.Database(
+        pops=LIFTED_REAL,
+        relations={"C": {(k,): v for k, v in costs.items()}},
+        bool_relations={"E": set(edges)},
+    )
+
+
+@pytest.fixture()
+def sssp_program() -> core.Program:
+    return programs.sssp("a")
+
+
+@pytest.fixture()
+def tc_program() -> core.Program:
+    return programs.transitive_closure()

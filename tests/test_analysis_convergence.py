@@ -1,0 +1,109 @@
+"""Convergence classification and bounds (Theorem 1.2, Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs, workloads
+from repro.analysis import classify, count_ground_atoms, tropp_linear_bound
+from repro.core import Database, naive_fixpoint
+from repro.semirings import (
+    LIFTED_REAL,
+    NAT,
+    TROP,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+
+class TestCounting:
+    def test_count_ground_atoms(self, sssp_program, fig2a_trop_db):
+        # Unary IDB over D₀ = {a, b, c, d}.
+        assert count_ground_atoms(sssp_program, fig2a_trop_db) == 4
+
+    def test_binary_idb_squares(self, tc_program):
+        db = Database(pops=TROP, relations={"E": {("a", "b"): 1.0}})
+        assert count_ground_atoms(tc_program, db) == 4
+
+
+class TestClassification:
+    def test_trop_is_case_v(self, sssp_program, fig2a_trop_db):
+        report = classify(sssp_program, fig2a_trop_db)
+        assert report.taxonomy_case == "(v)"
+        assert report.stability_p == 0
+        assert report.bound == 4
+
+    def test_lifted_reals_case_v(self, bom_db):
+        report = classify(programs.bill_of_material(), bom_db)
+        assert report.taxonomy_case == "(v)"
+        assert report.bound == report.n_ground_atoms
+
+    def test_tropp_case_iv(self):
+        tp = TropicalPSemiring(2)
+        db = Database(
+            pops=tp, relations={"E": {("a", "b"): tp.singleton(1.0)}}
+        )
+        report = classify(programs.sssp("a"), db, stability_p=2)
+        assert report.taxonomy_case == "(iv)"
+        assert report.linear
+        assert report.bound == sum(3 ** i for i in range(1, 3))
+
+    def test_trop_eta_case_iii(self):
+        te = TropicalEtaSemiring(1.0)
+        db = Database(pops=te, relations={"E": {("a", "b"): te.singleton(1.0)}})
+        report = classify(
+            programs.sssp("a"),
+            db,
+            stable=True,
+            stability_p=None,
+            probe_budget=4,  # keep the probe from finding a fake index
+        )
+        # The probe on small samples may report a small uniform index;
+        # passing stable=True + stability_p=None forces case analysis
+        # via the probe: accept either (iii) or (iv) with a bound.
+        assert report.taxonomy_case in ("(iii)", "(iv)")
+
+    def test_naturals_unclassified(self, tc_program):
+        db = Database(pops=NAT, relations={"E": {("a", "b"): 2}})
+        report = classify(tc_program, db, probe_budget=8)
+        assert report.taxonomy_case == "(i)/(ii)"
+        assert report.bound is None
+
+
+class TestBoundsRespected:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_measured_steps_below_zero_stable_bound(self, seed):
+        edges = workloads.random_weighted_digraph(6, 0.4, seed=seed)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        prog = programs.apsp()
+        report = classify(prog, db)
+        result = naive_fixpoint(prog, db)
+        assert result.steps <= report.bound + 1
+
+    @pytest.mark.parametrize("p", [0, 1, 2])
+    def test_tropp_cycle_respects_cor_5_21(self, p):
+        """Linear datalog° over Trop+_p on the n-cycle: ≤ (p+1)n naïve
+        steps (matrix stability (p+1)n − 1, Corollary 5.21)."""
+        tp = TropicalPSemiring(p)
+        n = 4
+        edges = {
+            k: tp.singleton(w)
+            for k, w in workloads.cycle_edges(n, weight=1.0).items()
+        }
+        db = Database(pops=tp, relations={"E": edges})
+        result = naive_fixpoint(programs.sssp(0), db)
+        n_atoms = count_ground_atoms(programs.sssp(0), db)
+        assert result.steps <= tropp_linear_bound(p, n_atoms) + 1
+
+    def test_tropp_needs_more_steps_than_trop(self):
+        """Higher p ⇒ later convergence on the same cycle (shape check)."""
+        steps = []
+        for p in (0, 1, 2):
+            tp = TropicalPSemiring(p)
+            edges = {
+                k: tp.singleton(w)
+                for k, w in workloads.cycle_edges(5, weight=1.0).items()
+            }
+            db = Database(pops=tp, relations={"E": edges})
+            steps.append(naive_fixpoint(programs.sssp(0), db).steps)
+        assert steps[0] < steps[1] < steps[2]

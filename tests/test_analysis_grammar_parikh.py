@@ -1,0 +1,226 @@
+"""Grammar/parse-tree machinery (§5.2): Lemma 5.6, Example 5.7,
+Example 5.5 (Catalan numbers), Proposition 5.13 (Parikh images)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    SystemGrammar,
+    univariate_basis,
+    univariate_image_valid,
+)
+from repro.core import Monomial, Polynomial, PolynomialSystem
+from repro.semirings import FREE, NAT, TROP, monomial
+
+
+def example_5_7_system(structure, a, b, c, u, v, w):
+    """The two-variable map of Example 5.7:
+    x ↦ a·x·y + b·y + c ;  y ↦ u·x·y + v·x + w."""
+    return PolynomialSystem(
+        pops=structure,
+        polynomials={
+            "x": Polynomial((
+                Monomial.make(a, {"x": 1, "y": 1}),
+                Monomial.make(b, {"y": 1}),
+                Monomial.make(c, {}),
+            )),
+            "y": Polynomial((
+                Monomial.make(u, {"x": 1, "y": 1}),
+                Monomial.make(v, {"x": 1}),
+                Monomial.make(w, {}),
+            )),
+        },
+    )
+
+
+@pytest.fixture()
+def free_example_5_7():
+    gens = {s: FREE.generator(s) for s in "abcuvw"}
+    return example_5_7_system(
+        FREE,
+        gens["a"], gens["b"], gens["c"],
+        gens["u"], gens["v"], gens["w"],
+    )
+
+
+class TestExample57:
+    def test_depth_1_component(self, free_example_5_7):
+        """(f⁽¹⁾(0))₁ = c."""
+        grammar = SystemGrammar(free_example_5_7)
+        trees = list(grammar.trees("x", 1))
+        assert len(trees) == 1
+        assert FREE.eq(
+            grammar.yields_sum("x", 1), FREE.generator("c")
+        )
+
+    def test_depth_2_component_matches_paper(self, free_example_5_7):
+        """(f⁽²⁾(0))₁ = a·c·w + b·w + c — the three trees of Fig. 3."""
+        grammar = SystemGrammar(free_example_5_7)
+        trees = list(grammar.trees("x", 2))
+        assert len(trees) == 3  # Fig. 3 shows exactly three x-trees
+        expected = FREE.add_many([
+            FREE.mul_many([FREE.generator(s) for s in "acw"]),
+            FREE.mul_many([FREE.generator(s) for s in "bw"]),
+            FREE.generator("c"),
+        ])
+        assert FREE.eq(grammar.yields_sum("x", 2), expected)
+
+    def test_lemma_5_6_over_free_semiring(self, free_example_5_7):
+        grammar = SystemGrammar(free_example_5_7)
+        for q in (0, 1, 2, 3):
+            assert grammar.lemma_5_6_holds(q)
+
+    def test_lemma_5_6_over_trop(self):
+        system = example_5_7_system(TROP, 1.0, 2.0, 0.5, 1.5, 3.0, 0.25)
+        grammar = SystemGrammar(system)
+        for q in (1, 2, 3):
+            assert grammar.lemma_5_6_holds(q)
+
+    def test_tree_count_dp_matches_enumeration(self, free_example_5_7):
+        grammar = SystemGrammar(free_example_5_7)
+        for var in ("x", "y"):
+            for depth in (1, 2, 3):
+                assert grammar.count_trees(var, depth) == len(
+                    list(grammar.trees(var, depth))
+                )
+
+    def test_tree_depth_and_size(self, free_example_5_7):
+        grammar = SystemGrammar(free_example_5_7)
+        for tree in grammar.trees("x", 3):
+            assert 1 <= tree.depth() <= 3
+            assert tree.size() >= tree.depth()
+
+
+def catalan(n: int) -> int:
+    return math.comb(2 * n, n) // (n + 1)
+
+
+class TestExample55Catalan:
+    """f(x) = b + a·x² over ℕ[a, b]: the coefficient of aⁿbⁿ⁺¹ in
+    f⁽q⁾(0) equals Catalan(n) once q > n (Eq. 33)."""
+
+    @pytest.fixture()
+    def system(self):
+        return PolynomialSystem(
+            pops=FREE,
+            polynomials={
+                "x": Polynomial((
+                    Monomial.make(FREE.generator("b"), {}),
+                    Monomial.make(FREE.generator("a"), {"x": 2}),
+                )),
+            },
+        )
+
+    def test_catalan_coefficients(self, system):
+        q = 5
+        state = {"x": FREE.zero}
+        for _ in range(q):
+            state = system.apply(state)
+        for n in range(q - 1):
+            mono = monomial({"a": n, "b": n + 1})
+            assert FREE.coefficient(state["x"], mono) == catalan(n), n
+
+    def test_unstabilized_tail_coefficient(self, system):
+        """At exactly n = q − 1 … q the coefficient is still growing."""
+        q = 3
+        state = {"x": FREE.zero}
+        for _ in range(q):
+            state = system.apply(state)
+        mono = monomial({"a": 3, "b": 4})
+        assert FREE.coefficient(state["x"], mono) < catalan(3)
+
+    def test_lambda_counts_are_tree_counts(self, system):
+        """Eq. 44: λ_v^(q) counts parse trees with Parikh image v."""
+        grammar = SystemGrammar(system)
+        q = 4
+        state = {"x": FREE.zero}
+        for _ in range(q):
+            state = system.apply(state)
+        images = grammar.parikh_images("x", q)
+        # Terminal (x, 0) is the b-production, (x, 1) the a-production.
+        from collections import Counter
+
+        histogram = Counter()
+        for image in images:
+            n_a = image[("x", 1)]
+            n_b = image[("x", 0)]
+            histogram[(n_a, n_b)] += 1
+        for (n_a, n_b), count in histogram.items():
+            mono = monomial({"a": n_a, "b": n_b})
+            assert FREE.coefficient(state["x"], mono) == count
+
+
+class TestProposition513:
+    def test_univariate_images_form_the_linear_set(self):
+        """Images of f(x) = a₀ + a₁x + a₂x² trees lie exactly in the
+        Prop. 5.13 linear set (cross-checked by enumeration)."""
+        system = PolynomialSystem(
+            pops=FREE,
+            polynomials={
+                "x": Polynomial((
+                    Monomial.make(FREE.generator("a0"), {}),
+                    Monomial.make(FREE.generator("a1"), {"x": 1}),
+                    Monomial.make(FREE.generator("a2"), {"x": 2}),
+                )),
+            },
+        )
+        grammar = SystemGrammar(system)
+        basis = univariate_basis(2)
+        images = set()
+        for tree in grammar.trees("x", 4):
+            t = tree.terminals()
+            image = (t[("x", 0)], t[("x", 1)], t[("x", 2)])
+            images.add(image)
+        assert images  # non-trivial enumeration
+        for image in images:
+            assert univariate_image_valid(image)
+            assert basis.contains(image)
+
+    def test_basis_members_are_realizable(self):
+        """Conversely, small members of the linear set are tree images
+        (the backward direction of Prop. 5.13)."""
+        system = PolynomialSystem(
+            pops=FREE,
+            polynomials={
+                "x": Polynomial((
+                    Monomial.make(FREE.generator("a0"), {}),
+                    Monomial.make(FREE.generator("a2"), {"x": 2}),
+                )),
+            },
+        )
+        grammar = SystemGrammar(system)
+        realizable = set()
+        for tree in grammar.trees("x", 5):
+            t = tree.terminals()
+            realizable.add((t[("x", 0)], t[("x", 1)]))
+        # Members with k₂ uses of the arity-2 production have k₂+1
+        # leaves: (1,0), (2,1), (3,2), (4,3) … all realizable at depth 5.
+        for k2 in range(4):
+            assert (k2 + 1, k2) in realizable
+
+    def test_invalid_images_rejected(self):
+        assert univariate_image_valid((1, 0, 0))
+        assert univariate_image_valid((2, 5, 1))
+        assert not univariate_image_valid((0, 1))
+        assert not univariate_image_valid((3, 0, 1))
+
+    def test_linear_set_membership_search(self):
+        basis = univariate_basis(2)
+        assert basis.contains((1, 0, 0))
+        assert basis.contains((2, 3, 1))
+        assert not basis.contains((0, 0, 0))
+        assert not basis.contains((1, 0, 1))
+
+    def test_semilinear_union(self):
+        from repro.analysis import LinearSet, SemiLinearSet
+
+        s = SemiLinearSet(parts=(
+            LinearSet(base=(0, 0), periods=((1, 0),)),
+            LinearSet(base=(0, 1), periods=((0, 2),)),
+        ))
+        assert s.contains((5, 0))
+        assert s.contains((0, 5))
+        assert not s.contains((1, 2))

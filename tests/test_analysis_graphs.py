@@ -1,0 +1,111 @@
+"""Dependency graphs and recursive-variable analysis (Section 5.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs
+from repro.analysis import (
+    DiGraph,
+    is_recursive,
+    predicate_graph,
+    recursive_predicates,
+    recursive_variables,
+    split_recursive,
+    strata,
+    system_graph,
+)
+from repro.core import Database, ground_program
+from repro.semirings import LIFTED_REAL, TROP
+
+
+class TestDiGraph:
+    def test_scc_on_cycle_plus_tail(self):
+        g = DiGraph.from_edges([(1, 2), (2, 1), (2, 3), (3, 4)])
+        comps = {frozenset(c) for c in g.strongly_connected_components()}
+        assert frozenset({1, 2}) in comps
+        assert frozenset({3}) in comps
+        assert frozenset({4}) in comps
+
+    def test_cyclic_nodes_include_self_loops(self):
+        g = DiGraph.from_edges([(1, 1), (2, 3)])
+        assert g.cyclic_nodes() == {1}
+
+    def test_reachability(self):
+        g = DiGraph.from_edges([(1, 2), (2, 3), (4, 5)])
+        assert g.reachable_from([1]) == {1, 2, 3}
+
+
+class TestSystemAnalysis:
+    def test_bom_recursive_split_matches_proposition_5_16(self, bom_db):
+        """Fig. 2(b): T(a), T(b) sit on the cycle (and stay ⊥); T(c),
+        T(d) are non-recursive and escape ⊥ (the §5.4 discussion)."""
+        system = ground_program(programs.bill_of_material(), bom_db)
+        rec, non = split_recursive(system)
+        assert rec == {("T", ("a",)), ("T", ("b",))}
+        assert non == {("T", ("c",)), ("T", ("d",))}
+
+    def test_recursive_values_stay_in_core(self, bom_db):
+        """Proposition 5.16: recursive variables never escape P⊕⊥."""
+        system = ground_program(programs.bill_of_material(), bom_db)
+        rec = recursive_variables(system)
+        result = system.kleene()
+        for var in rec:
+            assert LIFTED_REAL.eq(
+                result.value[var], LIFTED_REAL.bottom
+            )
+
+    def test_acyclic_system_has_no_recursive_vars(self):
+        db = Database(
+            pops=TROP,
+            relations={"E": {("a", "b"): 1.0, ("b", "c"): 1.0}},
+        )
+        system = ground_program(programs.sssp("a"), db)
+        assert recursive_variables(system) == frozenset()
+
+    def test_cycle_makes_everything_downstream_recursive(self):
+        db = Database(
+            pops=TROP,
+            relations={
+                "E": {("a", "b"): 1.0, ("b", "a"): 1.0, ("b", "c"): 1.0}
+            },
+        )
+        system = ground_program(programs.sssp("a"), db)
+        rec = recursive_variables(system)
+        assert ("L", ("c",)) in rec  # downstream of the a↔b cycle
+
+    def test_system_graph_edges(self, bom_db):
+        system = ground_program(programs.bill_of_material(), bom_db)
+        g = system_graph(system)
+        assert (("T", ("d",)), ("T", ("c",))) in g.edges
+        assert (("T", ("b",)), ("T", ("a",))) in g.edges
+
+
+class TestPredicateAnalysis:
+    def test_tc_is_recursive(self, tc_program):
+        assert is_recursive(tc_program)
+        assert recursive_predicates(tc_program) == {"T"}
+
+    def test_nonrecursive_program(self):
+        prog = programs.shipping_dates()
+        assert not is_recursive(prog)
+        assert recursive_predicates(prog) == frozenset()
+
+    def test_predicate_graph_shape(self, tc_program):
+        g = predicate_graph(tc_program)
+        assert ("T", "T") in g.edges
+
+    def test_strata_ordering(self):
+        from repro.core import Program, RelAtom, Rule, SumProduct, terms
+
+        base = Rule("A", terms(["X"]),
+                    (SumProduct((RelAtom("E", terms(["X"])),)),))
+        derived = Rule(
+            "B", terms(["X"]),
+            (SumProduct((RelAtom("A", terms(["X"])),
+                         RelAtom("B", terms(["X"])),)),),
+        )
+        prog = Program(rules=[base, derived])
+        layers = strata(prog)
+        flat = [sorted(layer) for layer in layers]
+        assert flat.index(["A"]) < flat.index(["B"])

@@ -1,0 +1,161 @@
+"""The applications layer (`repro.apps`) and the CLI (`repro.cli`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import apps, workloads
+from repro.cli import POPS_FACTORIES, load_database, main, resolve_pops
+from repro.semirings import INF, TropicalPSemiring
+
+
+class TestApps:
+    def test_reachability(self):
+        edges = {("a", "b"), ("b", "c"), ("d", "e")}
+        assert apps.reachability(edges, "a") == {"a", "b", "c"}
+
+    def test_transitive_closure(self):
+        tc = apps.transitive_closure({("a", "b"), ("b", "c")})
+        assert tc == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_shortest_paths_matches_dijkstra(self):
+        edges = workloads.random_weighted_digraph(12, 0.2, seed=9)
+        out = apps.shortest_paths(edges, 0)
+        oracle = workloads.dijkstra(edges, 0)
+        assert out == pytest.approx(oracle)
+
+    def test_all_pairs(self):
+        out = apps.all_pairs_shortest_paths(workloads.fig_2a_graph())
+        assert out[("a", "d")] == 8.0
+
+    def test_k_shortest(self):
+        out = apps.k_shortest_paths(workloads.fig_2a_graph(), "a", k=2)
+        assert out["d"] == (8.0, 9.0)
+        with pytest.raises(ValueError):
+            apps.k_shortest_paths({}, "a", k=0)
+
+    def test_near_optimal(self):
+        out = apps.near_optimal_paths(workloads.fig_2a_graph(), "a", eta=1.5)
+        assert out["c"] == (4.0, 5.0)
+
+    def test_widest_paths(self):
+        edges = {("s", "a"): 4.0, ("a", "t"): 3.0, ("s", "t"): 2.0}
+        assert apps.widest_paths(edges)[("s", "t")] == 3.0
+
+    def test_most_reliable_paths(self):
+        edges = {("s", "a"): 0.9, ("a", "t"): 0.9, ("s", "t"): 0.5}
+        out = apps.most_reliable_paths(edges)
+        assert out[("s", "t")] == pytest.approx(0.81)
+        with pytest.raises(ValueError):
+            apps.most_reliable_paths({("a", "b"): 1.5})
+
+    def test_bom_totals(self):
+        edges, costs = workloads.fig_2b_bom()
+        out = apps.bom_totals(edges, costs)
+        assert out["a"] is None and out["b"] is None
+        assert out["c"] == 11.0 and out["d"] == 10.0
+
+    def test_win_positions(self):
+        out = apps.win_positions(workloads.fig_4_edges())
+        assert out == {
+            "a": "draw", "b": "draw",
+            "c": "win", "e": "win",
+            "d": "lose", "f": "lose",
+        }
+
+    def test_methods_agree(self):
+        edges = workloads.random_weighted_digraph(8, 0.3, seed=2)
+        naive = apps.all_pairs_shortest_paths(edges, method="naive")
+        semi = apps.all_pairs_shortest_paths(edges, method="seminaive")
+        assert naive == semi
+
+
+class TestCli:
+    @pytest.fixture()
+    def tc_files(self, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text("T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n")
+        edb = tmp_path / "edb.json"
+        edb.write_text(json.dumps({
+            "relations": {
+                "E": [[["a", "b"], 1.0], [["b", "c"], 3.0]],
+            }
+        }))
+        return str(program), str(edb)
+
+    def test_resolve_pops(self):
+        assert resolve_pops("trop").name == "Trop+"
+        tp = resolve_pops("tropp:2")
+        assert isinstance(tp, TropicalPSemiring) and tp.p == 2
+        with pytest.raises(SystemExit):
+            resolve_pops("nonsense")
+
+    def test_every_factory_resolves(self):
+        for name in POPS_FACTORIES:
+            spec = name + (":1" if name in ("tropp", "tropeta") else "")
+            assert resolve_pops(spec) is not None
+
+    def test_load_database_lifts_tropp_values(self, tc_files):
+        _, edb = tc_files
+        db = load_database(edb, resolve_pops("tropp:1"))
+        assert db.value("E", ("a", "b")) == (1.0, INF)
+
+    def test_run_command(self, tc_files, capsys):
+        program, edb = tc_files
+        code = main(["run", program, "--pops", "trop", "--edb", edb])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T(a, c) = 4.0" in out
+        assert "converged" in out
+
+    def test_run_seminaive(self, tc_files, capsys):
+        program, edb = tc_files
+        code = main([
+            "run", program, "--pops", "trop", "--edb", edb,
+            "--method", "seminaive",
+        ])
+        assert code == 0
+        assert "T(a, c) = 4.0" in capsys.readouterr().out
+
+    def test_classify_command(self, tc_files, capsys):
+        program, edb = tc_files
+        code = main(["classify", program, "--pops", "trop", "--edb", edb])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "taxonomy case   : (v)" in out
+        assert "linear program  : True" in out
+
+    def test_pops_list(self, capsys):
+        assert main(["pops-list"]) == 0
+        out = capsys.readouterr().out
+        assert "trop" in out and "bottleneck" in out
+
+    def test_bool_run(self, tmp_path, capsys):
+        program = tmp_path / "reach.dl"
+        program.write_text("L(X) :- [X = a] | L(Z) * E(Z, X).\n")
+        edb = tmp_path / "edb.json"
+        edb.write_text(json.dumps({
+            "relations": {
+                "E": [[["a", "b"], True], [["b", "c"], True]],
+            }
+        }))
+        code = main(["run", str(program), "--pops", "bool", "--edb", str(edb)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L(c) = True" in out
+
+    def test_module_entrypoint(self, tc_files):
+        import subprocess
+        import sys
+
+        program, edb = tc_files
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", program,
+             "--pops", "trop", "--edb", edb],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "T(a, c) = 4.0" in proc.stdout

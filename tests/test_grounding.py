@@ -1,0 +1,140 @@
+"""Grounding to provenance polynomials (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs, workloads
+from repro.core import (
+    Database,
+    FuncFactor,
+    GroundingError,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+    assignment_to_instance,
+    ground_program,
+    terms,
+)
+from repro.semirings import BOOL, BOTTOM, LIFTED_REAL, THREE, TROP
+from repro.semirings.base import FunctionRegistry
+from repro.semirings.three import three_not
+
+
+class TestBomGrounding:
+    """Example 4.2's grounded program has exactly the paper's shape."""
+
+    @pytest.fixture()
+    def system(self, bom_db):
+        return ground_program(programs.bill_of_material(), bom_db)
+
+    def test_one_polynomial_per_ground_atom(self, system):
+        assert set(system.polynomials) == {("T", (n,)) for n in "abcd"}
+
+    def test_paper_rule_shapes(self, system):
+        # T(a) :- C(a) + T(b) + T(c)
+        poly_a = system.polynomials[("T", ("a",))]
+        assert len(poly_a.monomials) == 3
+        var_sets = sorted(
+            tuple(m.variables()) for m in poly_a.monomials
+        )
+        assert var_sets == [(), (("T", ("b",)),), (("T", ("c",)),)]
+        # T(d) :- C(d): a single constant monomial with value 10.
+        poly_d = system.polynomials[("T", ("d",))]
+        assert len(poly_d.monomials) == 1
+        assert poly_d.monomials[0].coeff == 10.0
+        assert poly_d.monomials[0].degree() == 0
+
+    def test_fixpoint_matches_paper(self, system):
+        result = system.kleene()
+        inst = assignment_to_instance(system, result.value)
+        assert inst.get("T", ("a",)) is BOTTOM
+        assert inst.get("T", ("b",)) is BOTTOM
+        assert inst.get("T", ("c",)) == 11.0
+        assert inst.get("T", ("d",)) == 10.0
+        assert result.steps <= 3
+
+
+class TestSparseVsTotal:
+    def test_naturally_ordered_semiring_defaults_sparse(self, fig2a_trop_db):
+        system = ground_program(programs.sssp("a"), fig2a_trop_db)
+        # Sparse: only heads with at least one monomial.
+        assert all(p.monomials for p in system.polynomials.values())
+
+    def test_total_mode_materializes_all_atoms(self, fig2a_trop_db):
+        system = ground_program(
+            programs.sssp("a"), fig2a_trop_db, total=True
+        )
+        assert len(system.polynomials) == 4  # |D₀| = 4, unary IDB
+
+    def test_total_and_sparse_agree_semantically(self, fig2a_trop_db):
+        prog = programs.sssp("a")
+        sparse = ground_program(prog, fig2a_trop_db).kleene().value
+        total = ground_program(prog, fig2a_trop_db, total=True).kleene().value
+        for var, value in sparse.items():
+            assert TROP.eq(total[var], value)
+
+
+class TestGroundingRejections:
+    def test_interpreted_function_over_idb_rejected(self):
+        rule = Rule(
+            "Win",
+            terms(["X"]),
+            (
+                SumProduct(
+                    (
+                        RelAtom("E", terms(["X", "Y"])),
+                        FuncFactor("not", (RelAtom("Win", terms(["Y"])),)),
+                    )
+                ),
+            ),
+        )
+        program = Program(rules=[rule], bool_edbs={"E": 2})
+        db = Database(pops=THREE, bool_relations={"E": {("a", "b")}})
+        registry = FunctionRegistry()
+        registry.register("not", three_not)
+        with pytest.raises(GroundingError):
+            ground_program(program, db, functions=registry)
+
+    def test_function_over_edb_only_is_fine(self):
+        rule = Rule(
+            "T",
+            terms(["X"]),
+            (
+                SumProduct(
+                    (FuncFactor("not", (RelAtom("E", terms(["X", "X"])),)),)
+                ),
+            ),
+        )
+        program = Program(rules=[rule], bool_edbs={"E": 2})
+        db = Database(pops=THREE, bool_relations={"E": {("a", "a")}})
+        registry = FunctionRegistry()
+        registry.register("not", three_not)
+        system = ground_program(program, db, functions=registry)
+        result = system.kleene()
+        assert result.value[("T", ("a",))] is False  # not(1) = 0
+
+
+class TestTcGrounding:
+    def test_linear_tc_system_is_linear(self):
+        db = Database(pops=BOOL, bool_relations={}, relations={
+            "E": {("a", "b"): True, ("b", "c"): True},
+        })
+        system = ground_program(programs.transitive_closure(), db)
+        assert system.is_linear()
+
+    def test_quadratic_tc_system_is_not_linear(self):
+        db = Database(pops=BOOL, relations={"E": {("a", "b"): True}})
+        system = ground_program(programs.quadratic_transitive_closure(), db)
+        assert not system.is_linear()
+
+    def test_combine_like_terms_compacts(self):
+        db = Database(
+            pops=TROP,
+            relations={"E": workloads.fig_2a_graph()},
+        )
+        compact = ground_program(programs.apsp(), db)
+        loose = ground_program(programs.apsp(), db, combine_like_terms=False)
+        assert compact.size() <= loose.size()
+        assert compact.kleene().value == loose.kleene().value

@@ -1,0 +1,252 @@
+"""Property-based tests (hypothesis) on the core value spaces.
+
+Random-element versions of the axiom batteries: semiring laws, order
+laws, operator monotonicity, the ⊖ laws of Lemma 6.3, and the
+closed-form natural orders (``Trop+_p``'s bag-containment
+characterization cross-checked against witness search).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.semirings import (
+    BOOL,
+    INF,
+    THREE,
+    TROP,
+    BOTTOM,
+    LIFTED_REAL,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+finite_costs = st.integers(min_value=0, max_value=20).map(float)
+trop_values = st.one_of(st.just(INF), finite_costs)
+
+TP1 = TropicalPSemiring(1)
+TP2 = TropicalPSemiring(2)
+TE = TropicalEtaSemiring(3.0)
+
+
+def tropp_values(tp):
+    return st.lists(trop_values, min_size=0, max_size=4).map(tp.from_values)
+
+
+def trope_values():
+    return st.lists(trop_values, min_size=0, max_size=4).map(TE.from_values)
+
+
+three_values = st.sampled_from([BOTTOM, False, True])
+lifted_values = st.one_of(
+    st.just(BOTTOM),
+    st.integers(min_value=-5, max_value=5).map(float),
+)
+
+
+# ---------------------------------------------------------------------------
+# generic law templates
+# ---------------------------------------------------------------------------
+
+
+def _check_semiring_laws(structure, a, b, c):
+    assert structure.eq(structure.add(a, b), structure.add(b, a))
+    assert structure.eq(structure.mul(a, b), structure.mul(b, a))
+    assert structure.eq(
+        structure.add(structure.add(a, b), c),
+        structure.add(a, structure.add(b, c)),
+    )
+    assert structure.eq(
+        structure.mul(structure.mul(a, b), c),
+        structure.mul(a, structure.mul(b, c)),
+    )
+    assert structure.eq(structure.add(a, structure.zero), a)
+    assert structure.eq(structure.mul(a, structure.one), a)
+    assert structure.eq(
+        structure.mul(a, structure.add(b, c)),
+        structure.add(structure.mul(a, b), structure.mul(a, c)),
+    )
+    if structure.is_semiring:
+        assert structure.eq(
+            structure.mul(a, structure.zero), structure.zero
+        )
+
+
+def _check_order_laws(pops, a, b, c):
+    assert pops.leq(a, a)
+    assert pops.leq(pops.bottom, a)
+    if pops.leq(a, b) and pops.leq(b, a):
+        assert pops.eq(a, b)
+    if pops.leq(a, b) and pops.leq(b, c):
+        assert pops.leq(a, c)
+    if pops.leq(a, b):
+        assert pops.leq(pops.add(a, c), pops.add(b, c))
+        assert pops.leq(pops.mul(a, c), pops.mul(b, c))
+
+
+# ---------------------------------------------------------------------------
+# Trop+
+# ---------------------------------------------------------------------------
+
+
+@given(trop_values, trop_values, trop_values)
+def test_trop_laws(a, b, c):
+    _check_semiring_laws(TROP, a, b, c)
+    _check_order_laws(TROP, a, b, c)
+
+
+@given(trop_values, trop_values, trop_values)
+def test_trop_minus_laws(a, b, c):
+    if TROP.leq(a, b):
+        assert TROP.eq(TROP.add(a, TROP.minus(b, a)), b)
+    lhs = TROP.minus(TROP.add(a, b), TROP.add(a, c))
+    rhs = TROP.minus(b, TROP.add(a, c))
+    assert TROP.eq(lhs, rhs)
+
+
+@given(trop_values)
+def test_trop_zero_stability_elementwise(c):
+    assert TROP.eq(TROP.geometric(c, 0), TROP.geometric(c, 1))
+
+
+# ---------------------------------------------------------------------------
+# Trop+_p
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(tropp_values(TP1), tropp_values(TP1), tropp_values(TP1))
+def test_tropp1_laws(a, b, c):
+    _check_semiring_laws(TP1, a, b, c)
+    _check_order_laws(TP1, a, b, c)
+
+
+@settings(max_examples=40)
+@given(tropp_values(TP2), tropp_values(TP2), tropp_values(TP2))
+def test_tropp2_laws(a, b, c):
+    _check_semiring_laws(TP2, a, b, c)
+    _check_order_laws(TP2, a, b, c)
+
+
+@settings(max_examples=60)
+@given(tropp_values(TP1), tropp_values(TP1))
+def test_tropp_identity_15(a, b):
+    """Computing with bags then one final min_p equals eager min_p."""
+    merged = TP1.from_values([x for x in a + b if x != INF])
+    assert TP1.eq(TP1.add(a, b), merged)
+
+
+@settings(max_examples=60)
+@given(tropp_values(TP1))
+def test_tropp_p_stability(c):
+    assert TP1.eq(TP1.geometric(c, 1), TP1.geometric(c, 2))
+    assert TP1.eq(TP1.geometric(c, 1), TP1.geometric(c, 5))
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.integers(min_value=0, max_value=4).map(float), max_size=2),
+    st.lists(st.integers(min_value=0, max_value=4).map(float), max_size=2),
+)
+def test_tropp_leq_matches_witness_search(xs, ys):
+    """Closed-form ⪯ agrees with ∃z search over a small universe."""
+    x = TP1.from_values(xs)
+    y = TP1.from_values(ys)
+    universe = [
+        TP1.from_values(list(pair))
+        for pair in [
+            (),
+            (0.0,),
+            (1.0,),
+            (2.0,),
+            (3.0,),
+            (4.0,),
+            (0.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 2.0),
+            (2.0, 3.0),
+            (3.0, 4.0),
+            (4.0, 4.0),
+            (0.0, 4.0),
+            (1.0, 4.0),
+            (2.0, 2.0),
+            (3.0, 3.0),
+            (0.0, 2.0),
+            (0.0, 3.0),
+            (1.0, 3.0),
+            (2.0, 4.0),
+        ]
+    ]
+    witnessed = any(TP1.eq(TP1.add(x, z), y) for z in universe)
+    if witnessed:
+        assert TP1.leq(x, y)
+    if not TP1.leq(x, y):
+        assert not witnessed
+
+
+# ---------------------------------------------------------------------------
+# Trop+_≤η
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(trope_values(), trope_values(), trope_values())
+def test_trop_eta_laws(a, b, c):
+    _check_semiring_laws(TE, a, b, c)
+    _check_order_laws(TE, a, b, c)
+
+
+@settings(max_examples=60)
+@given(trope_values(), trope_values())
+def test_trop_eta_identity_16(a, b):
+    merged = TE.from_values([x for x in a + b if x != INF] or [INF])
+    assert TE.eq(TE.add(a, b), merged)
+
+
+@settings(max_examples=60)
+@given(trope_values())
+def test_trop_eta_add_idempotent(a):
+    assert TE.eq(TE.add(a, a), a)
+
+
+# ---------------------------------------------------------------------------
+# THREE and lifted reals
+# ---------------------------------------------------------------------------
+
+
+@given(three_values, three_values, three_values)
+def test_three_laws(a, b, c):
+    _check_semiring_laws(THREE, a, b, c)
+    _check_order_laws(THREE, a, b, c)
+
+
+@given(lifted_values, lifted_values, lifted_values)
+def test_lifted_real_laws(a, b, c):
+    _check_semiring_laws(LIFTED_REAL, a, b, c)
+    _check_order_laws(LIFTED_REAL, a, b, c)
+
+
+@given(lifted_values)
+def test_lifted_real_strictness(a):
+    assert LIFTED_REAL.add(a, BOTTOM) is BOTTOM
+    assert LIFTED_REAL.mul(a, BOTTOM) is BOTTOM
+
+
+# ---------------------------------------------------------------------------
+# Booleans: exhaustive by hypothesis anyway
+# ---------------------------------------------------------------------------
+
+
+@given(st.booleans(), st.booleans(), st.booleans())
+def test_bool_laws(a, b, c):
+    _check_semiring_laws(BOOL, a, b, c)
+    _check_order_laws(BOOL, a, b, c)
+    if BOOL.leq(a, b):
+        assert BOOL.eq(BOOL.add(a, BOOL.minus(b, a)), b)

@@ -1,0 +1,197 @@
+"""P-instances (§2.3) and polynomials over POPS (§2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Database, Instance, Monomial, Polynomial, PolynomialSystem
+from repro.semirings import BOOL, BOTTOM, LIFTED_REAL, NAT, TROP
+
+
+class TestDatabase:
+    def test_bottom_entries_dropped(self):
+        db = Database(
+            pops=TROP,
+            relations={"E": {("a", "b"): 1.0, ("b", "c"): float("inf")}},
+        )
+        assert ("b", "c") not in db.support("E")
+        assert db.value("E", ("b", "c")) == TROP.bottom
+
+    def test_bool_relations(self):
+        db = Database(pops=TROP, bool_relations={"E": {("a", "b")}})
+        assert db.bool_holds("E", ("a", "b"))
+        assert not db.bool_holds("E", ("b", "a"))
+        assert not db.bool_holds("F", ("a", "b"))
+
+    def test_active_domain(self):
+        db = Database(
+            pops=TROP,
+            relations={"C": {("a",): 2.0}},
+            bool_relations={"E": {("b", "c")}},
+        )
+        assert db.active_domain() == {"a", "b", "c"}
+
+    def test_keys_frozen_to_tuples(self):
+        db = Database(pops=TROP, relations={"C": {("a",): 2.0}})
+        assert db.value("C", ("a",)) == 2.0
+
+
+class TestInstance:
+    def test_default_bottom(self):
+        inst = Instance(LIFTED_REAL)
+        assert inst.get("T", ("a",)) is BOTTOM
+
+    def test_set_bottom_erases(self):
+        inst = Instance(TROP)
+        inst.set("T", ("a",), 3.0)
+        assert inst.size() == 1
+        inst.set("T", ("a",), TROP.bottom)
+        assert inst.size() == 0
+
+    def test_merge_accumulates(self):
+        inst = Instance(TROP)
+        inst.merge("T", ("a",), 5.0)
+        inst.merge("T", ("a",), 3.0)
+        assert inst.get("T", ("a",)) == 3.0  # min
+
+    def test_equality_and_order(self):
+        a = Instance(TROP, {"T": {("x",): 3.0}})
+        b = Instance(TROP, {"T": {("x",): 3.0}})
+        c = Instance(TROP, {"T": {("x",): 2.0}})
+        assert a.equals(b)
+        assert not a.equals(c)
+        assert a.leq(c)  # 3 ⊑ 2 in the tropical order
+        assert not c.leq(a)
+
+    def test_copy_isolation(self):
+        a = Instance(TROP, {"T": {("x",): 3.0}})
+        b = a.copy()
+        b.set("T", ("x",), 1.0)
+        assert a.get("T", ("x",)) == 3.0
+
+    def test_zero_vs_bottom_distinction_over_lifted(self):
+        """0.0 is stored (it is not ⊥) — the R⊥ subtlety."""
+        inst = Instance(LIFTED_REAL)
+        inst.set("T", ("a",), 0.0)
+        assert inst.size() == 1
+        assert inst.get("T", ("a",)) == 0.0
+
+
+class TestPolynomials:
+    def test_monomial_make_normalizes(self):
+        m = Monomial.make(2, [("x", 1), ("x", 2), ("y", 0)])
+        assert m.powers == (("x", 3),)
+        assert m.degree() == 3
+
+    def test_monomial_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            Monomial.make(1, [("x", -1)])
+
+    def test_evaluation_over_nat(self):
+        # f(x, y) = 2·x·y² + 3
+        f = Polynomial((
+            Monomial.make(2, {"x": 1, "y": 2}),
+            Monomial.make(3, {}),
+        ))
+        assert f.evaluate(NAT, {"x": 2, "y": 3}, NAT.zero) == 2 * 2 * 9 + 3
+        assert f.degree() == 3
+        assert not f.is_linear()
+
+    def test_empty_polynomial_is_zero(self):
+        assert Polynomial().evaluate(NAT, {}, NAT.zero) == 0
+        assert Polynomial().evaluate(TROP, {}, TROP.bottom) == TROP.zero
+
+    def test_pops_subtlety_zero_coefficient_is_not_absent(self):
+        """Over R⊥: f(x) = 0·x + b differs from g = b at x = ⊥ (§2.2)."""
+        b = 7.0
+        f = Polynomial((
+            Monomial.make(0.0, {"x": 1}),
+            Monomial.make(b, {}),
+        ))
+        g = Polynomial((Monomial.make(b, {}),))
+        at_bottom = {"x": BOTTOM}
+        assert f.evaluate(LIFTED_REAL, at_bottom, BOTTOM) is BOTTOM
+        assert g.evaluate(LIFTED_REAL, at_bottom, BOTTOM) == b
+
+    def test_drop_absorbed_zeros_requires_semiring(self):
+        f = Polynomial((Monomial.make(0.0, {"x": 1}),))
+        with pytest.raises(ValueError):
+            f.drop_absorbed_zeros(LIFTED_REAL)
+        over_nat = Polynomial((
+            Monomial.make(0, {"x": 1}),
+            Monomial.make(2, {"x": 1}),
+        ))
+        assert len(over_nat.drop_absorbed_zeros(NAT).monomials) == 1
+
+    def test_combine_like_terms(self):
+        f = Polynomial((
+            Monomial.make(1, {"x": 1}),
+            Monomial.make(2, {"x": 1}),
+            Monomial.make(4, {}),
+        ))
+        combined = f.combine_like_terms(NAT)
+        assert len(combined.monomials) == 2
+        assert combined.evaluate(NAT, {"x": 5}, 0) == f.evaluate(NAT, {"x": 5}, 0)
+
+    def test_substitution(self):
+        # f(x) = x² ; substitute x ↦ (y + 1): expect y² + 2y + 1.
+        f = Polynomial((Monomial.make(1, {"x": 2}),))
+        repl = Polynomial((
+            Monomial.make(1, {"y": 1}),
+            Monomial.make(1, {}),
+        ))
+        g = f.substitute(NAT, "x", repl).combine_like_terms(NAT)
+        values = {("y",): None}
+        for y in (0, 1, 2, 5):
+            assert g.evaluate(NAT, {"y": y}, 0) == (y + 1) ** 2
+
+    def test_variables_listing(self):
+        f = Polynomial((
+            Monomial.make(1, {"x": 1, "y": 1}),
+            Monomial.make(1, {"y": 2}),
+        ))
+        assert set(f.variables()) == {"x", "y"}
+
+
+class TestPolynomialSystem:
+    def test_kleene_on_simple_system(self):
+        # x :- 1 ⊕ c·x over Trop+ with c = 2: lfp x = 0 (0-stable).
+        system = PolynomialSystem(
+            pops=TROP,
+            polynomials={
+                "x": Polynomial((
+                    Monomial.make(TROP.one, {}),
+                    Monomial.make(2.0, {"x": 1}),
+                ))
+            },
+        )
+        result = system.kleene()
+        assert result.value["x"] == 0.0
+        assert result.steps <= 2
+
+    def test_kleene_divergence_over_nat(self):
+        from repro.fixpoint import DivergenceError
+
+        system = PolynomialSystem(
+            pops=NAT,
+            polynomials={
+                "x": Polynomial((
+                    Monomial.make(1, {}),
+                    Monomial.make(2, {"x": 1}),
+                ))
+            },
+        )
+        with pytest.raises(DivergenceError):
+            system.kleene(max_steps=25)
+
+    def test_dependency_edges_and_linear(self):
+        system = PolynomialSystem(
+            pops=BOOL,
+            polynomials={
+                "x": Polynomial((Monomial.make(True, {"y": 1}),)),
+                "y": Polynomial((Monomial.make(True, {}),)),
+            },
+        )
+        assert set(system.dependency_edges()) == {("y", "x")}
+        assert system.is_linear()
+        assert system.size() == 2

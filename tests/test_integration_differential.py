@@ -1,0 +1,173 @@
+"""Differential testing: all evaluation strategies must agree.
+
+For randomly generated programs/instances across value spaces we run
+(1) the sparse rule-at-a-time naïve engine, (2) the grounded-system
+Kleene iteration (the definitional semantics), (3) semi-naïve where the
+value space is a complete distributive dioid, and (4) LinearLFP where
+the program is linear over a uniformly stable POPS — and assert they
+produce identical fixpoints.  Hypothesis drives the graph generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import programs
+from repro.core import (
+    Database,
+    assignment_to_instance,
+    ground_program,
+    linear_lfp,
+    naive_fixpoint,
+    seminaive_fixpoint,
+)
+from repro.semirings import (
+    BOOL,
+    LIFTED_REAL,
+    TROP,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+NODES = ["a", "b", "c", "d", "e"]
+
+edge_sets = st.sets(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    max_size=10,
+)
+weights = st.integers(min_value=1, max_value=9).map(float)
+
+
+def weighted(draw_edges, w):
+    return {e: w for e in draw_edges}
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_sets, weights)
+def test_trop_sssp_all_methods_agree(edges, w):
+    db = Database(pops=TROP, relations={"E": {e: w for e in edges}})
+    prog = programs.sssp("a")
+    naive = naive_fixpoint(prog, db)
+    system = ground_program(prog, db)
+    grounded = assignment_to_instance(system, system.kleene().value)
+    semi = seminaive_fixpoint(prog, db)
+    linear = assignment_to_instance(system, linear_lfp(system, 0))
+    assert grounded.equals(naive.instance)
+    assert semi.instance.equals(naive.instance)
+    assert linear.equals(naive.instance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edge_sets)
+def test_bool_tc_all_methods_agree(edges):
+    db = Database(pops=BOOL, relations={"E": {e: True for e in edges}})
+    prog = programs.transitive_closure()
+    naive = naive_fixpoint(prog, db)
+    system = ground_program(prog, db)
+    grounded = assignment_to_instance(system, system.kleene().value)
+    semi = seminaive_fixpoint(prog, db)
+    linear = assignment_to_instance(system, linear_lfp(system, 0))
+    assert grounded.equals(naive.instance)
+    assert semi.instance.equals(naive.instance)
+    assert linear.equals(naive.instance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edge_sets)
+def test_bool_quadratic_tc_agrees(edges):
+    db = Database(pops=BOOL, relations={"E": {e: True for e in edges}})
+    prog = programs.quadratic_transitive_closure()
+    naive = naive_fixpoint(prog, db)
+    system = ground_program(prog, db)
+    grounded = assignment_to_instance(system, system.kleene().value)
+    semi = seminaive_fixpoint(prog, db)
+    assert grounded.equals(naive.instance)
+    assert semi.instance.equals(naive.instance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edge_sets, weights)
+def test_tropp_sssp_naive_vs_grounded(edges, w):
+    tp = TropicalPSemiring(1)
+    db = Database(
+        pops=tp,
+        relations={"E": {e: tp.singleton(w) for e in edges}},
+    )
+    prog = programs.sssp("a", source_value=tp.one, missing_value=tp.zero)
+    naive = naive_fixpoint(prog, db)
+    system = ground_program(prog, db)
+    grounded = assignment_to_instance(system, system.kleene().value)
+    linear = assignment_to_instance(system, linear_lfp(system, 1))
+    assert grounded.equals(naive.instance)
+    assert linear.equals(naive.instance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sets(
+        st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=8,
+    ),
+    st.dictionaries(
+        st.sampled_from(NODES),
+        st.integers(min_value=1, max_value=9).map(float),
+        min_size=1,
+    ),
+)
+def test_lifted_bom_naive_vs_grounded(edges, costs):
+    db = Database(
+        pops=LIFTED_REAL,
+        relations={"C": {(k,): v for k, v in costs.items()}},
+        bool_relations={"E": set(edges)},
+    )
+    prog = programs.bill_of_material()
+    naive = naive_fixpoint(prog, db)
+    system = ground_program(prog, db)
+    grounded = assignment_to_instance(system, system.kleene().value)
+    assert grounded.equals(naive.instance)
+
+
+@settings(max_examples=15, deadline=None)
+@given(edge_sets, weights)
+def test_trop_eta_sssp_naive_vs_grounded(edges, w):
+    te = TropicalEtaSemiring(2.0)
+    db = Database(
+        pops=te,
+        relations={"E": {e: te.singleton(w) for e in edges}},
+    )
+    prog = programs.sssp("a", source_value=te.one, missing_value=te.zero)
+    naive = naive_fixpoint(prog, db)
+    system = ground_program(prog, db)
+    grounded = assignment_to_instance(system, system.kleene().value)
+    assert grounded.equals(naive.instance)
+
+
+@settings(max_examples=15, deadline=None)
+@given(edge_sets, weights)
+def test_apsp_matches_floyd_warshall_kleene(edges, w):
+    """The matrix-closure solver agrees with the datalog° engine."""
+    from repro.semirings import KleeneClosure
+
+    db = Database(pops=TROP, relations={"E": {e: w for e in edges}})
+    result = naive_fixpoint(programs.apsp(), db)
+    nodes = sorted({n for e in edges for n in e})
+    if not nodes:
+        return
+    index = {n: i for i, n in enumerate(nodes)}
+    a = [[TROP.zero] * len(nodes) for _ in nodes]
+    for (x, y) in edges:
+        a[index[x]][index[y]] = w
+    closure = KleeneClosure(structure=TROP, stability_p=0).closure(a)
+    for x in nodes:
+        for y in nodes:
+            expected = closure[index[x]][index[y]]
+            if x == y:
+                # closure includes the trivial empty path; the program
+                # requires ≥ 1 edge.
+                continue
+            assert result.instance.get("T", (x, y)) == expected

@@ -1,0 +1,164 @@
+"""JSON serialization of values, instances and databases."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core import (
+    Database,
+    Instance,
+    database_from_dict,
+    database_to_dict,
+    decode_value,
+    dump_instance,
+    encode_value,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+)
+from repro.semirings import (
+    BOOL,
+    BOTTOM,
+    INF,
+    LIFTED_REAL,
+    NAT,
+    REAL,
+    THREE,
+    TOP,
+    TROP,
+    CompletedPOPS,
+    PowersetPOPS,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+
+ROUND_TRIP_SPACES = [
+    BOOL,
+    NAT,
+    TROP,
+    TropicalPSemiring(1),
+    TropicalPSemiring(2),
+    TropicalEtaSemiring(2.0),
+    LIFTED_REAL,
+    CompletedPOPS(REAL),
+    THREE,
+    PowersetPOPS(BOOL),
+]
+
+
+@pytest.mark.parametrize("pops", ROUND_TRIP_SPACES, ids=lambda s: s.name)
+def test_sample_values_round_trip(pops):
+    for value in pops.sample_values():
+        data = encode_value(value)
+        json.dumps(data)  # must be JSON-compatible
+        back = decode_value(data)
+        assert pops.eq(back, value), value
+
+
+def test_sentinels_and_infinity():
+    assert encode_value(BOTTOM) is None
+    assert decode_value(None) is BOTTOM
+    assert decode_value(encode_value(TOP)) is TOP
+    assert decode_value(encode_value(INF)) == INF
+    assert decode_value({"inf": False}) == -INF
+
+
+def test_bool_vs_int_fidelity():
+    assert decode_value(encode_value(True)) is True
+    assert decode_value(encode_value(1)) == 1
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ValueError):
+        decode_value({"mystery": 1})
+    with pytest.raises(TypeError):
+        encode_value(object())
+
+
+def test_instance_round_trip():
+    inst = Instance(TROP, {"T": {("a", "b"): 1.5, ("b", "c"): INF - 1}})
+    inst.set("L", ("a",), 0.0)
+    data = instance_to_dict(inst)
+    back = instance_from_dict(TROP, data)
+    assert back.equals(inst)
+
+
+def test_instance_round_trip_with_bottom_values_dropped():
+    inst = Instance(LIFTED_REAL)
+    inst.set("T", ("a",), 2.0)
+    data = instance_to_dict(inst)
+    back = instance_from_dict(LIFTED_REAL, data)
+    assert back.equals(inst)
+    assert back.get("T", ("z",)) is BOTTOM
+
+
+def test_database_round_trip():
+    db = Database(
+        pops=TROP,
+        relations={"E": {("a", "b"): 1.0}},
+        bool_relations={"Src": {("a",)}},
+    )
+    data = database_to_dict(db)
+    json.dumps(data)
+    back = database_from_dict(TROP, data)
+    assert back.relations == db.relations
+    assert back.bool_relations == db.bool_relations
+
+
+def test_file_level_helpers():
+    inst = Instance(TROP, {"T": {("a",): 3.0}})
+    buffer = io.StringIO()
+    dump_instance(inst, buffer)
+    buffer.seek(0)
+    back = load_instance(TROP, buffer)
+    assert back.equals(inst)
+
+
+def test_cli_json_output(tmp_path, capsys):
+    from repro.cli import main
+
+    program = tmp_path / "p.dl"
+    program.write_text("T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n")
+    edb = tmp_path / "e.json"
+    edb.write_text(json.dumps({
+        "relations": {"E": [[["a", "b"], 1.0], [["b", "c"], 2.0]]},
+    }))
+    code = main([
+        "run", str(program), "--pops", "trop", "--edb", str(edb),
+        "--output", "json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    entries = dict(
+        (tuple(key), value) for key, value in payload["instance"]["T"]
+    )
+    assert entries[("a", "c")] == 3.0
+    assert payload["pops"] == "Trop+"
+
+
+from hypothesis import given, settings, strategies as st
+
+from repro.semirings import TropicalPSemiring as _TP
+
+_tp2 = _TP(2)
+_costs = st.one_of(
+    st.just(INF), st.integers(min_value=0, max_value=50).map(float)
+)
+
+
+@settings(max_examples=60)
+@given(st.lists(_costs, max_size=5))
+def test_hypothesis_tropp_bag_round_trip(values):
+    bag = _tp2.from_values(values)
+    assert decode_value(encode_value(bag)) == bag
+
+
+@settings(max_examples=60)
+@given(st.sets(st.booleans()))
+def test_hypothesis_frozenset_round_trip(values):
+    fs = frozenset(values)
+    assert decode_value(encode_value(fs)) == fs

@@ -1,0 +1,143 @@
+"""LinearLFP (Algorithm 2 / Theorem 5.22) and the engine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs, workloads
+from repro.core import (
+    Database,
+    LinearFunction,
+    LinearityError,
+    Monomial,
+    Polynomial,
+    PolynomialSystem,
+    ground_program,
+    linear_lfp,
+    naive_fixpoint,
+    solve,
+)
+from repro.semirings import BOOL, BOTTOM, INF, LIFTED_REAL, TROP, TropicalPSemiring
+
+
+class TestLinearFunction:
+    def test_from_polynomial_merges_like_terms(self):
+        poly = Polynomial((
+            Monomial.make(1.0, {"x": 1}),
+            Monomial.make(2.0, {"x": 1}),
+            Monomial.make(5.0, {}),
+        ))
+        f = LinearFunction.from_polynomial(TROP, poly)
+        assert f.coeffs == {"x": 1.0}  # min(1, 2)
+        assert f.const == 5.0
+
+    def test_rejects_quadratic(self):
+        poly = Polynomial((Monomial.make(1.0, {"x": 2}),))
+        with pytest.raises(LinearityError):
+            LinearFunction.from_polynomial(TROP, poly)
+
+    def test_substitution_keeps_explicit_support(self):
+        """Substituting into a function that lacks the variable is a
+        no-op — no phantom 0-coefficients appear (the §5.5 subtlety)."""
+        f = LinearFunction(coeffs={}, const=3.0)
+        c = LinearFunction(coeffs={"y": 1.0}, const=0.0)
+        assert f.substitute(LIFTED_REAL, "x", c) is f
+
+    def test_evaluate(self):
+        f = LinearFunction(coeffs={"x": 2.0}, const=1.0)
+        assert f.evaluate(TROP, {"x": 5.0}) == 1.0  # min(1, 2+5)
+        assert f.evaluate(TROP, {"x": -0.5}) == 1.0
+
+
+class TestLinearLFP:
+    def _check_against_naive(self, system, p):
+        direct = linear_lfp(system, p)
+        iterated = system.kleene().value
+        for var in system.order:
+            a, b = direct[var], iterated[var]
+            if isinstance(a, float) and isinstance(b, float):
+                # Algorithm 2 reassociates ⊗-sums; floats may differ in
+                # the last ulp even though the fixpoints are equal.
+                assert a == pytest.approx(b), var
+            else:
+                assert system.pops.eq(a, b), var
+
+    def test_sssp_grounded(self, sssp_program, fig2a_trop_db):
+        system = ground_program(sssp_program, fig2a_trop_db)
+        self._check_against_naive(system, 0)
+
+    def test_apsp_grounded(self):
+        edges = workloads.random_weighted_digraph(5, 0.4, seed=2)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        system = ground_program(programs.apsp(), db)
+        self._check_against_naive(system, 0)
+
+    def test_reachability_over_bool(self):
+        dag = workloads.random_dag(6, 0.4, seed=1)
+        db = Database(pops=BOOL, relations={"E": {e: True for e in dag}})
+        system = ground_program(programs.transitive_closure(), db)
+        self._check_against_naive(system, 0)
+
+    def test_tropp_linear_system(self):
+        """p > 0: the star is a^(p); cross-check on the 3-cycle."""
+        p = 1
+        tp = TropicalPSemiring(p)
+        edges = {
+            k: tp.singleton(w)
+            for k, w in workloads.cycle_edges(3, weight=1.0).items()
+        }
+        db = Database(pops=tp, relations={"E": edges})
+        system = ground_program(programs.sssp(0), db)
+        self._check_against_naive(system, p)
+
+    def test_bom_grounded_over_lifted(self, bom_db):
+        """R⊥ is 0-stable (trivial core); Algorithm 2 handles the ⊥s."""
+        system = ground_program(programs.bill_of_material(), bom_db)
+        assert system.is_linear()
+        direct = linear_lfp(system, 0)
+        assert direct[("T", ("a",))] is BOTTOM
+        assert direct[("T", ("c",))] == 11.0
+        assert direct[("T", ("d",))] == 10.0
+
+    def test_rejects_nonlinear_system(self):
+        db = Database(pops=BOOL, relations={"E": {("a", "b"): True}})
+        system = ground_program(programs.quadratic_transitive_closure(), db)
+        with pytest.raises(LinearityError):
+            linear_lfp(system, 0)
+
+    def test_empty_system(self):
+        system = PolynomialSystem(pops=TROP, polynomials={})
+        assert linear_lfp(system, 0) == {}
+
+
+class TestEngineFacade:
+    @pytest.mark.parametrize(
+        "method,kwargs",
+        [
+            ("naive", {}),
+            ("seminaive", {}),
+            ("grounded", {}),
+            ("linear", {"stability_p": 0}),
+        ],
+    )
+    def test_all_methods_agree_on_sssp(
+        self, method, kwargs, sssp_program, fig2a_trop_db
+    ):
+        reference = solve(sssp_program, fig2a_trop_db, method="naive")
+        result = solve(sssp_program, fig2a_trop_db, method=method, **kwargs)
+        assert result.instance.equals(reference.instance)
+
+    def test_linear_requires_p(self, sssp_program, fig2a_trop_db):
+        with pytest.raises(ValueError):
+            solve(sssp_program, fig2a_trop_db, method="linear")
+
+    def test_unknown_method(self, sssp_program, fig2a_trop_db):
+        with pytest.raises(ValueError):
+            solve(sssp_program, fig2a_trop_db, method="magic")
+
+    def test_grounded_trace_conversion(self, sssp_program, fig2a_trop_db):
+        result = solve(
+            sssp_program, fig2a_trop_db, method="grounded", capture_trace=True
+        )
+        assert len(result.trace) == result.steps + 2
+        assert result.trace[-1].equals(result.instance)

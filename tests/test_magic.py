@@ -1,0 +1,219 @@
+"""Magic-set rewriting: query-directed evaluation (§1's optimization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs, workloads
+from repro.core import Database, NaiveEvaluator, naive_fixpoint
+from repro.core.magic import (
+    MagicError,
+    MagicQuery,
+    demanded_keys,
+    magic_registry,
+    magic_rewrite,
+    support_function,
+)
+from repro.semirings import BOOL, BOTTLENECK, LIFTED_REAL, TROP, VITERBI
+
+
+def run_magic(program, query, db):
+    rewritten = magic_rewrite(program, query, db.pops)
+    registry = magic_registry(db.pops)
+    return rewritten, naive_fixpoint(program=rewritten, database=db,
+                                     functions=registry)
+
+
+class TestSupportFunction:
+    @pytest.mark.parametrize("pops", [BOOL, TROP, BOTTLENECK, VITERBI],
+                             ids=lambda s: s.name)
+    def test_supp_values(self, pops):
+        supp = support_function(pops)
+        assert pops.eq(supp(pops.zero), pops.zero)
+        assert pops.eq(supp(pops.one), pops.one)
+        for v in pops.sample_values():
+            if not pops.eq(v, pops.zero):
+                assert pops.eq(supp(v), pops.one)
+
+    @pytest.mark.parametrize("pops", [BOOL, TROP, BOTTLENECK],
+                             ids=lambda s: s.name)
+    def test_supp_monotone(self, pops):
+        supp = support_function(pops)
+        for a in pops.sample_values():
+            for b in pops.sample_values():
+                if pops.leq(a, b):
+                    assert pops.leq(supp(a), supp(b))
+
+
+class TestQueryValidation:
+    def test_binding_count(self):
+        with pytest.raises(MagicError):
+            MagicQuery("T", "bf", ())
+        with pytest.raises(MagicError):
+            MagicQuery("T", "bx", ("a",))
+
+    def test_requires_idb(self):
+        with pytest.raises(MagicError):
+            magic_rewrite(
+                programs.transitive_closure(),
+                MagicQuery("E", "bf", ("a",)),
+                TROP,
+            )
+
+    def test_requires_matching_arity(self):
+        with pytest.raises(MagicError):
+            magic_rewrite(
+                programs.transitive_closure(),
+                MagicQuery("T", "b", ("a",)),
+                TROP,
+            )
+
+    def test_rejects_non_semiring_pops(self):
+        with pytest.raises(MagicError):
+            magic_rewrite(
+                programs.bill_of_material(),
+                MagicQuery("T", "f", ()),
+                LIFTED_REAL,
+            )
+
+
+class TestCorrectness:
+    """Demanded atoms keep their full-evaluation values exactly."""
+
+    def _compare(self, program, query, db, answer_rel):
+        full = naive_fixpoint(program, db)
+        _rw, magic = run_magic(program, query, db)
+        full_support = full.instance.support(answer_rel)
+        wanted = demanded_keys(query, list(full_support))
+        for key in wanted:
+            assert db.pops.eq(
+                magic.instance.get(answer_rel, key),
+                full.instance.get(answer_rel, key),
+            ), key
+        # Soundness: the magic run derives no wrong values anywhere.
+        for key, value in magic.instance.support(answer_rel).items():
+            assert db.pops.eq(value, full.instance.get(answer_rel, key))
+        return full, magic
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_tc_from_source_over_bool(self, seed):
+        edges = workloads.random_dag(9, 0.25, seed=seed)
+        db = Database(pops=BOOL, relations={"E": {e: True for e in edges}})
+        self._compare(
+            programs.transitive_closure(),
+            MagicQuery("T", "bf", (0,)),
+            db,
+            "T",
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_apsp_single_source_over_trop(self, seed):
+        edges = workloads.random_weighted_digraph(8, 0.3, seed=seed)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        self._compare(
+            programs.apsp(), MagicQuery("T", "bf", (0,)), db, "T"
+        )
+
+    def test_point_query_both_bound(self):
+        edges = workloads.fig_2a_graph()
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        full, magic = self._compare(
+            programs.apsp(), MagicQuery("T", "bb", ("a", "d")), db, "T"
+        )
+        assert magic.instance.get("T", ("a", "d")) == 8.0
+
+    def test_free_query_degenerates_to_full(self):
+        edges = workloads.fig_2a_graph()
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        full, magic = self._compare(
+            programs.apsp(), MagicQuery("T", "ff", ()), db, "T"
+        )
+        assert len(magic.instance.support("T")) == len(
+            full.instance.support("T")
+        )
+
+    def test_widest_path_query(self):
+        edges = {("s", "a"): 4.0, ("a", "t"): 3.0, ("s", "t"): 2.0,
+                 ("x", "y"): 9.0}
+        db = Database(pops=BOTTLENECK, relations={"E": dict(edges)})
+        _full, magic = self._compare(
+            programs.apsp(), MagicQuery("T", "bf", ("s",)), db, "T"
+        )
+        assert magic.instance.get("T", ("s", "t")) == 3.0
+
+
+class TestRelevanceRestriction:
+    def test_magic_derives_fewer_atoms(self):
+        """Two disconnected components: the undemanded one is skipped."""
+        edges = dict(workloads.line_edges(10))
+        # Second component shifted by 100.
+        edges.update({(a + 100, b + 100): w
+                      for (a, b), w in workloads.line_edges(10).items()})
+        db = Database(pops=TROP, relations={"E": edges})
+        full = naive_fixpoint(programs.apsp(), db)
+        _rw, magic = run_magic(
+            programs.apsp(), MagicQuery("T", "bf", (0,)), db
+        )
+        full_t = len(full.instance.support("T"))
+        magic_t = len(magic.instance.support("T"))
+        assert magic_t < full_t / 2
+        # And every demanded answer is still there.
+        assert magic.instance.get("T", (0, 9)) == 9.0
+
+    def test_magic_predicate_support_is_reachable_set(self):
+        edges = {("a", "b"): 1.0, ("b", "c"): 1.0, ("x", "y"): 1.0}
+        db = Database(pops=TROP, relations={"E": edges})
+        _rw, magic = run_magic(
+            programs.sssp("a", label="L"),
+            MagicQuery("L", "f", ()),
+            db,
+        )
+        assert set(magic.instance.support("L")) == {("a",), ("b",), ("c",)}
+
+    def test_work_reduction_counters(self):
+        """The rewritten program touches fewer tuples (E21 shape)."""
+        edges = dict(workloads.line_edges(12))
+        edges.update({(a + 100, b + 100): w
+                      for (a, b), w in workloads.line_edges(12).items()})
+        db = Database(pops=TROP, relations={"E": edges})
+        full_eval = NaiveEvaluator(programs.apsp(), db)
+        full_eval.run()
+        rewritten = magic_rewrite(
+            programs.apsp(), MagicQuery("T", "bf", (0,)), TROP
+        )
+        magic_eval = NaiveEvaluator(
+            rewritten, db, functions=magic_registry(TROP)
+        )
+        magic_eval.run()
+        assert magic_eval.stats.products < full_eval.stats.products
+
+
+class TestIdempotencyRequirement:
+    def test_rejects_non_idempotent_semiring(self):
+        from repro.semirings import NAT
+
+        with pytest.raises(MagicError) as err:
+            magic_rewrite(
+                programs.transitive_closure(),
+                MagicQuery("T", "bf", ("a",)),
+                NAT,
+            )
+        assert "idempotent" in str(err.value)
+
+    def test_quadratic_tc_demands_second_adornment(self):
+        """Example 6.6's TC²: T(X,Z)·T(Z,Y) demands T under bf twice
+        (the second occurrence is bf after Z is bound) — correctness
+        across occurrences."""
+        edges = workloads.random_dag(7, 0.35, seed=11)
+        db = Database(pops=BOOL, relations={"E": {e: True for e in edges}})
+        prog = programs.quadratic_transitive_closure()
+        full = naive_fixpoint(prog, db)
+        rewritten = magic_rewrite(prog, MagicQuery("T", "bf", (0,)), BOOL)
+        magic = naive_fixpoint(
+            rewritten, db, functions=magic_registry(BOOL)
+        )
+        for key, value in full.instance.support("T").items():
+            if key[0] == 0:
+                assert magic.instance.get("T", key) == value, key
+        for key, value in magic.instance.support("T").items():
+            assert full.instance.get("T", key) == value

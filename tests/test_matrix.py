@@ -1,0 +1,161 @@
+"""Matrix algebra over semirings (Section 5.5, Lemma 5.20)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import (
+    BOOL,
+    INF,
+    TROP,
+    AlgebraError,
+    KleeneClosure,
+    TropicalPSemiring,
+    cycle_matrix,
+    identity_matrix,
+    mat_add,
+    mat_eq,
+    mat_geometric,
+    mat_mul,
+    mat_vec,
+    matrix_stability_index,
+    zero_matrix,
+)
+
+
+def test_identity_and_zero():
+    ident = identity_matrix(TROP, 3)
+    assert ident[0][0] == 0.0 and ident[0][1] == INF
+    z = zero_matrix(TROP, 2, 3)
+    assert z == [[INF] * 3, [INF] * 3]
+
+
+def test_mat_mul_is_min_plus():
+    a = [[0.0, 1.0], [INF, 0.0]]
+    b = [[0.0, 5.0], [INF, 2.0]]
+    prod = mat_mul(TROP, a, b)
+    assert prod == [[0.0, 3.0], [INF, 2.0]]
+
+
+def test_mat_vec():
+    a = [[0.0, 1.0], [INF, 0.0]]
+    v = [2.0, 7.0]
+    assert mat_vec(TROP, a, v) == [2.0, 7.0]
+
+
+def test_mat_geometric_accumulates_paths():
+    """A^(q) over Trop+ holds shortest ≤q-hop path lengths."""
+    a = [
+        [INF, 1.0, INF],
+        [INF, INF, 2.0],
+        [INF, INF, INF],
+    ]
+    g2 = mat_geometric(TROP, a, 2)
+    assert g2[0][2] == 3.0  # two hops
+    g1 = mat_geometric(TROP, a, 1)
+    assert g1[0][2] == INF  # not yet reachable in one hop
+
+
+class TestMatrixStability:
+    def test_boolean_matrix_stable_within_n(self):
+        a = [[False, True], [True, False]]
+        report = matrix_stability_index(BOOL, a)
+        assert report.stable
+        assert report.index <= 2
+
+    def test_lemma_5_20_cycle_attains_bound(self):
+        """The n-cycle over Trop+_p has stability index (p+1)·n − 1."""
+        for p in (0, 1, 2):
+            tp = TropicalPSemiring(p)
+            for n in (2, 3, 4):
+                a = cycle_matrix(tp, n, tp.singleton(1.0))
+                report = matrix_stability_index(tp, a)
+                assert report.stable
+                assert report.index == (p + 1) * n - 1, (p, n)
+
+    def test_lemma_5_20_upper_bound_random(self):
+        import random
+
+        rng = random.Random(7)
+        p, n = 1, 4
+        tp = TropicalPSemiring(p)
+        for _ in range(10):
+            a = [
+                [
+                    tp.singleton(round(rng.uniform(1, 5), 2))
+                    if rng.random() < 0.5
+                    else tp.zero
+                    for _ in range(n)
+                ]
+                for _ in range(n)
+            ]
+            report = matrix_stability_index(tp, a)
+            assert report.stable
+            assert report.index <= (p + 1) * n - 1
+
+
+class TestKleeneClosure:
+    def test_requires_star_or_p(self):
+        with pytest.raises(AlgebraError):
+            KleeneClosure(structure=TROP)
+
+    def test_closure_is_all_pairs_shortest_paths(self):
+        a = [
+            [INF, 1.0, 5.0],
+            [INF, INF, 3.0],
+            [INF, INF, INF],
+        ]
+        closure = KleeneClosure(structure=TROP, stability_p=0).closure(a)
+        assert closure[0][1] == 1.0
+        assert closure[0][2] == 4.0  # via the middle node
+        assert closure[1][2] == 3.0
+        assert closure[0][0] == 0.0  # identity on the diagonal
+
+    def test_solve_affine_matches_iteration(self):
+        a = [
+            [INF, 2.0],
+            [1.0, INF],
+        ]
+        b = [0.0, INF]
+        solver = KleeneClosure(structure=TROP, stability_p=0)
+        x = solver.solve_affine(a, b)
+        # Iterate x ← A·x ⊕ b to convergence and compare.
+        cur = [INF, INF]
+        for _ in range(20):
+            nxt = [
+                TROP.add(v, w)
+                for v, w in zip(mat_vec(TROP, a, cur), b)
+            ]
+            if nxt == cur:
+                break
+            cur = nxt
+        assert x == cur
+
+    def test_closure_over_tropp_counts_multiple_paths(self):
+        """Over Trop+_1 the closure carries the two best path lengths."""
+        t1 = TropicalPSemiring(1)
+        a = [
+            [t1.zero, t1.from_values([1.0, 4.0])],
+            [t1.zero, t1.zero],
+        ]
+        closure = KleeneClosure(structure=t1, stability_p=1).closure(a)
+        assert closure[0][1] == (1.0, 4.0)
+
+    def test_cycle_closure_loops_p_times(self):
+        """Closure entry 1→n of the cycle holds the p+1 loopings
+        (Lemma 5.20's lower-bound discussion)."""
+        p, n = 2, 3
+        tp = TropicalPSemiring(p)
+        a = cycle_matrix(tp, n, tp.singleton(1.0))
+        closure = KleeneClosure(structure=tp, stability_p=(p + 1) * n - 1).closure(a)
+        # Paths 0→2: direct (2 edges), plus 1 loop (5), plus 2 loops (8).
+        assert closure[0][n - 1] == (2.0, 5.0, 8.0)
+
+
+def test_mat_add_and_eq():
+    a = [[1.0, INF], [0.0, 2.0]]
+    b = [[3.0, 4.0], [INF, 1.0]]
+    s = mat_add(TROP, a, b)
+    assert s == [[1.0, 4.0], [0.0, 1.0]]
+    assert mat_eq(TROP, s, s)
+    assert not mat_eq(TROP, a, b)

@@ -1,0 +1,244 @@
+"""Naïve evaluation (Algorithm 1): paper traces and oracle cross-checks."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import core, programs, workloads
+from repro.core import Database, NaiveEvaluator, naive_fixpoint
+from repro.fixpoint import DivergenceError
+from repro.semirings import (
+    BOOL,
+    BOTTOM,
+    INF,
+    LIFTED_REAL,
+    NAT,
+    TROP,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+
+
+class TestExample41Table:
+    """The SSSP iteration table of Example 4.1 over Trop+ (Fig. 2a)."""
+
+    def test_exact_trace(self, sssp_program, fig2a_trop_db):
+        result = naive_fixpoint(
+            sssp_program, fig2a_trop_db, capture_trace=True
+        )
+        rows = [
+            [snap.get("L", (n,)) for n in "abcd"] for snap in result.trace
+        ]
+        assert rows[0] == [INF, INF, INF, INF]
+        assert rows[1] == [0.0, INF, INF, INF]
+        assert rows[2] == [0.0, 1.0, 5.0, INF]
+        assert rows[3] == [0.0, 1.0, 4.0, 9.0]
+        assert rows[4] == [0.0, 1.0, 4.0, 8.0]
+        assert rows[5] == [0.0, 1.0, 4.0, 8.0]
+        # The paper counts 5 naïve applications (L⁽⁵⁾ = L⁽⁴⁾).
+        assert result.steps == 4
+        assert len(result.trace) == 6
+
+    def test_boolean_reading_is_reachability(self, sssp_program):
+        edges = {k: True for k in workloads.fig_2a_graph()}
+        db = Database(pops=BOOL, relations={"E": edges})
+        result = naive_fixpoint(sssp_program, db)
+        reach = workloads.reachable_nodes(set(workloads.fig_2a_graph()), "a")
+        for node in "abcd":
+            assert result.instance.get("L", (node,)) == (node in reach)
+
+    def test_tropp1_reading_is_two_shortest(self, sssp_program):
+        t1 = TropicalPSemiring(1)
+        edges = {
+            k: t1.singleton(w) for k, w in workloads.fig_2a_graph().items()
+        }
+        db = Database(pops=t1, relations={"E": edges})
+        prog = programs.sssp("a")
+        result = naive_fixpoint(prog, db)
+        assert result.instance.get("L", ("a",)) == (0.0, 3.0)
+        assert result.instance.get("L", ("b",)) == (1.0, 4.0)
+        assert result.instance.get("L", ("c",)) == (4.0, 5.0)
+        assert result.instance.get("L", ("d",)) == (8.0, 9.0)
+
+    def test_trop_eta_reading_is_near_optimal_lengths(self):
+        te = TropicalEtaSemiring(1.5)
+        edges = {
+            k: te.singleton(w) for k, w in workloads.fig_2a_graph().items()
+        }
+        db = Database(pops=te, relations={"E": edges})
+        result = naive_fixpoint(programs.sssp("a"), db)
+        # Paths to c: 4 (a-b-c) and 5 (a-c): both within η = 1.5.
+        assert result.instance.get("L", ("c",)) == (4.0, 5.0)
+        # Paths to d: 8 and 9.
+        assert result.instance.get("L", ("d",)) == (8.0, 9.0)
+
+
+class TestExample42Table:
+    def test_bom_trace(self, bom_db):
+        result = naive_fixpoint(
+            programs.bill_of_material(), bom_db, capture_trace=True
+        )
+        rows = [
+            [snap.get("T", (n,)) for n in "abcd"] for snap in result.trace
+        ]
+        assert rows[0] == [BOTTOM, BOTTOM, BOTTOM, BOTTOM]
+        assert rows[1] == [BOTTOM, BOTTOM, BOTTOM, 10.0]
+        assert rows[2] == [BOTTOM, BOTTOM, 11.0, 10.0]
+        assert rows[3] == [BOTTOM, BOTTOM, 11.0, 10.0]
+        assert result.steps == 2  # T⁽³⁾ = T⁽²⁾, the paper's "3 steps"
+
+    def test_bom_diverges_over_naturals(self):
+        edges, costs = workloads.fig_2b_bom()
+        db = Database(
+            pops=NAT,
+            relations={"C": {(k,): int(v) for k, v in costs.items()}},
+            bool_relations={"E": set(edges)},
+        )
+        with pytest.raises(DivergenceError):
+            naive_fixpoint(programs.bill_of_material(), db, max_iterations=50)
+
+    def test_bom_on_tree_over_naturals_converges(self):
+        edges, costs = workloads.part_hierarchy(depth=3, fanout=2, seed=1)
+        db = Database(
+            pops=NAT,
+            relations={"C": {(k,): int(v * 100) for k, v in costs.items()}},
+            bool_relations={"E": set(edges)},
+        )
+        result = naive_fixpoint(programs.bill_of_material(), db)
+        # Root total = sum of all scaled costs (each part counted once
+        # per occurrence; the hierarchy is a tree so once overall).
+        expected = sum(int(v * 100) for v in costs.values())
+        assert result.instance.get("T", (0,)) == expected
+
+    def test_bom_cycles_poison_ancestors_over_lifted(self):
+        edges, costs = workloads.part_hierarchy(
+            depth=3, fanout=2, seed=3, cyclic_back_edges=1
+        )
+        db = Database(
+            pops=LIFTED_REAL,
+            relations={"C": {(k,): v for k, v in costs.items()}},
+            bool_relations={"E": set(edges)},
+        )
+        result = naive_fixpoint(programs.bill_of_material(), db)
+        values = [
+            result.instance.get("T", (n,)) for n in costs
+        ]
+        assert any(v is BOTTOM for v in values)   # the cycle
+        assert any(v is not BOTTOM for v in values)  # leaves still priced
+
+
+class TestOracles:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_apsp_matches_networkx(self, seed):
+        edges = workloads.random_weighted_digraph(8, 0.3, seed=seed)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        result = naive_fixpoint(programs.apsp(), db)
+        graph = nx.DiGraph()
+        for (a, b), w in edges.items():
+            graph.add_edge(a, b, weight=w)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(graph))
+        for a in graph.nodes:
+            for b in graph.nodes:
+                expected = lengths.get(a, {}).get(b, INF)
+                if a == b and expected == 0:
+                    # The datalog° program computes paths of ≥ 1 edge;
+                    # a zero self-distance only appears via a cycle.
+                    continue
+                assert result.instance.get("T", (a, b)) == pytest.approx(
+                    expected
+                )
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_sssp_matches_dijkstra(self, seed):
+        edges = workloads.random_weighted_digraph(10, 0.25, seed=seed)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        result = naive_fixpoint(programs.sssp(0), db)
+        oracle = workloads.dijkstra(edges, 0)
+        nodes = {n for pair in edges for n in pair}
+        for node in nodes:
+            assert result.instance.get("L", (node,)) == pytest.approx(
+                oracle.get(node, INF)
+            )
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_tc_matches_networkx(self, seed):
+        dag = workloads.random_dag(8, 0.3, seed=seed)
+        db = Database(
+            pops=BOOL, relations={"E": {e: True for e in dag}}
+        )
+        result = naive_fixpoint(programs.transitive_closure(), db)
+        graph = nx.DiGraph(list(dag))
+        closure = nx.transitive_closure(graph)
+        for a in graph.nodes:
+            for b in graph.nodes:
+                assert result.instance.get("T", (a, b)) == closure.has_edge(
+                    a, b
+                )
+
+
+class TestConvergenceGuarantees:
+    def test_zero_stable_converges_within_n(self, fig2a_trop_db):
+        """Corollary 5.19: ≤ N steps over a 0-stable POPS (N = 4 here)."""
+        result = naive_fixpoint(programs.sssp("a"), fig2a_trop_db)
+        assert result.steps <= 4
+
+    def test_geometric_program_stability(self):
+        """x :- 1 ⊕ c·x converges over Trop+ and diverges over N (Eq. 29)."""
+        prog = programs.one_rule_program(TROP.one)
+        db = Database(pops=TROP, relations={"Cval": {("u",): 2.0}})
+        result = naive_fixpoint(prog, db)
+        assert result.instance.get("X", ("u",)) == 0.0
+
+        prog_n = programs.one_rule_program(NAT.one)
+        db_n = Database(pops=NAT, relations={"Cval": {("u",): 2}})
+        with pytest.raises(DivergenceError):
+            naive_fixpoint(prog_n, db_n, max_iterations=30)
+
+    def test_geometric_program_over_tropp_takes_p_steps(self):
+        """Over Trop+_p the iterates are c^(q); index p is reached for
+        the 1-element (Proposition 5.3 tightness)."""
+        p = 2
+        tp = TropicalPSemiring(p)
+        prog = programs.one_rule_program(tp.one)
+        db = Database(pops=tp, relations={"Cval": {("u",): tp.one}})
+        result = naive_fixpoint(prog, db, capture_trace=True)
+        # q-th iterate is 1^(q-1); stabilizes at q = p+1 → steps == p+1.
+        assert result.steps == p + 1
+
+
+class TestEvaluatorMechanics:
+    def test_stats_counters(self, sssp_program, fig2a_trop_db):
+        evaluator = NaiveEvaluator(sssp_program, fig2a_trop_db)
+        result = evaluator.run()
+        assert result.stats["iterations"] == result.steps + 1
+        assert result.stats["products"] > 0
+        assert result.stats["valuations"] == result.stats["products"]
+
+    def test_total_heads_flag_default(self, bom_db, fig2a_trop_db):
+        assert NaiveEvaluator(programs.bill_of_material(), bom_db).total_heads
+        assert not NaiveEvaluator(programs.sssp("a"), fig2a_trop_db).total_heads
+
+    def test_interpreted_head_key_function(self):
+        prog = programs.shipping_dates()
+        db = Database(
+            pops=NAT, relations={"Order": {("c1", 5): 1, ("c2", 9): 1}}
+        )
+        result = naive_fixpoint(prog, db)
+        assert result.instance.get("Shipping", ("c1", 6)) == 1
+        assert result.instance.get("Shipping", ("c2", 10)) == 1
+
+    def test_prefix_sum_case_statement(self):
+        length = 6
+        prog = programs.prefix_sum(length=length)
+        values = [3, 1, 4, 1, 5, 9]
+        db = Database(
+            pops=NAT,
+            relations={"V": {(i,): v for i, v in enumerate(values)}},
+            bool_relations={"Idx": {(i,) for i in range(length)}},
+        )
+        result = naive_fixpoint(prog, db)
+        acc = 0
+        for i, v in enumerate(values):
+            acc += v
+            assert result.instance.get("W", (i,)) == acc

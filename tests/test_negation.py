@@ -1,0 +1,176 @@
+"""Negation (Section 7): well-founded and Fitting/THREE semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import workloads
+from repro.negation import (
+    GroundNormalProgram,
+    NormalRule,
+    agrees_with_well_founded,
+    alternating_fixpoint,
+    fitting_fixpoint,
+    win_move_datalogo,
+    win_move_program,
+)
+from repro.semirings import BOTTOM, TOP
+
+
+def atoms(nodes):
+    return [("Win", n) for n in nodes]
+
+
+class TestSection71Table:
+    """The alternating-fixpoint trace of the win-move game (Fig. 4)."""
+
+    @pytest.fixture()
+    def model(self):
+        return alternating_fixpoint(win_move_program(workloads.fig_4_edges()))
+
+    def test_trace_rows_match_paper(self, model):
+        def row(t):
+            return [
+                1 if ("Win", n) in model.trace[t] else 0 for n in "abcdef"
+            ]
+
+        assert row(0) == [0, 0, 0, 0, 0, 0]
+        assert row(1) == [1, 1, 1, 1, 1, 0]
+        assert row(2) == [0, 0, 0, 0, 1, 0]
+        assert row(3) == [1, 1, 1, 0, 1, 0]
+        assert row(4) == [0, 0, 1, 0, 1, 0]
+        assert row(5) == row(3)
+        assert row(6) == row(4)
+
+    def test_well_founded_model(self, model):
+        assert model.true_atoms == {("Win", "c"), ("Win", "e")}
+        assert model.false_atoms == {("Win", "d"), ("Win", "f")}
+        assert model.undefined_atoms == {("Win", "a"), ("Win", "b")}
+
+    def test_value_accessor(self, model):
+        assert model.value(("Win", "c")) == "true"
+        assert model.value(("Win", "f")) == "false"
+        assert model.value(("Win", "a")) == "undef"
+
+    def test_even_odd_chains(self, model):
+        evens = model.trace[0::2]
+        odds = model.trace[1::2]
+        for lo, hi in zip(evens, evens[1:]):
+            assert lo <= hi
+        for hi, lo in zip(odds, odds[1:]):
+            assert lo <= hi
+
+
+class TestSection72Table:
+    """datalog° over THREE reproduces the same game (Fig. 4, §7.2)."""
+
+    def test_exact_trace(self):
+        result = win_move_datalogo(
+            workloads.fig_4_edges(), capture_trace=True
+        )
+        def row(t):
+            return [result.trace[t].get("Win", (n,)) for n in "abcdef"]
+
+        B = BOTTOM
+        assert row(0) == [B, B, B, B, B, B]
+        assert row(1) == [B, B, B, B, B, False]
+        assert row(2) == [B, B, B, B, True, False]
+        assert row(3) == [B, B, B, False, True, False]
+        assert row(4) == [B, B, True, False, True, False]
+        assert result.steps == 4  # W⁽⁵⁾ = W⁽⁴⁾
+
+    def test_matches_well_founded(self):
+        result = win_move_datalogo(workloads.fig_4_edges())
+        wf = alternating_fixpoint(win_move_program(workloads.fig_4_edges()))
+        state = {
+            ("Win", n): result.instance.get("Win", (n,)) for n in "abcdef"
+        }
+        assert agrees_with_well_founded(state, wf)
+        # On win-move the two are *equal*: nothing WF-defined stays ⊥.
+        for n in "abcdef":
+            v = state[("Win", n)]
+            expected = wf.value(("Win", n))
+            assert (v is BOTTOM) == (expected == "undef")
+
+    def test_four_never_produces_top(self):
+        """Fitting's Proposition 7.1 (§7.3): ⊤ is unreachable."""
+        result = win_move_datalogo(
+            workloads.fig_4_edges(), use_four=True, capture_trace=True
+        )
+        for snapshot in result.trace:
+            for rel in list(snapshot.relations()):
+                for value in snapshot.support(rel).values():
+                    assert value is not TOP
+
+    def test_three_and_four_agree(self):
+        r3 = win_move_datalogo(workloads.fig_4_edges())
+        r4 = win_move_datalogo(workloads.fig_4_edges(), use_four=True)
+        for n in "abcdef":
+            a = r3.instance.get("Win", (n,))
+            b = r4.instance.get("Win", (n,))
+            assert (a is BOTTOM and b is BOTTOM) or a == b
+
+
+class TestFittingGroundOperator:
+    def test_matches_datalogo_engine(self):
+        """The direct Fitting iteration equals the datalog° run."""
+        program = win_move_program(workloads.fig_4_edges())
+        result = fitting_fixpoint(program)
+        engine = win_move_datalogo(workloads.fig_4_edges())
+        for n in "abcdef":
+            direct = result.value[("Win", n)]
+            via_engine = engine.instance.get("Win", (n,))
+            assert (direct is BOTTOM and via_engine is BOTTOM) or (
+                direct == via_engine
+            )
+
+    def test_positive_program_self_loop_discrepancy(self):
+        """§7.3: P(a) :- P(a) is false under WF / minimal model but ⊥
+        under Fitting — the 'which is right?' example."""
+        program = GroundNormalProgram(
+            rules=[NormalRule(head="Pa", positive=("Pa",))]
+        )
+        wf = alternating_fixpoint(program)
+        assert wf.value("Pa") == "false"
+        fit = fitting_fixpoint(program)
+        assert fit.value["Pa"] is BOTTOM
+
+    def test_stratified_negation_agrees_everywhere(self):
+        """On a negation-free chain program all semantics coincide."""
+        program = GroundNormalProgram(
+            rules=[
+                NormalRule(head="A"),
+                NormalRule(head="B", positive=("A",)),
+                NormalRule(head="C", negative=("D",)),
+            ]
+        )
+        wf = alternating_fixpoint(program)
+        fit = fitting_fixpoint(program)
+        assert wf.value("A") == "true" and fit.value["A"] is True
+        assert wf.value("B") == "true" and fit.value["B"] is True
+        assert wf.value("C") == "true" and fit.value["C"] is True
+        assert wf.value("D") == "false" and fit.value["D"] is False
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fitting_below_wf_on_random_games(self, seed):
+        """Fitting ≤_k well-founded on random win-move graphs."""
+        import random
+
+        rng = random.Random(seed)
+        nodes = list(range(8))
+        edges = {
+            (a, b)
+            for a in nodes
+            for b in nodes
+            if a != b and rng.random() < 0.25
+        }
+        program = win_move_program(edges)
+        wf = alternating_fixpoint(program)
+        fit = fitting_fixpoint(program)
+        assert agrees_with_well_founded(fit.value, wf)
+
+    def test_convergence_within_n_steps(self):
+        """THREE's core is 0-stable: ≤ N steps (Corollary 5.19)."""
+        program = win_move_program(workloads.fig_4_edges())
+        result = fitting_fixpoint(program)
+        assert result.steps <= len(program.atoms)

@@ -1,0 +1,115 @@
+"""Newton's method over idempotent semirings (the §1/§8 alternative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs, workloads
+from repro.core import (
+    Database,
+    Monomial,
+    NewtonError,
+    Polynomial,
+    PolynomialSystem,
+    ground_program,
+    jacobian,
+    naive_fixpoint,
+    newton_fixpoint,
+    partial_derivative,
+)
+from repro.semirings import BOOL, BOTTLENECK, NAT, TROP, VITERBI
+
+
+class TestDerivatives:
+    def test_partial_of_linear(self):
+        # f = 2 ⊗ x ⊕ 5 over Trop+: ∂f/∂x = 2 everywhere.
+        f = Polynomial((
+            Monomial.make(2.0, {"x": 1}),
+            Monomial.make(5.0, {}),
+        ))
+        assert partial_derivative(TROP, f, "x", {"x": 1.0}) == 2.0
+        assert partial_derivative(TROP, f, "y", {"x": 1.0}) == TROP.zero
+
+    def test_partial_of_quadratic(self):
+        # f = x² over B at x = 1: ∂f/∂x = x (idempotent collapse of 2x).
+        f = Polynomial((Monomial.make(True, {"x": 2}),))
+        assert partial_derivative(BOOL, f, "x", {"x": True}) is True
+        assert partial_derivative(BOOL, f, "x", {"x": False}) is False
+
+    def test_mixed_monomial(self):
+        # f = x·y over Trop+: ∂f/∂x at y = 3 is 3.
+        f = Polynomial((Monomial.make(0.0, {"x": 1, "y": 1}),))
+        assert partial_derivative(TROP, f, "x", {"y": 3.0}) == 3.0
+
+    def test_jacobian_shape(self):
+        system = PolynomialSystem(
+            pops=TROP,
+            polynomials={
+                "x": Polynomial((Monomial.make(1.0, {"y": 1}),)),
+                "y": Polynomial((Monomial.make(2.0, {}),)),
+            },
+        )
+        jac = jacobian(system, {"x": 0.0, "y": 0.0})
+        assert jac == [[TROP.zero, 1.0], [TROP.zero, TROP.zero]]
+
+
+class TestNewtonCorrectness:
+    def _assert_matches_kleene(self, system, p=0):
+        newton = newton_fixpoint(system, stability_p=p)
+        kleene = system.kleene()
+        for var in system.order:
+            assert system.pops.eq(newton.value[var], kleene.value[var]), var
+        return newton, kleene
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_quadratic_tc_over_bool(self, seed):
+        dag = workloads.random_dag(7, 0.3, seed=seed)
+        db = Database(pops=BOOL, relations={"E": {e: True for e in dag}})
+        system = ground_program(programs.quadratic_transitive_closure(), db)
+        self._assert_matches_kleene(system)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_apsp_over_trop(self, seed):
+        edges = workloads.random_weighted_digraph(6, 0.35, seed=seed)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        system = ground_program(programs.apsp(), db)
+        self._assert_matches_kleene(system)
+
+    def test_widest_path_over_bottleneck(self):
+        edges = {("a", "b"): 3.0, ("b", "c"): 5.0, ("a", "c"): 2.0}
+        db = Database(pops=BOTTLENECK, relations={"E": edges})
+        system = ground_program(programs.apsp(), db)
+        newton, _ = self._assert_matches_kleene(system)
+        assert newton.value[("T", ("a", "c"))] == 3.0  # via b: min(3,5)
+
+    def test_viterbi_paths(self):
+        edges = {("a", "b"): 0.9, ("b", "c"): 0.9, ("a", "c"): 0.5}
+        db = Database(pops=VITERBI, relations={"E": edges})
+        system = ground_program(programs.apsp(), db)
+        newton, _ = self._assert_matches_kleene(system)
+        assert newton.value[("T", ("a", "c"))] == pytest.approx(0.81)
+
+    def test_fewer_outer_iterations_on_long_chain(self):
+        """The paper's trade-off: Newton needs far fewer iterations
+        than Kleene, paying a closure per step."""
+        edges = workloads.line_edges(16)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        system = ground_program(programs.sssp(0), db)
+        newton = newton_fixpoint(system)
+        kleene = system.kleene()
+        assert newton.iterations < kleene.steps
+        assert newton.closure_calls == newton.iterations
+
+    def test_rejects_non_idempotent(self):
+        system = PolynomialSystem(
+            pops=NAT,
+            polynomials={"x": Polynomial((Monomial.make(1, {}),))},
+        )
+        with pytest.raises(NewtonError):
+            newton_fixpoint(system)
+
+    def test_trace_capture(self):
+        db = Database(pops=BOOL, relations={"E": {("a", "b"): True}})
+        system = ground_program(programs.transitive_closure(), db)
+        result = newton_fixpoint(system, capture_trace=True)
+        assert len(result.trace) == result.iterations + 1

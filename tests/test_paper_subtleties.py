@@ -1,0 +1,251 @@
+"""Executable versions of the paper's fine-print arguments.
+
+Each test here corresponds to a specific inline argument of the paper
+that is easy to get wrong in an implementation:
+
+* Example 2.6 — why conditionals (not indicator functions) are needed
+  over a POPS whose 0 is not absorbing;
+* Proposition 2.4 — closure of the core semiring;
+* Lemma 3.2 / Lemma 3.3 — the two-function composition indices,
+  replayed on concrete monotone functions;
+* Example 5.15 — absorption of new monomials in a 1-stable semiring;
+* Section 2.2 — "we just have to be careful to not include monomials
+  we don't want".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BoolAtom,
+    Database,
+    Indicator,
+    Monomial,
+    Polynomial,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+    naive_fixpoint,
+    terms,
+)
+from repro.fixpoint import (
+    function_stability_index,
+    lemma_3_2_bound,
+    lemma_3_3_bound,
+)
+from repro.semirings import BOTTOM, LIFTED_REAL, TROP, TropicalPSemiring
+from repro.semirings.base import POPS
+
+
+class TestExample26ConditionalVsIndicator:
+    """Total cost of neighbours over R⊥: the indicator encoding breaks."""
+
+    def _db(self):
+        # Graph a→b, a→c; costs: b=2, c=3, d unknown (⊥ by absence is
+        # NOT the point — the paper's point is a node whose cost is
+        # unknown but which is *not* a neighbour of a).
+        return Database(
+            pops=LIFTED_REAL,
+            relations={"C": {("b",): 2.0, ("c",): 3.0}},
+            bool_relations={
+                "E": {("a", "b"), ("a", "c")},
+                "NodeSet": {("a",), ("b",), ("c",), ("d",)},
+            },
+        )
+
+    def test_conditional_version_is_correct(self):
+        """T(x) :- Σ_y {C(y) | E(x, y)} — Eq. (11), ranges only over
+        actual neighbours, so the unknown C(d) cannot poison T(a)."""
+        rule = Rule(
+            "T",
+            terms(["X"]),
+            (
+                SumProduct(
+                    (RelAtom("C", terms(["Y"])),),
+                    condition=BoolAtom("E", terms(["X", "Y"])),
+                ),
+            ),
+        )
+        program = Program(rules=[rule], edbs={"C": 1}, bool_edbs={"E": 2})
+        result = naive_fixpoint(program, self._db())
+        assert result.instance.get("T", ("a",)) == 5.0
+
+    def test_indicator_version_poisons_the_sum(self):
+        """T(x) :- Σ_y 1_{E(x,y)} ⊗ C(y) ranges over the whole domain:
+        the term for y = d is 0 ⊗ ⊥ = ⊥, and x ⊕ ⊥ = ⊥ — exactly the
+        failure Example 2.6 describes."""
+        rule = Rule(
+            "T",
+            terms(["X"]),
+            (
+                SumProduct(
+                    (
+                        Indicator(BoolAtom("E", terms(["X", "Y"]))),
+                        RelAtom("C", terms(["Y"])),
+                    ),
+                    condition=BoolAtom("NodeSet", terms(["X"]))
+                    & BoolAtom("NodeSet", terms(["Y"])),
+                ),
+            ),
+        )
+        program = Program(
+            rules=[rule], edbs={"C": 1}, bool_edbs={"E": 2, "NodeSet": 1}
+        )
+        result = naive_fixpoint(program, self._db())
+        assert result.instance.get("T", ("a",)) is BOTTOM
+
+
+class TestProposition24CoreClosure:
+    @pytest.mark.parametrize(
+        "pops",
+        [TROP, LIFTED_REAL, TropicalPSemiring(1)],
+        ids=lambda s: s.name,
+    )
+    def test_saturated_set_closed_under_operations(self, pops: POPS):
+        saturated = [pops.saturate(v) for v in pops.sample_values()]
+        for a in saturated:
+            for b in saturated:
+                for out in (pops.add(a, b), pops.mul(a, b)):
+                    assert pops.eq(out, pops.saturate(out))
+
+
+class TestLemma32And33Executable:
+    """Replay the composition lemmas on concrete capped counters."""
+
+    @staticmethod
+    def _eq(a, b):
+        return a == b
+
+    def test_lemma_3_2(self):
+        """g ignores x: h = (f, g) stabilizes within p + q (here exactly)."""
+        p, q = 3, 2
+        g = lambda y: min(y + 1, q)                 # q-stable on 0..q
+        f = lambda x, y: min(x + (1 if y == q else 0), p)  # p-stable once ȳ
+
+        def h(state):
+            x, y = state
+            return (f(x, y), g(y))
+
+        index = function_stability_index(h, (0, 0), self._eq)
+        assert index == p + q == lemma_3_2_bound(p, q)
+
+    def test_lemma_3_3_bound_respected(self):
+        """Mutually dependent pair: index ≤ pq + max(p, q)."""
+        p, q = 2, 2
+        f = lambda x, y: min(max(x, min(y, x + 1)), p)
+        g = lambda x, y: min(max(y, min(x, y + 1)), q)
+
+        def h(state):
+            x, y = state
+            return (f(x, y), g(x, y))
+
+        index = function_stability_index(h, (0, 0), self._eq)
+        assert index is not None
+        assert index <= lemma_3_3_bound(p, q)
+
+    def test_fixpoint_formula_of_lemma_3_3(self):
+        """x̄ = F^(p)(⊥) with F(x) = f(x, g_x^(q)(⊥)) reproduces lfp(h)."""
+        p_cap, q_cap = 3, 3
+        f = lambda x, y: min(x + (1 if y >= 1 else 0), p_cap)
+        g = lambda x, y: min(y + 1, q_cap)
+
+        def h(state):
+            x, y = state
+            return (f(x, y), g(x, y))
+
+        # Direct Kleene lfp of h.
+        state = (0, 0)
+        for _ in range(50):
+            nxt = h(state)
+            if nxt == state:
+                break
+            state = nxt
+        # Lemma 3.3 construction.
+        def g_q(x):
+            y = 0
+            for _ in range(q_cap + 1):
+                y = g(x, y)
+            return y
+
+        def big_f(x):
+            return f(x, g_q(x))
+
+        x_bar = 0
+        for _ in range(p_cap + 1):
+            x_bar = big_f(x_bar)
+        y_bar = g_q(x_bar)
+        assert (x_bar, y_bar) == state
+
+
+class TestExample515Absorption:
+    """Over a 1-stable semiring, f = a₀ + a₂x² + a₃x³ + a₄x⁴ has
+    stability index between 3 and 4: f⁽³⁾(0) ≠ f⁽²⁾(0) but
+    f⁽⁴⁾(0) = f⁽³⁾(0) — new monomials are absorbed (Example 5.15)."""
+
+    def _system(self, tp):
+        s = tp.singleton
+        return Polynomial((
+            Monomial.make(s(1.0), {}),
+            Monomial.make(s(2.0), {"x": 2}),
+            Monomial.make(s(3.0), {"x": 3}),
+            Monomial.make(s(5.0), {"x": 4}),
+        ))
+
+    def test_stability_between_three_and_four(self):
+        tp = TropicalPSemiring(1)
+        f = self._system(tp)
+
+        def step(x):
+            return f.evaluate(tp, {"x": x}, tp.zero)
+
+        trace = [tp.zero]
+        for _ in range(8):
+            trace.append(step(trace[-1]))
+        # f⁽¹⁾ ≠ f⁽²⁾ ≠ f⁽³⁾ in general; must be stationary by q = 4
+        # (Lemma 5.11: univariate over a p-stable semiring is
+        # (p+2)-stable; here p = 1 ⇒ index ≤ 3).
+        assert trace[4] == trace[5] == trace[6]
+        assert trace[3] == trace[4] or trace[2] != trace[3]
+
+    @pytest.mark.parametrize("p", [0, 1, 2])
+    def test_lemma_5_11_univariate_bound(self, p):
+        """Univariate polynomials over a p-stable semiring are
+        (p+2)-stable (Lemma 5.11(c)); linear ones (p+1)-stable (b)."""
+        tp = TropicalPSemiring(p)
+        quartic = self._system(tp)
+
+        def step_quartic(x):
+            return quartic.evaluate(tp, {"x": x}, tp.zero)
+
+        idx = function_stability_index(step_quartic, tp.zero, tp.eq, budget=50)
+        assert idx is not None and idx <= p + 2
+
+        linear = Polynomial((
+            Monomial.make(tp.singleton(1.0), {}),
+            Monomial.make(tp.singleton(2.0), {"x": 1}),
+        ))
+
+        def step_linear(x):
+            return linear.evaluate(tp, {"x": x}, tp.zero)
+
+        idx_lin = function_stability_index(step_linear, tp.zero, tp.eq, budget=50)
+        assert idx_lin is not None and idx_lin <= p + 1
+
+
+class TestSection22MonomialOmission:
+    def test_zero_coefficient_vs_omitted_monomial(self):
+        """f(x) = 0·x + b  vs  g = b over R⊥ differ exactly at ⊥ —
+        the Section 2.2 warning, at the polynomial-system level."""
+        f = Polynomial((
+            Monomial.make(0.0, {"x": 1}),
+            Monomial.make(4.0, {}),
+        ))
+        g = Polynomial((Monomial.make(4.0, {}),))
+        assert f.evaluate(LIFTED_REAL, {"x": BOTTOM}, BOTTOM) is BOTTOM
+        assert g.evaluate(LIFTED_REAL, {"x": BOTTOM}, BOTTOM) == 4.0
+        # On defined inputs they agree:
+        assert f.evaluate(LIFTED_REAL, {"x": 2.0}, BOTTOM) == g.evaluate(
+            LIFTED_REAL, {"x": 2.0}, BOTTOM
+        )

@@ -1,0 +1,211 @@
+"""The datalog° text parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BoolAtom,
+    Compare,
+    Constant,
+    FuncFactor,
+    Indicator,
+    KeyAsValue,
+    ParseError,
+    RelAtom,
+    SumProduct,
+    ValueConst,
+    Variable,
+    parse_program,
+    tokenize,
+)
+from repro.core.ast import KeyFunc, TrueCond
+
+
+class TestTokenizer:
+    def test_basic_stream(self):
+        toks = tokenize("T(X, Y) :- E(X, Y).")
+        kinds = [t.kind for t in toks]
+        assert kinds[:4] == ["name", "punct", "name", "punct"]
+        assert "implies" in kinds
+        assert kinds[-1] == "eof"
+
+    def test_comments_and_whitespace(self):
+        toks = tokenize("// nothing\nT(X) :- E(X). # trailing\n")
+        assert all(t.kind not in ("ws", "comment") for t in toks)
+
+    def test_numbers_and_strings(self):
+        toks = tokenize("3 4.5 -2 'hi there'")
+        assert [t.kind for t in toks[:-1]] == ["number"] * 3 + ["string"]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nbb\n  ccc")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3 and toks[2].col == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("T(X) :- ?")
+        assert "line 1" in str(err.value)
+
+
+class TestParser:
+    def test_transitive_closure(self):
+        prog = parse_program("T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).")
+        assert len(prog.rules) == 1
+        rule = prog.rules[0]
+        assert rule.head_relation == "T"
+        assert rule.bodies[0].factors == (RelAtom("E", (Variable("X"), Variable("Y"))),)
+        assert len(rule.bodies[1].factors) == 2
+
+    def test_declarations(self):
+        prog = parse_program(
+            """
+            edb C/1.
+            bool E/2.
+            idb T/1.
+            T(X) :- C(X) | { T(Y) if E(X, Y) }.
+            """
+        )
+        assert prog.edbs["C"] == 1
+        assert prog.bool_edbs["E"] == 2
+        assert prog.idbs["T"] == 1
+
+    def test_conditional_body(self):
+        prog = parse_program("T(X) :- { C(Y) if E(X, Y) and Y != X }.")
+        body = prog.rules[0].bodies[0]
+        assert isinstance(body.condition.parts[0], BoolAtom)
+        assert isinstance(body.condition.parts[1], Compare)
+
+    def test_indicator_and_constants(self):
+        prog = parse_program("L(X) :- [X = a] | L(Z) * E(Z, X).")
+        ind = prog.rules[0].bodies[0].factors[0]
+        assert isinstance(ind, Indicator)
+        assert ind.condition == Compare("==", Variable("X"), Constant("a"))
+
+    def test_value_constant(self):
+        prog = parse_program("X(u) :- $1 | Cval(u) * X(u).")
+        vc = prog.rules[0].bodies[0].factors[0]
+        assert vc == ValueConst(1)
+
+    def test_float_and_string_constants(self):
+        prog = parse_program("R(X) :- E(X, 2.5) | E(X, 'n one').")
+        atom = prog.rules[0].bodies[0].factors[0]
+        assert atom.args[1] == Constant(2.5)
+        atom2 = prog.rules[0].bodies[1].factors[0]
+        assert atom2.args[1] == Constant("n one")
+
+    def test_interpreted_value_function(self):
+        prog = parse_program("Win(X) :- { E(X, Y) * not(Win(Y)) }.")
+        fn = prog.rules[0].bodies[0].factors[1]
+        assert isinstance(fn, FuncFactor)
+        assert fn.name == "not"
+        assert isinstance(fn.args[0], RelAtom)
+
+    def test_key_as_value(self):
+        prog = parse_program("S(X, Y) :- { val(C) if Length(X, Y, C) }.")
+        kv = prog.rules[0].bodies[0].factors[0]
+        assert isinstance(kv, KeyAsValue)
+        assert kv.convert is None
+        prog2 = parse_program("S(X) :- { val(C, to_trop) if L(X, C) }.")
+        assert prog2.rules[0].bodies[0].factors[0].convert == "to_trop"
+
+    def test_key_function_resolution(self):
+        prog = parse_program(
+            "W(I) :- { W(pred(I)) if Idx(I) and I > 0 }"
+            " | { V(I) if Idx(I) }.",
+            key_functions={"pred": lambda i: i - 1},
+        )
+        atom = prog.rules[0].bodies[0].factors[0]
+        assert isinstance(atom.args[0], KeyFunc)
+        assert atom.args[0].fn(5) == 4
+
+    def test_unknown_key_function(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("W(I) :- { W(pred(I)) if Idx(I) }.")
+        assert "pred" in str(err.value)
+
+    def test_or_and_not_conditions(self):
+        prog = parse_program(
+            "T(X) :- { C(X) if (A(X) or B(X)) and not D(X) }."
+        )
+        cond = prog.rules[0].bodies[0].condition
+        assert cond.variables() == {"X"}
+
+    def test_unconditioned_braces(self):
+        prog = parse_program("T(X) :- { C(X) }.")
+        assert isinstance(prog.rules[0].bodies[0].condition, TrueCond)
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("T(X) :- C(X)")
+
+    def test_garbage_factor(self):
+        with pytest.raises(ParseError):
+            parse_program("T(X) :- | .")
+
+    def test_true_condition_keyword(self):
+        prog = parse_program("T(X) :- { C(X) if true }.")
+        assert isinstance(prog.rules[0].bodies[0].condition, TrueCond)
+
+
+class TestCaseStatements:
+    def test_case_rule_desugaring(self):
+        prog = parse_program(
+            """
+            W(I) :- case I = 0 : V(0) ;
+                    I > 0 and Idx(I) : W(pred(I)) ;
+                    else : V(I).
+            """,
+            key_functions={"pred": lambda i: i - 1},
+        )
+        rule = prog.rules[0]
+        assert len(rule.bodies) == 3
+        # Later branches carry the negations of earlier conditions.
+        assert "¬" in str(rule.bodies[1].condition)
+        assert str(rule.bodies[2].condition).count("¬") == 2
+
+    def test_case_rule_runs_prefix_sum(self):
+        from repro.core import Database, naive_fixpoint
+        from repro.semirings import NAT
+
+        prog = parse_program(
+            """
+            W(I) :- case I = 0 : V(0) ;
+                    I > 0 and Idx(I) : W(pred(I)) ;
+                    I > 0 and Idx(I) : V(I).
+            """,
+            key_functions={"pred": lambda i: i - 1},
+        )
+        # The second and third branches share a condition, so the
+        # desugaring makes the third unreachable (¬C₂ ∧ C₂); encode the
+        # ⊕ within one branch instead via two rules:
+        prog2 = parse_program(
+            """
+            W(I) :- { V(0) if I = 0 }
+                  | { W(pred(I)) if I > 0 and Idx(I) }
+                  | { V(I) if I > 0 and Idx(I) }.
+            """,
+            key_functions={"pred": lambda i: i - 1},
+        )
+        values = [3, 1, 4, 1, 5]
+        db = Database(
+            pops=NAT,
+            relations={"V": {(i,): v for i, v in enumerate(values)}},
+            bool_relations={"Idx": {(i,) for i in range(len(values))}},
+        )
+        result = naive_fixpoint(prog2, db)
+        acc = 0
+        for i, v in enumerate(values):
+            acc += v
+            assert result.instance.get("W", (i,)) == acc
+        del prog
+
+    def test_case_missing_colon(self):
+        with pytest.raises(ParseError):
+            parse_program("W(I) :- case I = 0 V(0).")
+
+    def test_semicolon_requires_more_branches(self):
+        with pytest.raises(ParseError):
+            parse_program("W(I) :- case I = 0 : V(0) ; .")

@@ -1,0 +1,125 @@
+"""The law checkers must detect violations (refutation soundness)."""
+
+from __future__ import annotations
+
+from repro.semirings import BOOL, NAT, Value
+from repro.semirings.base import NaturallyOrderedSemiring
+from repro.semirings.properties import (
+    check_absorption,
+    check_commutative_monoid,
+    check_distributivity,
+    check_idempotent_add,
+    check_minus_laws,
+    check_monotonicity,
+    check_partial_order,
+    check_pops,
+    check_strictness,
+)
+
+
+class BrokenMax(NaturallyOrderedSemiring):
+    """(N, max, +) with deliberately wrong claims: not distributive-free
+    — actually (max, +) IS a semiring; we corrupt mul to subtraction."""
+
+    name = "broken"
+    zero = 0
+    one = 0
+
+    def add(self, a: Value, b: Value) -> Value:
+        return max(a, b)
+
+    def mul(self, a: Value, b: Value) -> Value:
+        return a - b  # non-commutative, breaks everything downstream
+
+    def leq(self, a: Value, b: Value) -> bool:
+        return a <= b
+
+    def sample_values(self):
+        return (0, 1, 2)
+
+
+def test_commutativity_violation_detected():
+    witness = check_commutative_monoid(BrokenMax(), (0, 1, 2), "mul", 0)
+    assert witness is not None
+    assert witness[0] in ("commutativity", "unit", "associativity")
+
+
+def test_distributivity_violation_detected():
+    class NonDistributive(BrokenMax):
+        def mul(self, a: Value, b: Value) -> Value:
+            return max(a, b) + (1 if a != b else 0)
+
+    witness = check_distributivity(NonDistributive(), (0, 1, 2))
+    assert witness is not None and witness[0] == "distributivity"
+
+
+def test_absorption_violation_detected():
+    class NoAbsorb(BrokenMax):
+        is_semiring = True
+
+        def mul(self, a: Value, b: Value) -> Value:
+            return a + b  # (max, +): 0 is not absorbing
+
+    witness = check_absorption(NoAbsorb(), (1, 2))
+    assert witness == ("absorption", 1)
+
+
+def test_partial_order_violation_detected():
+    class BadOrder(BrokenMax):
+        def mul(self, a: Value, b: Value) -> Value:
+            return a + b
+
+        def leq(self, a: Value, b: Value) -> bool:
+            return True  # not antisymmetric
+
+    witness = check_partial_order(BadOrder(), (0, 1))
+    assert witness is not None and witness[0] == "antisymmetry"
+
+
+def test_monotonicity_violation_detected():
+    class NotMonotone(BrokenMax):
+        def mul(self, a: Value, b: Value) -> Value:
+            return max(a, b)
+
+        def add(self, a: Value, b: Value) -> Value:
+            return abs(a - b)  # wildly non-monotone
+
+        def leq(self, a: Value, b: Value) -> bool:
+            return a <= b
+
+        @property
+        def bottom(self):
+            return 0
+
+    witness = check_monotonicity(NotMonotone(), (0, 1, 2))
+    assert witness is not None
+
+
+def test_strictness_violation_detected():
+    class FalseStrict(BrokenMax):
+        plus_is_strict = True  # wrong claim: max(x, 0) = x ≠ 0
+        mul_is_strict = False
+
+        def mul(self, a: Value, b: Value) -> Value:
+            return a + b
+
+    witness = check_strictness(FalseStrict(), (1,))
+    assert witness == ("plus-strict", 1)
+
+
+def test_idempotency_check():
+    assert check_idempotent_add(BOOL, (False, True)) is None
+    assert check_idempotent_add(NAT, (0, 1, 2)) == ("idempotency", 1)
+
+
+def test_minus_law_violation_detected():
+    class BadMinus(type(BOOL)):
+        def minus(self, b, a):
+            return b  # ignores a: breaks Eq. 60
+
+    witness = check_minus_laws(BadMinus(), (False, True))
+    assert witness is not None
+
+
+def test_check_pops_passes_sound_structure():
+    assert check_pops(BOOL) is None

@@ -1,0 +1,166 @@
+"""Exhaustive axiom batteries over every structure's sample values.
+
+Every POPS in the library must satisfy the pre-semiring laws, its
+declared flags (absorption when ``is_semiring``, strictness), the
+partial-order axioms, and operator monotonicity (Definitions 2.1/2.3).
+
+Two documented exceptions:
+
+* ``LEX_NN`` — the paper's own divergence witness (Section 4.2 case (i))
+  has a ``⊗`` that is monotone only against multipliers with non-zero
+  first component; we assert exactly that weaker property.
+* ``P(S)`` over non-idempotent bases is only sub-distributive (module
+  docstring of :mod:`repro.semirings.powerset`); the battery covers the
+  idempotent instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import (
+    BOOL,
+    FOUR,
+    FREE,
+    LEX_NN,
+    LIFTED_NAT,
+    LIFTED_REAL,
+    NAT,
+    NAT_INF,
+    REAL_PLUS,
+    THREE,
+    TROP,
+    CompletedPOPS,
+    PowersetPOPS,
+    ProductPOPS,
+    REAL,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+from repro.semirings.properties import (
+    check_monotonicity,
+    check_partial_order,
+    check_pops,
+    check_pre_semiring,
+    check_strictness,
+)
+
+FULL_BATTERY = [
+    BOOL,
+    NAT,
+    NAT_INF,
+    REAL_PLUS,
+    TROP,
+    TropicalPSemiring(0),
+    TropicalPSemiring(1),
+    TropicalPSemiring(2),
+    TropicalEtaSemiring(0.0),
+    TropicalEtaSemiring(2.0),
+    LIFTED_REAL,
+    LIFTED_NAT,
+    CompletedPOPS(REAL),
+    THREE,
+    FOUR,
+    PowersetPOPS(BOOL),
+    ProductPOPS(BOOL, TROP),
+    ProductPOPS(LIFTED_REAL, TROP),
+    FREE,
+]
+
+
+@pytest.mark.parametrize("pops", FULL_BATTERY, ids=lambda s: s.name)
+def test_full_pops_battery(pops):
+    witness = check_pops(pops)
+    assert witness is None, f"{pops.name} violates {witness}"
+
+
+def test_lexicographic_pairs_presemiring_and_order():
+    vals = LEX_NN.sample_values()
+    assert check_pre_semiring(LEX_NN, vals) is None
+    assert check_partial_order(LEX_NN, vals) is None
+    assert check_strictness(LEX_NN, vals) is None
+
+
+def test_lexicographic_pairs_add_monotone():
+    vals = LEX_NN.sample_values()
+    for a in vals:
+        for a2 in vals:
+            if not LEX_NN.leq(a, a2):
+                continue
+            for b in vals:
+                assert LEX_NN.leq(LEX_NN.add(a, b), LEX_NN.add(a2, b))
+
+
+def test_lexicographic_pairs_mul_monotone_against_positive_first():
+    vals = LEX_NN.sample_values()
+    positive = [v for v in vals if v[0] > 0]
+    for a in vals:
+        for a2 in vals:
+            if not LEX_NN.leq(a, a2):
+                continue
+            for b in positive:
+                assert LEX_NN.leq(LEX_NN.mul(a, b), LEX_NN.mul(a2, b))
+
+
+def test_lexicographic_pairs_mul_not_monotone_in_general():
+    # The known gap: multiplying by (0, b) collapses the first
+    # coordinate, breaking lexicographic monotonicity.
+    a, a2, b = (0, 5), (1, 0), (0, 5)
+    assert LEX_NN.leq(a, a2)
+    assert not LEX_NN.leq(LEX_NN.mul(a, b), LEX_NN.mul(a2, b))
+
+
+@pytest.mark.parametrize(
+    "pops",
+    [BOOL, NAT, NAT_INF, REAL_PLUS, TROP, FREE],
+    ids=lambda s: s.name,
+)
+def test_naturally_ordered_semirings_have_bottom_zero(pops):
+    assert pops.is_naturally_ordered
+    assert pops.eq(pops.bottom, pops.zero)
+
+
+@pytest.mark.parametrize(
+    "pops",
+    [LIFTED_REAL, LIFTED_NAT, THREE, FOUR],
+    ids=lambda s: s.name,
+)
+def test_non_naturally_ordered_pops_distinguish_bottom_and_zero(pops):
+    assert not pops.is_naturally_ordered
+    assert not pops.eq(pops.bottom, pops.zero)
+
+
+def test_powerset_subdistributivity_failure_over_naturals():
+    """Over N, pointwise lifting is strictly sub-distributive."""
+    ps = PowersetPOPS(NAT)
+    a = frozenset({0, 1})
+    b = frozenset({1})
+    c = frozenset({1})
+    lhs = ps.mul(a, ps.add(b, c))
+    rhs = ps.add(ps.mul(a, b), ps.mul(a, c))
+    assert lhs != rhs
+    assert lhs < rhs  # strict subset: sub-distributive
+
+
+def test_powerset_subdistributive_inclusion_holds_generally():
+    """``A ⊗ (B ⊕ C) ⊆ (A ⊗ B) ⊕ (A ⊗ C)`` for P(Trop+) samples."""
+    ps = PowersetPOPS(TROP)
+    vals = ps.sample_values()
+    for a in vals:
+        for b in vals:
+            for c in vals:
+                lhs = ps.mul(a, ps.add(b, c))
+                rhs = ps.add(ps.mul(a, b), ps.mul(a, c))
+                assert lhs <= rhs
+
+
+def test_powerset_bool_laws_exhaustive():
+    """P(B) satisfies every POPS law over its full 4-element carrier."""
+    ps = PowersetPOPS(BOOL)
+    carrier = [
+        frozenset(),
+        frozenset({False}),
+        frozenset({True}),
+        frozenset({False, True}),
+    ]
+    assert check_pops(ps, carrier) is None

@@ -1,0 +1,67 @@
+"""The Boolean semiring ``B`` (Example 2.2) and its dioid structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import BOOL
+from repro.semirings.properties import check_idempotent_add, check_minus_laws
+
+
+def test_truth_tables():
+    assert BOOL.add(False, False) is False
+    assert BOOL.add(False, True) is True
+    assert BOOL.add(True, True) is True
+    assert BOOL.mul(True, True) is True
+    assert BOOL.mul(True, False) is False
+    assert BOOL.mul(False, False) is False
+
+
+def test_units_and_flags():
+    assert BOOL.zero is False
+    assert BOOL.one is True
+    assert BOOL.is_semiring
+    assert BOOL.is_naturally_ordered
+    assert BOOL.bottom is False
+
+
+def test_natural_order():
+    assert BOOL.leq(False, True)
+    assert not BOOL.leq(True, False)
+    assert BOOL.leq(True, True)
+    assert BOOL.leq(False, False)
+
+
+def test_dioid_laws():
+    assert check_idempotent_add(BOOL, BOOL.sample_values()) is None
+    assert check_minus_laws(BOOL, BOOL.sample_values()) is None
+
+
+def test_minus_is_and_not():
+    assert BOOL.minus(True, False) is True
+    assert BOOL.minus(True, True) is False
+    assert BOOL.minus(False, True) is False
+    assert BOOL.minus(False, False) is False
+
+
+def test_zero_stability():
+    """B is 0-stable: 1 ⊕ c = 1 for every c."""
+    for c in (False, True):
+        assert BOOL.eq(BOOL.add(BOOL.one, c), BOOL.one)
+
+
+def test_geometric_series():
+    assert BOOL.geometric(False, 0) is True
+    assert BOOL.geometric(True, 5) is True
+
+
+def test_power():
+    assert BOOL.power(True, 0) is True
+    assert BOOL.power(False, 0) is True
+    assert BOOL.power(False, 3) is False
+
+
+def test_validation():
+    assert BOOL.is_valid(True)
+    assert not BOOL.is_valid(1)
+    assert not BOOL.is_valid("yes")

@@ -1,0 +1,111 @@
+"""Lifted / completed POPS (Section 2.5.1) and Lemma 2.8."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import (
+    BOTTOM,
+    LIFTED_NAT,
+    LIFTED_REAL,
+    NAT,
+    REAL,
+    TOP,
+    CompletedPOPS,
+    LiftedPOPS,
+)
+from repro.semirings.stability import core_is_trivial
+
+
+class TestLiftedReals:
+    def test_strict_operations(self):
+        assert LIFTED_REAL.add(3.0, BOTTOM) is BOTTOM
+        assert LIFTED_REAL.mul(3.0, BOTTOM) is BOTTOM
+        assert LIFTED_REAL.add(BOTTOM, BOTTOM) is BOTTOM
+        assert LIFTED_REAL.mul(0.0, BOTTOM) is BOTTOM  # 0 does NOT absorb ⊥
+
+    def test_not_a_semiring(self):
+        """0 ⊗ ⊥ = ⊥ ≠ 0: lifting never yields a semiring (§2.5.1)."""
+        assert not LIFTED_REAL.is_semiring
+        assert not LIFTED_REAL.eq(
+            LIFTED_REAL.mul(LIFTED_REAL.zero, BOTTOM), LIFTED_REAL.zero
+        )
+
+    def test_base_arithmetic_preserved(self):
+        assert LIFTED_REAL.add(2.0, 3.5) == 5.5
+        assert LIFTED_REAL.mul(2.0, 3.5) == 7.0
+        assert LIFTED_REAL.zero == 0.0
+        assert LIFTED_REAL.one == 1.0
+
+    def test_flat_order(self):
+        assert LIFTED_REAL.leq(BOTTOM, 3.0)
+        assert LIFTED_REAL.leq(3.0, 3.0)
+        assert not LIFTED_REAL.leq(3.0, 4.0)
+        assert not LIFTED_REAL.leq(3.0, BOTTOM)
+
+    def test_core_semiring_is_trivial(self):
+        assert core_is_trivial(LIFTED_REAL)
+        core = LIFTED_REAL.core_semiring()
+        assert core.eq(core.zero, BOTTOM)
+        assert core.eq(core.one, BOTTOM)
+        assert core.eq(core.add(core.one, core.one), BOTTOM)
+
+    def test_bottom_identity_is_shared_and_copy_safe(self):
+        import copy
+
+        assert copy.deepcopy(BOTTOM) is BOTTOM
+        assert copy.copy(BOTTOM) is BOTTOM
+        assert LIFTED_REAL.bottom is LIFTED_NAT.bottom
+
+
+class TestLemma28:
+    """Lemma 2.8: no POPS extension of R satisfies the absorption law.
+
+    The algebraic proof forces ⊥ ⊕ x = ⊥ and ⊥ ⊗ x = ⊥ (x ≠ 0) in any
+    POPS extension of the full reals; we verify those forced identities
+    on the lifted reals and exhibit the absorption failure.
+    """
+
+    def test_forced_identities(self):
+        for x in (-2.0, 1.0, 3.5):
+            assert LIFTED_REAL.add(BOTTOM, x) is BOTTOM
+            assert LIFTED_REAL.mul(BOTTOM, x) is BOTTOM
+
+    def test_absorption_fails(self):
+        assert LIFTED_REAL.mul(BOTTOM, 0.0) is BOTTOM
+        assert BOTTOM is not LIFTED_REAL.zero
+
+
+class TestCompleted:
+    @pytest.fixture()
+    def completed(self):
+        return CompletedPOPS(REAL)
+
+    def test_top_propagates_except_through_bottom(self, completed):
+        assert completed.add(3.0, TOP) is TOP
+        assert completed.mul(3.0, TOP) is TOP
+        assert completed.add(BOTTOM, TOP) is BOTTOM
+        assert completed.mul(BOTTOM, TOP) is BOTTOM
+
+    def test_order(self, completed):
+        assert completed.leq(BOTTOM, 1.0)
+        assert completed.leq(1.0, TOP)
+        assert completed.leq(BOTTOM, TOP)
+        assert not completed.leq(1.0, 2.0)
+        assert not completed.leq(TOP, 1.0)
+
+    def test_core_trivial(self, completed):
+        assert core_is_trivial(completed)
+
+
+def test_lifted_nat_validation():
+    assert LIFTED_NAT.is_valid(BOTTOM)
+    assert LIFTED_NAT.is_valid(4)
+    assert not LIFTED_NAT.is_valid(-1)
+    assert not LIFTED_NAT.is_valid(2.5)
+
+
+def test_lifted_over_custom_base():
+    lifted_bool_base = LiftedPOPS(NAT)
+    assert lifted_bool_base.name == "N⊥"
+    assert lifted_bool_base.add(2, 3) == 5

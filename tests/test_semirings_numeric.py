@@ -1,0 +1,94 @@
+"""Numeric structures: N, N∞, R, R+ (Example 2.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.semirings import INF, NAT, NAT_INF, REAL, REAL_PLUS
+from repro.semirings.stability import (
+    element_stability_index,
+    is_zero_stable,
+    natural_preorder_holds,
+)
+
+
+class TestNaturals:
+    def test_arithmetic(self):
+        assert NAT.add(2, 3) == 5
+        assert NAT.mul(2, 3) == 6
+        assert NAT.power(2, 5) == 32
+        assert NAT.geometric(2, 3) == 1 + 2 + 4 + 8
+
+    def test_order(self):
+        assert NAT.leq(2, 5)
+        assert not NAT.leq(5, 2)
+
+    def test_not_stable(self):
+        """c^(q) = 1 + 2 + … + 2^q grows forever (Eq. 29 over N)."""
+        report = element_stability_index(NAT, 2, budget=20)
+        assert not report.stable
+
+    def test_one_is_not_zero_stable(self):
+        assert not is_zero_stable(NAT)
+
+    def test_leq_matches_natural_preorder(self):
+        witnesses = list(range(10))
+        for a in range(5):
+            for b in range(5):
+                assert NAT.leq(a, b) == natural_preorder_holds(
+                    NAT, a, b, witnesses
+                )
+
+    def test_scale_nat(self):
+        assert NAT.scale_nat(4, 3) == 12
+        assert NAT.scale_nat(0, 3) == 0
+
+
+class TestNaturalsWithInfinity:
+    def test_infinity_absorbs_addition(self):
+        assert NAT_INF.add(INF, 3) == INF
+        assert NAT_INF.add(3, 4) == 7
+
+    def test_zero_times_infinity_is_zero(self):
+        """Keeps 0 absorbing, hence N∞ stays a semiring."""
+        assert NAT_INF.mul(0, INF) == 0
+        assert NAT_INF.mul(2, INF) == INF
+
+    def test_fixpoint_unreachable(self):
+        """F(x) = x + 1 has lfp ∞ but the chain never arrives (case ii)."""
+        report = element_stability_index(NAT_INF, 1, budget=50)
+        assert not report.stable
+        assert NAT_INF.add(INF, 1) == INF  # ∞ is the fixpoint
+
+
+class TestReals:
+    def test_semiring_but_unordered(self):
+        assert REAL.is_semiring
+        assert not hasattr(REAL, "leq")
+
+    def test_arithmetic(self):
+        assert REAL.add(2.5, -1.0) == 1.5
+        assert REAL.mul(2.0, -3.0) == -6.0
+
+    def test_validation_excludes_nan_inf(self):
+        assert REAL.is_valid(1.5)
+        assert not REAL.is_valid(math.inf)
+        assert not REAL.is_valid(True)
+
+
+class TestNonNegativeReals:
+    def test_order_and_units(self):
+        assert REAL_PLUS.leq(0.0, 2.0)
+        assert REAL_PLUS.bottom == 0.0
+        assert REAL_PLUS.is_naturally_ordered
+
+    def test_not_stable(self):
+        report = element_stability_index(REAL_PLUS, 1.0, budget=20)
+        assert not report.stable
+
+    def test_company_control_arithmetic(self):
+        """The share sums of Example 4.3 stay in R+."""
+        total = REAL_PLUS.add_many([0.3, 0.15, 0.2])
+        assert total == pytest.approx(0.65)

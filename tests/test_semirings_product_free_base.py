@@ -1,0 +1,141 @@
+"""Product POPS (§2.5.4), the free semiring, and base-class machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fixpoint import kleene_fixpoint, DivergenceError
+from repro.semirings import (
+    BOOL,
+    BOTTOM,
+    FREE,
+    LEX_NN,
+    LIFTED_REAL,
+    NAT,
+    TROP,
+    AlgebraError,
+    CoreSemiring,
+    FunctionRegistry,
+    ProductPOPS,
+    monomial,
+)
+from repro.semirings.stability import core_is_trivial
+
+
+class TestProductPOPS:
+    def test_componentwise_operations(self):
+        prod = ProductPOPS(BOOL, TROP)
+        a = (True, 3.0)
+        b = (False, 5.0)
+        assert prod.add(a, b) == (True, 3.0)
+        assert prod.mul(a, b) == (False, 8.0)
+        assert prod.bottom == (False, float("inf"))
+
+    def test_example_2_11_nontrivial_core(self):
+        """Naturally-ordered × strict-plus POPS has core S × {⊥}."""
+        prod = ProductPOPS(TROP, LIFTED_REAL)
+        assert not core_is_trivial(prod)
+        sat = prod.saturate((3.0, 5.0))
+        assert sat == (3.0, BOTTOM)
+        # The core is {(x, ⊥)}: non-trivial (varies in x) but collapsed
+        # in the second coordinate.
+        assert prod.saturate((7.0, 1.0)) == (7.0, BOTTOM)
+        assert prod.saturate((7.0, 2.0)) == (7.0, BOTTOM)
+
+    def test_flags_combine(self):
+        prod = ProductPOPS(BOOL, TROP)
+        assert prod.is_semiring
+        assert prod.is_naturally_ordered
+        prod2 = ProductPOPS(BOOL, LIFTED_REAL)
+        assert not prod2.is_semiring
+        assert not prod2.is_naturally_ordered
+
+
+class TestLexDivergence:
+    def test_case_i_no_fixpoint(self):
+        """F(x,y) = (x, y+1): the ω-sup (1,0) is not a fixpoint (§4.2 i)."""
+        step = lambda v: LEX_NN.add(v, (0, 1))
+        with pytest.raises(DivergenceError):
+            kleene_fixpoint(step, LEX_NN.bottom, LEX_NN.eq, max_steps=200)
+        sup = LEX_NN.omega_sup((0, 0))
+        assert sup == (1, 0)
+        assert step(sup) == (1, 1) != sup
+
+    def test_chain_is_increasing(self):
+        v = LEX_NN.bottom
+        for _ in range(10):
+            nxt = LEX_NN.add(v, (0, 1))
+            assert LEX_NN.lt(v, nxt)
+            assert LEX_NN.leq(nxt, LEX_NN.omega_sup((0, 0)))
+            v = nxt
+
+
+class TestFreeSemiring:
+    def test_generators_and_products(self):
+        x = FREE.generator("x")
+        y = FREE.generator("y")
+        xy = FREE.mul(x, y)
+        assert FREE.coefficient(xy, monomial({"x": 1, "y": 1})) == 1
+        assert FREE.coefficient(FREE.add(xy, xy), monomial({"x": 1, "y": 1})) == 2
+
+    def test_distributes_formally(self):
+        x, y, z = (FREE.generator(s) for s in "xyz")
+        lhs = FREE.mul(x, FREE.add(y, z))
+        rhs = FREE.add(FREE.mul(x, y), FREE.mul(x, z))
+        assert FREE.eq(lhs, rhs)
+
+    def test_natural_order_is_coefficientwise(self):
+        x = FREE.generator("x")
+        two_x = FREE.add(x, x)
+        assert FREE.leq(x, two_x)
+        assert not FREE.leq(two_x, x)
+
+    def test_geometric_counts_paths(self):
+        """(1 + x)² expansion: coefficient of x is 2."""
+        x = FREE.generator("x")
+        sq = FREE.mul(FREE.add(FREE.one, x), FREE.add(FREE.one, x))
+        assert FREE.coefficient(sq, monomial({"x": 1})) == 2
+        assert FREE.coefficient(sq, ()) == 1
+        assert FREE.coefficient(sq, monomial({"x": 2})) == 1
+
+
+class TestBaseMachinery:
+    def test_core_semiring_requires_strict_mul(self):
+        class NonStrict(type(TROP)):
+            mul_is_strict = False
+
+        with pytest.raises(AlgebraError):
+            CoreSemiring(NonStrict())
+
+    def test_core_of_naturally_ordered_is_itself(self):
+        core = TROP.core_semiring()
+        assert core.eq(core.zero, TROP.zero)
+        assert core.eq(core.one, TROP.one)
+        assert core.add(3.0, 5.0) == 3.0
+        assert core.is_valid(3.0)
+
+    def test_geometric_negative_raises(self):
+        with pytest.raises(AlgebraError):
+            NAT.geometric(2, -1)
+        with pytest.raises(AlgebraError):
+            NAT.power(2, -1)
+        with pytest.raises(AlgebraError):
+            NAT.scale_nat(-1, 2)
+
+    def test_add_many_mul_many_units(self):
+        assert NAT.add_many([]) == 0
+        assert NAT.mul_many([]) == 1
+        assert NAT.add_many([1, 2, 3]) == 6
+        assert NAT.mul_many([2, 3, 4]) == 24
+
+    def test_function_registry(self):
+        reg = FunctionRegistry()
+        reg.register("inc", lambda v: v + 1)
+        assert "inc" in reg
+        assert reg.resolve("inc")(4) == 5
+        with pytest.raises(AlgebraError):
+            reg.resolve("missing")
+
+    def test_core_sample_values_deduplicate(self):
+        core = LIFTED_REAL.core_semiring()
+        assert len(core.sample_values()) == 1  # everything saturates to ⊥

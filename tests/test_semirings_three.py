@@ -1,0 +1,105 @@
+"""THREE and FOUR (Sections 2.5.2, 7.2, 7.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import BOTTOM, FOUR, THREE, TOP, four_not, three_not
+
+
+class TestThree:
+    def test_kleene_or(self):
+        assert THREE.add(False, False) is False
+        assert THREE.add(False, BOTTOM) is BOTTOM
+        assert THREE.add(BOTTOM, BOTTOM) is BOTTOM
+        assert THREE.add(False, True) is True
+        assert THREE.add(BOTTOM, True) is True
+
+    def test_kleene_and(self):
+        assert THREE.mul(True, True) is True
+        assert THREE.mul(True, BOTTOM) is BOTTOM
+        assert THREE.mul(BOTTOM, BOTTOM) is BOTTOM
+        assert THREE.mul(False, BOTTOM) is False  # 0 absorbs even ⊥
+        assert THREE.mul(False, True) is False
+
+    def test_is_semiring_unlike_lifted_booleans(self):
+        """0 ∧ ⊥ = 0 distinguishes THREE from B⊥ (Section 2.5.2)."""
+        assert THREE.is_semiring
+        assert THREE.eq(THREE.mul(THREE.zero, BOTTOM), THREE.zero)
+
+    def test_knowledge_order(self):
+        assert THREE.leq(BOTTOM, False)
+        assert THREE.leq(BOTTOM, True)
+        assert not THREE.leq(False, True)
+        assert not THREE.leq(True, False)
+        assert THREE.leq(True, True)
+
+    def test_mul_not_strict(self):
+        assert not THREE.mul_is_strict
+
+    def test_core_semiring_is_boolean_like(self):
+        """THREE ∨ ⊥ = {⊥, 1} ≅ B (Section 2.5.2)."""
+        core = THREE.core_semiring()
+        saturations = {
+            repr(THREE.saturate(v)) for v in (BOTTOM, False, True)
+        }
+        assert saturations == {"⊥", "True"}
+        assert core.eq(core.zero, BOTTOM)
+        assert core.eq(core.one, True)
+        # 0-stable: 1 ⊕ c = 1 for c ∈ {⊥, 1}.
+        for c in (BOTTOM, True):
+            assert core.eq(core.add(core.one, c), core.one)
+
+    def test_not_function(self):
+        assert three_not(True) is False
+        assert three_not(False) is True
+        assert three_not(BOTTOM) is BOTTOM
+
+    def test_not_is_knowledge_monotone(self):
+        vals = (BOTTOM, False, True)
+        for a in vals:
+            for b in vals:
+                if THREE.leq(a, b):
+                    assert THREE.leq(three_not(a), three_not(b))
+
+
+class TestFour:
+    def test_truth_lub_glb(self):
+        # Fig. 5: 0 ≤t ⊥,⊤ ≤t 1 with ⊥,⊤ truth-incomparable.
+        assert FOUR.add(BOTTOM, TOP) is True
+        assert FOUR.mul(BOTTOM, TOP) is False
+        assert FOUR.add(False, TOP) is TOP
+        assert FOUR.mul(True, TOP) is TOP
+        assert FOUR.add(False, BOTTOM) is BOTTOM
+        assert FOUR.mul(True, BOTTOM) is BOTTOM
+        assert FOUR.mul(False, TOP) is False
+
+    def test_knowledge_order(self):
+        assert FOUR.leq(BOTTOM, False)
+        assert FOUR.leq(BOTTOM, TOP)
+        assert FOUR.leq(True, TOP)
+        assert not FOUR.leq(False, True)
+        assert not FOUR.leq(TOP, True)
+
+    def test_not_function(self):
+        assert four_not(True) is False
+        assert four_not(False) is True
+        assert four_not(BOTTOM) is BOTTOM
+        assert four_not(TOP) is TOP
+
+    def test_not_is_knowledge_monotone(self):
+        vals = (BOTTOM, False, True, TOP)
+        for a in vals:
+            for b in vals:
+                if FOUR.leq(a, b):
+                    assert FOUR.leq(four_not(a), four_not(b))
+
+    def test_restriction_to_three_agrees(self):
+        for a in (BOTTOM, False, True):
+            for b in (BOTTOM, False, True):
+                assert FOUR.add(a, b) == THREE.add(a, b) or (
+                    FOUR.add(a, b) is THREE.add(a, b)
+                )
+                assert FOUR.mul(a, b) == THREE.mul(a, b) or (
+                    FOUR.mul(a, b) is THREE.mul(a, b)
+                )

@@ -1,0 +1,136 @@
+"""Stability theory (Section 5.1): probes, Propositions 5.2–5.4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import (
+    BOOL,
+    LIFTED_REAL,
+    NAT,
+    NAT_INF,
+    REAL_PLUS,
+    THREE,
+    TROP,
+    TropicalEtaSemiring,
+    TropicalPSemiring,
+)
+from repro.semirings.stability import (
+    StabilityReport,
+    core_is_trivial,
+    element_stability_index,
+    is_p_stable_element,
+    is_zero_stable,
+    semiring_stability_index,
+)
+
+
+class TestElementProbes:
+    def test_boolean_elements_are_zero_stable(self):
+        for c in (False, True):
+            report = element_stability_index(BOOL, c)
+            assert report == StabilityReport(True, 0, 64)
+
+    def test_unstable_element_exhausts_budget(self):
+        report = element_stability_index(NAT, 1, budget=10)
+        assert not report.stable
+        assert report.index is None
+        assert report.budget == 10
+
+    def test_geometric_consistency(self):
+        """The probe's index agrees with direct c^(p) = c^(p+1) checks."""
+        tp = TropicalPSemiring(2)
+        c = tp.from_values([1.0, 2.0, 5.0])
+        report = element_stability_index(tp, c)
+        assert report.stable
+        p = report.index
+        assert is_p_stable_element(tp, c, p)
+        if p > 0:
+            assert not is_p_stable_element(tp, c, p - 1)
+
+    def test_eq_31_once_stable_always_stable(self):
+        tp = TropicalPSemiring(1)
+        c = tp.from_values([2.0])
+        report = element_stability_index(tp, c)
+        p = report.index
+        base = tp.geometric(c, p)
+        for q in range(p + 1, p + 6):
+            assert tp.eq(tp.geometric(c, q), base)
+
+
+class TestSemiringProbes:
+    def test_uniform_stability_of_tropp(self):
+        for p in range(4):
+            tp = TropicalPSemiring(p)
+            report = semiring_stability_index(tp)
+            assert report.stable
+            assert report.index == p
+
+    def test_trop_eta_has_no_uniform_index_on_small_elements(self):
+        te = TropicalEtaSemiring(1.0)
+        witnesses = [te.singleton(1.0 / k) for k in (1, 2, 4, 8)]
+        report = semiring_stability_index(te, witnesses=witnesses, budget=100)
+        assert report.stable
+        assert report.index == 8  # grows with the witness set: not uniform
+
+    def test_naturals_probe_reports_unstable(self):
+        report = semiring_stability_index(NAT, budget=16)
+        assert not report.stable
+
+    def test_nat_inf_unstable(self):
+        report = semiring_stability_index(NAT_INF, budget=16)
+        assert not report.stable
+
+
+class TestZeroStability:
+    @pytest.mark.parametrize("structure", [BOOL, TROP], ids=lambda s: s.name)
+    def test_zero_stable_structures(self, structure):
+        assert is_zero_stable(structure)
+
+    @pytest.mark.parametrize(
+        "structure", [NAT, NAT_INF, REAL_PLUS], ids=lambda s: s.name
+    )
+    def test_not_zero_stable(self, structure):
+        assert not is_zero_stable(structure)
+
+    def test_tropp_not_zero_stable_for_positive_p(self):
+        assert not is_zero_stable(TropicalPSemiring(1))
+        assert is_zero_stable(TropicalPSemiring(0))
+
+
+class TestCores:
+    def test_lifted_cores_trivial(self):
+        assert core_is_trivial(LIFTED_REAL)
+
+    def test_naturally_ordered_cores_not_trivial(self):
+        assert not core_is_trivial(TROP)
+        assert not core_is_trivial(BOOL)
+
+    def test_three_core_zero_stable(self):
+        core = THREE.core_semiring()
+        assert is_zero_stable(core, witnesses=tuple(core.sample_values()))
+
+
+class TestProposition52:
+    """If 1 is p-stable the semiring is naturally ordered.
+
+    We verify the contrapositive flavour on our structures: every
+    structure whose 1 is p-stable in the library is indeed flagged (and
+    behaves) naturally ordered; N, whose order is natural, has unstable
+    elements but a 0-stable 1?  No: 1^(p) = p+1 keeps growing — the
+    hypothesis fails and nothing is implied.
+    """
+
+    @pytest.mark.parametrize(
+        "structure",
+        [BOOL, TROP, TropicalPSemiring(1), TropicalPSemiring(2)],
+        ids=lambda s: s.name,
+    )
+    def test_one_stable_implies_naturally_ordered(self, structure):
+        report = element_stability_index(structure, structure.one)
+        assert report.stable
+        assert structure.is_naturally_ordered
+
+    def test_n_has_unstable_one(self):
+        report = element_stability_index(NAT, NAT.one, budget=16)
+        assert not report.stable

@@ -1,0 +1,122 @@
+"""Workload generators and canonical program builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import programs, workloads
+from repro.core import Database, naive_fixpoint
+from repro.semirings import BOOL, TROP
+
+
+class TestGenerators:
+    def test_fig_2a_calibration(self):
+        edges = workloads.fig_2a_graph()
+        assert sorted(edges.values()) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert edges[("a", "b")] == 1.0
+
+    def test_fig_2b_matches_paper_grounding(self):
+        edges, costs = workloads.fig_2b_bom()
+        assert ("a", "b") in edges and ("b", "a") in edges
+        assert ("c", "d") in edges
+        assert costs["d"] == 10.0
+
+    def test_fig_4_win_move_graph(self):
+        edges = workloads.fig_4_edges()
+        assert len(edges) == 7
+        assert ("e", "f") in edges
+
+    def test_random_digraph_determinism(self):
+        a = workloads.random_weighted_digraph(6, 0.5, seed=42)
+        b = workloads.random_weighted_digraph(6, 0.5, seed=42)
+        assert a == b
+        c = workloads.random_weighted_digraph(6, 0.5, seed=43)
+        assert a != c
+
+    def test_random_digraph_no_self_loops(self):
+        edges = workloads.random_weighted_digraph(5, 1.0, seed=0)
+        assert all(a != b for a, b in edges)
+        assert len(edges) == 5 * 4
+
+    def test_cycle_and_line(self):
+        assert len(workloads.cycle_edges(5)) == 5
+        assert len(workloads.line_edges(5)) == 4
+        assert (4, 0) in workloads.cycle_edges(5)
+
+    def test_grid(self):
+        edges = workloads.grid_edges(2, 3)
+        assert (((0, 0), (0, 1))) in edges
+        assert (((0, 0), (1, 0))) in edges
+        assert len(edges) == 2 * 2 + 3 * 1  # rights + downs
+
+    def test_dag_is_acyclic(self):
+        import networkx as nx
+
+        dag = workloads.random_dag(10, 0.5, seed=3)
+        assert nx.is_directed_acyclic_graph(nx.DiGraph(list(dag)))
+
+    def test_part_hierarchy_tree_size(self):
+        edges, costs = workloads.part_hierarchy(depth=2, fanout=3, seed=0)
+        assert len(costs) == 1 + 3 + 9
+        assert len(edges) == len(costs) - 1
+
+    def test_part_hierarchy_back_edges_create_cycles(self):
+        import networkx as nx
+
+        edges, _ = workloads.part_hierarchy(
+            depth=3, fanout=2, seed=5, cyclic_back_edges=2
+        )
+        graph = nx.DiGraph(list(edges))
+        assert not nx.is_directed_acyclic_graph(graph)
+
+    def test_bfs_oracle(self):
+        edges = {(1, 2), (2, 3), (4, 5)}
+        assert workloads.reachable_nodes(edges, 1) == {1, 2, 3}
+
+    def test_dijkstra_oracle(self):
+        dist = workloads.dijkstra(workloads.fig_2a_graph(), "a")
+        assert dist == {"a": 0.0, "b": 1.0, "c": 4.0, "d": 8.0}
+
+
+class TestProgramBuilders:
+    def test_tc_program_shape(self):
+        prog = programs.transitive_closure()
+        assert prog.is_linear()
+        assert prog.idbs == {"T": 2}
+
+    def test_quadratic_tc_not_linear(self):
+        assert not programs.quadratic_transitive_closure().is_linear()
+
+    def test_apsp_equals_tc_shape(self):
+        assert str(programs.apsp()) == str(programs.transitive_closure())
+
+    def test_sssp_custom_indicator_values(self):
+        from repro.semirings import TropicalPSemiring
+
+        t1 = TropicalPSemiring(1)
+        prog = programs.sssp(
+            "a", source_value=t1.one, missing_value=t1.zero
+        )
+        indicator = prog.rules[0].bodies[0].factors[0]
+        assert indicator.true_value == t1.one
+        assert indicator.false_value == t1.zero
+
+    def test_bom_range_restricted(self):
+        prog = programs.bill_of_material()
+        body = prog.rules[0].bodies[1]
+        assert "E" in str(body.condition)
+
+    def test_one_rule_program_geometric_iterates(self):
+        prog = programs.one_rule_program(TROP.one)
+        db = Database(pops=TROP, relations={"Cval": {("u",): 3.0}})
+        result = naive_fixpoint(prog, db, capture_trace=True)
+        values = [snap.get("X", ("u",)) for snap in result.trace]
+        # ⊥=∞, then c^(0)=0, stable immediately (Trop+ is 0-stable).
+        assert values[0] == TROP.zero
+        assert values[1] == 0.0
+
+    def test_builders_compose_with_custom_names(self):
+        prog = programs.transitive_closure(edge="Road", closure="Reach")
+        db = Database(pops=BOOL, relations={"Road": {("x", "y"): True}})
+        result = naive_fixpoint(prog, db)
+        assert result.instance.get("Reach", ("x", "y")) is True
