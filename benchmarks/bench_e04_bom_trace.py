@@ -8,7 +8,6 @@ hierarchy with cyclic back-edges.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import emit_table
 

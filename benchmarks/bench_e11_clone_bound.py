@@ -14,7 +14,7 @@ import random
 
 from conftest import emit_table
 
-from repro import core, programs
+from repro import core
 from repro.core import Monomial, Polynomial, PolynomialSystem
 from repro.fixpoint import (
     FiniteChain,

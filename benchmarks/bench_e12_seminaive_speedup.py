@@ -11,7 +11,7 @@ assert identical fixpoints plus a real work reduction.
 
 from __future__ import annotations
 
-from conftest import emit_table
+from conftest import emit_table, sized
 
 from repro import core, programs, semirings, workloads
 
@@ -23,36 +23,45 @@ def compare(prog, db):
     return naive.stats["products"], semi.stats["products"]
 
 
-def test_e12_work_ratio_table(benchmark):
+def test_e12_work_ratio_table(benchmark, quick):
+    line_n = sized(quick, 28, 12)
+    grid_n = sized(quick, 4, 3)
+    dag_n = sized(quick, 16, 8)
+    dag2_n = sized(quick, 12, 8)
+
     def run_all():
         rows = []
         # Long path: worst case for naïve (many iterations).
-        edges = workloads.line_edges(28)
+        edges = workloads.line_edges(line_n)
         db = core.Database(pops=semirings.TROP, relations={"E": dict(edges)})
         n_, s_ = compare(programs.sssp(0), db)
-        rows.append(("SSSP / line(28) / Trop+", n_, s_, round(n_ / s_, 1)))
+        rows.append((f"SSSP / line({line_n}) / Trop+", n_, s_, round(n_ / s_, 1)))
 
         # Grid APSP over Trop+.
-        edges = workloads.grid_edges(4, 4)
+        edges = workloads.grid_edges(grid_n, grid_n)
         db = core.Database(pops=semirings.TROP, relations={"E": dict(edges)})
         n_, s_ = compare(programs.apsp(), db)
-        rows.append(("APSP / grid(4×4) / Trop+", n_, s_, round(n_ / s_, 1)))
+        rows.append(
+            (f"APSP / grid({grid_n}×{grid_n}) / Trop+", n_, s_, round(n_ / s_, 1))
+        )
 
         # Boolean TC on a random DAG.
-        dag = workloads.random_dag(16, 0.15, seed=6)
+        dag = workloads.random_dag(dag_n, 0.15, seed=6)
         db = core.Database(
             pops=semirings.BOOL, relations={"E": {e: True for e in dag}}
         )
         n_, s_ = compare(programs.transitive_closure(), db)
-        rows.append(("TC / dag(16) / B", n_, s_, round(n_ / s_, 1)))
+        rows.append((f"TC / dag({dag_n}) / B", n_, s_, round(n_ / s_, 1)))
 
         # Quadratic TC (Example 6.6) — two delta variants per body.
-        dag = workloads.random_dag(12, 0.2, seed=8)
+        dag = workloads.random_dag(dag2_n, 0.2, seed=8)
         db = core.Database(
             pops=semirings.BOOL, relations={"E": {e: True for e in dag}}
         )
         n_, s_ = compare(programs.quadratic_transitive_closure(), db)
-        rows.append(("TC² / dag(12) / B (Ex. 6.6)", n_, s_, round(n_ / s_, 1)))
+        rows.append(
+            (f"TC² / dag({dag2_n}) / B (Ex. 6.6)", n_, s_, round(n_ / s_, 1))
+        )
         return rows
 
     rows = benchmark(run_all)
@@ -67,14 +76,50 @@ def test_e12_work_ratio_table(benchmark):
         assert s_ <= n_ * 1.6  # and never catastrophically lose
 
 
-def test_e12_naive_runtime(benchmark):
-    edges = workloads.line_edges(28)
+def test_e12_indexed_join_core_vs_seed(benchmark, quick):
+    """Indexed planning vs the seed's scan join, on E12's largest size.
+
+    ``keys_examined`` counts every candidate key the join core touched
+    (scans + probes + fallback).  The indexed planner must cut it by
+    ≥5× for both engines on the full-size workload, with identical
+    fixpoints (the differential gate).
+    """
+    n = sized(quick, 28, 12)
+    edges = workloads.line_edges(n)
+    db = core.Database(pops=semirings.TROP, relations={"E": dict(edges)})
+
+    def run_all():
+        rows = []
+        for method in ("naive", "seminaive"):
+            indexed = core.solve(
+                programs.sssp(0), db, method=method, plan="indexed"
+            )
+            seed = core.solve(programs.sssp(0), db, method=method, plan="naive")
+            assert indexed.instance.equals(seed.instance)
+            s_ops = seed.stats["keys_examined"]
+            i_ops = indexed.stats["keys_examined"]
+            rows.append((method, s_ops, i_ops, round(s_ops / i_ops, 1)))
+        return rows
+
+    rows = benchmark(run_all)
+    emit_table(
+        f"E12: join-core ops, seed scan join vs indexed plan (line({n}))",
+        ("engine", "seed ops", "indexed ops", "ratio"),
+        rows,
+    )
+    floor = 3.0 if quick else 5.0
+    for _method, _s, _i, ratio in rows:
+        assert ratio >= floor
+
+
+def test_e12_naive_runtime(benchmark, quick):
+    edges = workloads.line_edges(sized(quick, 28, 12))
     db = core.Database(pops=semirings.TROP, relations={"E": dict(edges)})
     benchmark(lambda: core.solve(programs.sssp(0), db, method="naive"))
 
 
-def test_e12_seminaive_runtime(benchmark):
-    edges = workloads.line_edges(28)
+def test_e12_seminaive_runtime(benchmark, quick):
+    edges = workloads.line_edges(sized(quick, 28, 12))
     db = core.Database(pops=semirings.TROP, relations={"E": dict(edges)})
     benchmark(lambda: core.solve(programs.sssp(0), db, method="seminaive"))
 

@@ -8,7 +8,6 @@ verifying path/derivation combinatorics on structured graphs.
 
 from __future__ import annotations
 
-import math
 
 from conftest import emit_table
 

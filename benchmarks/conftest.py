@@ -13,6 +13,30 @@ from typing import Iterable, Sequence
 import pytest
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "run the benchmarks at tiny smoke sizes: the CI "
+            "benchmark-smoke job uses this to catch perf/correctness "
+            "regressions fast (combine with --benchmark-disable)"
+        ),
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """Whether the run asked for tiny smoke sizes (``--quick``)."""
+    return bool(request.config.getoption("--quick", default=False))
+
+
+def sized(quick: bool, full, small):
+    """Pick the smoke-size parameter when ``--quick`` is on."""
+    return small if quick else full
+
+
 def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
     """Print an aligned table (visible with pytest -s)."""
     rows = [tuple(str(c) for c in row) for row in rows]

@@ -15,7 +15,7 @@ dependency graph used for stratification checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
 
 from ..core.polynomial import PolynomialSystem, VarId
 from ..core.rules import Program

@@ -13,7 +13,7 @@ number of distinct derivation trees using that bag.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..core.grounding import ground_program
 from ..core.instance import Database, Key

@@ -21,7 +21,6 @@ supported) and returns plain Python dicts.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
 from . import programs

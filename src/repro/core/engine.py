@@ -36,6 +36,7 @@ def solve(
     max_iterations: int = 100_000,
     capture_trace: bool = False,
     stability_p: Optional[int] = None,
+    plan: str = "indexed",
 ) -> EvaluationResult:
     """Evaluate a datalog° program to its least fixpoint.
 
@@ -49,6 +50,12 @@ def solve(
         capture_trace: Record per-iteration snapshots.
         stability_p: Uniform stability index of the value space,
             required by ``method="linear"``.
+        plan: Join strategy for the enumeration core — ``"indexed"``
+            (selectivity-ordered hash-index probes, the default) or
+            ``"naive"`` (the seed's scan join, kept as the
+            differential-testing baseline).  Both plans compute the
+            same fixpoint; they differ only in join-core work (see
+            the ``keys_examined`` statistic).
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.
@@ -60,6 +67,7 @@ def solve(
             functions=functions,
             max_iterations=max_iterations,
             capture_trace=capture_trace,
+            plan=plan,
         )
     if method == "seminaive":
         return seminaive_fixpoint(
@@ -68,9 +76,10 @@ def solve(
             functions=functions,
             max_iterations=max_iterations,
             capture_trace=capture_trace,
+            plan=plan,
         )
     if method == "grounded":
-        system = ground_program(program, database, functions=functions)
+        system = ground_program(program, database, functions=functions, plan=plan)
         result = system.kleene(
             max_steps=max_iterations, capture_trace=capture_trace
         )
@@ -85,7 +94,7 @@ def solve(
     if method == "linear":
         if stability_p is None:
             raise ValueError("method='linear' requires stability_p")
-        system = ground_program(program, database, functions=functions)
+        system = ground_program(program, database, functions=functions, plan=plan)
         assignment = linear_lfp(system, stability_p)
         return EvaluationResult(
             instance=assignment_to_instance(system, assignment),

@@ -56,15 +56,19 @@ class HybridEvaluator:
         database: Database,
         functions: Optional[FunctionRegistry] = None,
         max_iterations: int = 10_000,
+        plan: str = "indexed",
     ):
         self.program = program
         self.threshold_rules = list(threshold_rules)
         self.database = database
         self.pops = database.pops
         self.max_iterations = max_iterations
+        self.plan = plan
         self.bool_idb_names = {r.head_relation for r in self.threshold_rules}
         # Boolean IDB facts are injected into the database's Boolean
         # store so that conditions and indicators see them transparently.
+        # (The naïve evaluator's Boolean guard indexes are versioned by
+        # store size, so facts added between iterations are picked up.)
         for name in self.bool_idb_names:
             database.bool_relations.setdefault(name, set())
         self._base = NaiveEvaluator(
@@ -72,6 +76,7 @@ class HybridEvaluator:
             database,
             functions=functions,
             max_iterations=max_iterations,
+            plan=plan,
         )
 
     # ------------------------------------------------------------------
@@ -85,15 +90,20 @@ class HybridEvaluator:
                 self.database,
                 self.program.idb_names(),
                 self._base._idb_supplier,
+                indexes=(
+                    self._base.indexes if self.plan == "indexed" else None
+                ),
             )
             acc: Dict[Key, Value] = {}
             self._base._current = idb
             for valuation in enumerate_valuations(
-                sorted(rule.body.variables()),
+                rule.body.enumeration_order(),
                 guards,
                 self._base.domain,
                 rule.body.condition,
                 self.database.bool_holds,
+                plan=self.plan,
+                stats=self._base.stats.join,
             ):
                 value = self._base.evaluator.product_value(
                     rule.body, valuation, idb, self.program.idb_names()

@@ -16,24 +16,27 @@ example program (differential testing).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..semirings.base import FunctionRegistry, POPS, Value
-from .ast import Valuation, condition_holds, eval_term
-from .instance import Database, Instance, Key
+from .ast import Valuation, eval_term
+from .indexes import IndexManager, JoinStats
+from .instance import Database, Instance
 from .polynomial import Monomial, Polynomial, PolynomialSystem, VarId
 from .rules import (
     Factor,
     FuncFactor,
-    Indicator,
-    KeyAsValue,
     Program,
     RelAtom,
     SumProduct,
-    ValueConst,
     factor_atoms,
 )
-from .valuations import FactorEvaluator, body_guards, enumerate_valuations
+from .valuations import (
+    FactorEvaluator,
+    body_guards,
+    enumerate_valuations,
+    refresh_guard_indexes,
+)
 
 
 class GroundingError(ValueError):
@@ -86,6 +89,8 @@ def ground_program(
     functions: Optional[FunctionRegistry] = None,
     total: Optional[bool] = None,
     combine_like_terms: bool = True,
+    plan: str = "indexed",
+    stats: Optional[JoinStats] = None,
 ) -> PolynomialSystem:
     """Ground a program over an EDB instance into a polynomial system.
 
@@ -103,6 +108,12 @@ def ground_program(
             system (only derivable heads) is semantically equal.
         combine_like_terms: Merge equal-power monomials by ``⊕`` of
             their coefficients (always semantics-preserving).
+        plan: Join strategy for valuation enumeration — ``"indexed"``
+            (selectivity-ordered index probes, the default) or
+            ``"naive"`` (the seed's scan join, kept for differential
+            testing).
+        stats: Optional :class:`~repro.core.indexes.JoinStats`
+            receiving the enumeration's probe/scan counters.
 
     Returns:
         The grounded :class:`PolynomialSystem`.
@@ -113,6 +124,7 @@ def ground_program(
     evaluator = FactorEvaluator(pops, database, functions)
     idb_names = program.idb_names()
     empty_idb = Instance(pops)
+    indexes = IndexManager(stats=stats) if plan == "indexed" else None
     domain = sorted(
         database.active_domain() | program.constants(), key=repr
     )
@@ -140,14 +152,19 @@ def ground_program(
                 idb_names,
                 idb_supplier,
                 allow_idb_guards=False,
+                indexes=indexes,
             )
-            variables = sorted(body.variables())
+            if indexes is not None:
+                refresh_guard_indexes(guards, indexes, epoch="ground")
+            variables = body.enumeration_order()
             for valuation in enumerate_valuations(
                 variables,
                 guards,
                 domain,
                 body.condition,
                 database.bool_holds,
+                plan=plan,
+                stats=stats,
             ):
                 head_key = tuple(eval_term(t, valuation) for t in rule.head_args)
                 var = (rule.head_relation, head_key)

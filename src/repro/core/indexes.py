@@ -1,0 +1,251 @@
+"""Secondary hash indexes over relation supports (the join accelerator).
+
+The guard-driven enumeration of :mod:`repro.core.valuations` joins a
+sum-product body by extending partial valuations against each guard's
+key set.  Done naïvely, every partial valuation re-scans the guard's
+*entire* support — quadratic (or worse) in the support sizes, which is
+what caps the benchmarks at toy sizes.  This module provides the data
+structure that turns those scans into O(1) hash probes:
+
+* :class:`KeyIndex` — one relation's key set plus lazily-built hash
+  maps keyed by *bound-column masks*: for the mask ``(0, 2)`` the map
+  sends ``(key[0], key[2])`` to the list of matching keys.  Masks are
+  materialized on first probe and maintained incrementally by
+  :meth:`KeyIndex.add`, so the semi-naïve engine can keep one index
+  per IDB relation alive across iterations and merely feed it each
+  applied delta.
+* :class:`IndexManager` — a versioned cache of named indexes, so
+  evaluators share one index per EDB relation across every rule body
+  and every fixpoint iteration (the support never changes), and can
+  cheaply invalidate by bumping the version when it does.
+* :class:`JoinStats` — probe/scan counters for the join core, surfaced
+  through ``EvalStats`` so benchmarks (E2, E12, E21) can report the
+  saving of indexed over naïve enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+Key = Tuple[Any, ...]
+#: A bound-column mask: the sorted tuple of key positions that are
+#: known (bound) at probe time.  The empty mask means a full scan.
+Mask = Tuple[int, ...]
+
+#: Assumed per-bound-column branching factor used to estimate the
+#: selectivity of a mask whose hash map has not been built yet (building
+#: it just to rank candidate join orders would defeat the laziness).
+_DEFAULT_FANOUT = 4
+
+
+@dataclass
+class JoinStats:
+    """Work counters for the join core.
+
+    ``keys_examined`` (= ``scanned_keys + probed_keys + fallback_candidates``)
+    is the benchmarks' "join-core operations" metric: every candidate
+    key the executor had to look at.  Indexed planning shrinks it by
+    replacing support scans with hash probes that return only the
+    matching bucket.
+    """
+
+    probes: int = 0
+    scans: int = 0
+    probed_keys: int = 0
+    scanned_keys: int = 0
+    fallback_candidates: int = 0
+    index_builds: int = 0
+
+    @property
+    def keys_examined(self) -> int:
+        return self.probed_keys + self.scanned_keys + self.fallback_candidates
+
+    def merge(self, other: "JoinStats") -> None:
+        """Fold another counter set into this one (engine composition)."""
+        self.probes += other.probes
+        self.scans += other.scans
+        self.probed_keys += other.probed_keys
+        self.scanned_keys += other.scanned_keys
+        self.fallback_candidates += other.fallback_candidates
+        self.index_builds += other.index_builds
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "probes": self.probes,
+            "scans": self.scans,
+            "probed_keys": self.probed_keys,
+            "scanned_keys": self.scanned_keys,
+            "fallback_candidates": self.fallback_candidates,
+            "index_builds": self.index_builds,
+            "keys_examined": self.keys_examined,
+        }
+
+
+_EMPTY: Tuple[Key, ...] = ()
+
+
+class KeyIndex:
+    """A key set with lazily-built secondary hash indexes per mask.
+
+    Keys keep insertion order (scans and probe buckets enumerate in the
+    order keys were added, keeping plans deterministic).  Duplicate keys
+    are dropped, matching set/dict-backed supports.
+    """
+
+    __slots__ = ("_keys", "_seen", "_maps", "stats")
+
+    def __init__(
+        self, keys: Iterable[Key] = (), stats: Optional[JoinStats] = None
+    ):
+        self._keys: List[Key] = []
+        self._seen: set = set()
+        self._maps: Dict[Mask, Dict[Tuple[Hashable, ...], List[Key]]] = {}
+        self.stats = stats
+        self.extend(keys)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> Sequence[Key]:
+        """Return every key (a scan — prefer :meth:`probe` when bound)."""
+        return self._keys
+
+    def add(self, key: Key) -> bool:
+        """Insert one key, updating every built mask map incrementally.
+
+        Returns whether the key was new.  This is the maintenance hook
+        the semi-naïve engine calls when it applies a delta: O(#built
+        masks) per new key instead of a rebuild.
+        """
+        key = tuple(key)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._keys.append(key)
+        for mask, table in self._maps.items():
+            if not mask or mask[-1] < len(key):
+                proj = tuple(key[i] for i in mask)
+                table.setdefault(proj, []).append(key)
+        return True
+
+    def extend(self, keys: Iterable[Key]) -> int:
+        """Insert many keys; returns how many were new."""
+        return sum(1 for key in keys if self.add(key))
+
+    # ------------------------------------------------------------------
+    def _table(self, mask: Mask) -> Dict[Tuple[Hashable, ...], List[Key]]:
+        table = self._maps.get(mask)
+        if table is None:
+            table = {}
+            for key in self._keys:
+                if mask and mask[-1] >= len(key):
+                    continue  # arity-mismatched key; executor skips it
+                proj = tuple(key[i] for i in mask)
+                table.setdefault(proj, []).append(key)
+            self._maps[mask] = table
+            if self.stats is not None:
+                self.stats.index_builds += 1
+        return table
+
+    def probe(self, mask: Mask, values: Tuple[Hashable, ...]) -> Sequence[Key]:
+        """Return the keys matching ``values`` on the mask's positions.
+
+        The first probe of a mask builds its hash map (O(n)); every
+        further probe is O(1) plus the bucket size.
+        """
+        if not mask:
+            return self._keys
+        return self._table(mask).get(values, _EMPTY)
+
+    def estimate(self, mask: Mask) -> float:
+        """Estimated candidates per probe on ``mask`` (for plan ordering).
+
+        Uses the true average bucket size when the mask map is already
+        built, else assumes each bound column divides the support by a
+        constant branching factor.  Never builds a map.
+        """
+        n = len(self._keys)
+        if not mask or n == 0:
+            return float(n)
+        table = self._maps.get(mask)
+        if table is not None:
+            return n / max(1, len(table))
+        return n / float(_DEFAULT_FANOUT ** len(mask))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        masks = sorted(self._maps)
+        return f"KeyIndex(n={len(self._keys)}, masks={masks})"
+
+
+@dataclass
+class _Entry:
+    index: KeyIndex
+    version: Hashable
+
+
+class IndexManager:
+    """A versioned cache of named :class:`KeyIndex` objects.
+
+    Evaluators register one index per key source (EDB relation, live
+    IDB instance, …) under a hashable name.  ``get`` rebuilds only when
+    the caller-supplied version changed; ``extend`` maintains an entry
+    incrementally (the semi-naïve delta hook) without touching the
+    version.
+    """
+
+    def __init__(self, stats: Optional[JoinStats] = None):
+        self._entries: Dict[Hashable, _Entry] = {}
+        self.stats = stats
+
+    def get(
+        self,
+        name: Hashable,
+        keys: Union[Callable[[], Iterable[Key]], Iterable[Key]],
+        version: Hashable = None,
+    ) -> KeyIndex:
+        """Return the cached index for ``name``, (re)building on version
+        change.  ``keys`` may be an iterable or a zero-arg callable (late
+        binding for stores that change between iterations)."""
+        entry = self._entries.get(name)
+        if entry is not None and entry.version == version:
+            return entry.index
+        material = keys() if callable(keys) else keys
+        index = KeyIndex(material, stats=self.stats)
+        self._entries[name] = _Entry(index=index, version=version)
+        return index
+
+    def peek(self, name: Hashable) -> Optional[KeyIndex]:
+        """Return the cached index without building (None when absent)."""
+        entry = self._entries.get(name)
+        return entry.index if entry is not None else None
+
+    def extend(self, name: Hashable, keys: Iterable[Key]) -> int:
+        """Incrementally add keys to a cached index (delta maintenance).
+
+        Returns the number of new keys; raises ``KeyError`` when the
+        index was never built (nothing to maintain).
+        """
+        return self._entries[name].index.extend(keys)
+
+    def invalidate(self, name: Hashable = None) -> None:
+        """Drop one cached index (or all of them when ``name`` is None)."""
+        if name is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -122,6 +122,10 @@ class Instance:
         """Return stored entries for one relation."""
         return self._data.get(relation, {})
 
+    def support_keys(self, relation: str) -> Iterable[Key]:
+        """Return the keys of one relation's support (index feed)."""
+        return self._data.get(relation, {}).keys()
+
     def relations(self) -> Iterator[str]:
         """Iterate over relation names with non-empty support."""
         return iter(self._data)

@@ -19,7 +19,7 @@ explicit coefficient map for exactly this reason.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..semirings.base import POPS, Value
 from .polynomial import Polynomial, PolynomialSystem, VarId

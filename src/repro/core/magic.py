@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..semirings.base import FunctionRegistry, POPS, Value
-from .ast import Constant, KeyFunc, Term, Variable, term_variables
+from .ast import Constant, Term, Variable, term_variables
 from .rules import (
     Factor,
     FuncFactor,

@@ -23,25 +23,42 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
 from .ast import eval_term
+from .indexes import IndexManager, JoinStats
 from .instance import Database, Instance, Key
 from .rules import Program, Rule, SumProduct
-from .valuations import FactorEvaluator, body_guards, enumerate_valuations
+from .valuations import (
+    FactorEvaluator,
+    body_guards,
+    enumerate_valuations,
+    refresh_guard_indexes,
+)
 
 
 @dataclass
 class EvalStats:
-    """Work counters for naïve/semi-naïve comparisons (experiment E12)."""
+    """Work counters for engine comparisons (experiments E12, E21, E22).
+
+    ``join`` holds the join-core probe/scan counters (see
+    :class:`~repro.core.indexes.JoinStats`); its fields are flattened
+    into :meth:`snapshot` so benchmarks can read e.g.
+    ``stats["keys_examined"]`` — the number of candidate keys the join
+    core touched, the metric on which indexed planning must beat the
+    seed's scan-per-candidate enumeration.
+    """
 
     iterations: int = 0
     valuations: int = 0
     products: int = 0
+    join: JoinStats = field(default_factory=JoinStats)
 
     def snapshot(self) -> Dict[str, int]:
-        return {
+        out = {
             "iterations": self.iterations,
             "valuations": self.valuations,
             "products": self.products,
         }
+        out.update(self.join.snapshot())
+        return out
 
 
 @dataclass
@@ -72,12 +89,14 @@ class NaiveEvaluator:
         max_iterations: int = 100_000,
         total_heads: Optional[bool] = None,
         extra_domain: Sequence[Any] = (),
+        plan: str = "indexed",
     ):
         self.program = program
         self.database = database
         self.pops = database.pops
         self.functions = functions or FunctionRegistry()
         self.max_iterations = max_iterations
+        self.plan = plan
         self.idb_names = program.idb_names()
         self.evaluator = FactorEvaluator(self.pops, database, self.functions)
         self.domain: List[Any] = sorted(
@@ -90,6 +109,8 @@ class NaiveEvaluator:
             )
         self.total_heads = total_heads
         self.stats = EvalStats()
+        self.indexes = IndexManager(stats=self.stats.join)
+        self._epoch = 0
         self._current: Instance = Instance(self.pops)
         self._plans = self._build_plans()
 
@@ -104,8 +125,11 @@ class NaiveEvaluator:
                     self.database,
                     self.idb_names,
                     self._idb_supplier,
+                    indexes=self.indexes if self.plan == "indexed" else None,
                 )
-                plans.append((rule, body, guards, sorted(body.variables())))
+                plans.append(
+                    (rule, body, guards, body.enumeration_order())
+                )
         return plans
 
     def _idb_supplier(self, name: str):
@@ -115,18 +139,23 @@ class NaiveEvaluator:
     def ico(self, instance: Instance) -> Instance:
         """One application of the immediate consequence operator."""
         self._current = instance
+        self._epoch += 1
         acc: Dict[Tuple[str, Key], Value] = {}
         if self.total_heads:
             for rel, arity in self.program.idbs.items():
                 for key in itertools.product(self.domain, repeat=arity):
                     acc[(rel, key)] = self.pops.zero
         for rule, body, guards, variables in self._plans:
+            if self.plan == "indexed":
+                refresh_guard_indexes(guards, self.indexes, self._epoch)
             for valuation in enumerate_valuations(
                 variables,
                 guards,
                 self.domain,
                 body.condition,
                 self.database.bool_holds,
+                plan=self.plan,
+                stats=self.stats.join,
             ):
                 self.stats.valuations += 1
                 value = self.evaluator.product_value(
@@ -175,6 +204,7 @@ def naive_fixpoint(
     max_iterations: int = 100_000,
     capture_trace: bool = False,
     total_heads: Optional[bool] = None,
+    plan: str = "indexed",
 ) -> EvaluationResult:
     """Convenience wrapper: build a :class:`NaiveEvaluator` and run it."""
     evaluator = NaiveEvaluator(
@@ -183,5 +213,6 @@ def naive_fixpoint(
         functions=functions,
         max_iterations=max_iterations,
         total_heads=total_heads,
+        plan=plan,
     )
     return evaluator.run(capture_trace=capture_trace)

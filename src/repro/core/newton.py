@@ -31,12 +31,12 @@ natural multiple ``k_j·`` to a single copy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
-from ..fixpoint.iteration import DivergenceError, FixpointResult
+from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import POPS, Value
 from ..semirings.matrix import KleeneClosure, mat_vec
-from .polynomial import Assignment, Monomial, Polynomial, PolynomialSystem, VarId
+from .polynomial import Assignment, Polynomial, PolynomialSystem, VarId
 
 
 class NewtonError(ValueError):

@@ -1,0 +1,195 @@
+"""Selectivity-ordered join planning over guard indexes.
+
+This is the optimizer half of the indexed join subsystem (the storage
+half is :mod:`repro.core.indexes`).  Given a body's guards and the set
+of variables already bound (constants, base bindings), the planner
+
+1. materializes a :class:`~repro.core.indexes.KeyIndex` per guard —
+   reusing a persistent index when the guard carries one (EDB
+   relations, semi-naïve IDB stores), else building an ephemeral one
+   for the duration of the enumeration;
+2. greedily orders the guards by estimated output cardinality: at each
+   step it computes, for every remaining guard, the bound-column mask
+   implied by the variables bound so far and picks the guard whose
+   index predicts the fewest candidates per probe (ties broken by the
+   original guard order, keeping plans deterministic);
+3. compiles each chosen guard into a :class:`PlanStep` holding the
+   mask and the probe terms, so execution does an O(1) hash probe per
+   partial valuation instead of re-scanning the guard's support.
+
+Soundness is unchanged from the seed enumeration: the planner only
+*reorders* guards (join commutativity) and *narrows* each guard's
+candidate list to keys that agree with the partial valuation on the
+masked positions — keys the seed's ``_unify`` would have rejected one
+at a time.  Guard *eligibility* (which atoms may drive enumeration at
+all, per the value space's ``is_semiring`` / ``is_naturally_ordered``
+flags) stays the business of :func:`repro.core.valuations.body_guards`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .ast import Condition, Constant, Valuation, Variable, condition_holds
+from .indexes import JoinStats, Key, KeyIndex, Mask
+from .valuations import Guard, _unify
+
+
+@dataclass
+class PlanStep:
+    """One compiled guard: where to probe and with which bound terms.
+
+    Attributes:
+        guard: The source guard (args drive unification).
+        index: The key index probed/scanned at this step.
+        mask: Positions of ``guard.args`` bound when the step runs.
+        probe_args: The terms at the masked positions (constants or
+            variables guaranteed bound by earlier steps/base bindings).
+    """
+
+    guard: Guard
+    index: KeyIndex
+    mask: Mask
+    probe_args: Tuple
+
+    def probe_values(self, valuation: Valuation) -> Tuple:
+        """Evaluate the probe terms under the current partial valuation."""
+        return tuple(
+            arg.value if isinstance(arg, Constant) else valuation[arg.name]
+            for arg in self.probe_args
+        )
+
+
+@dataclass
+class JoinPlan:
+    """An ordered probe-join over a body's guards."""
+
+    steps: Tuple[PlanStep, ...]
+
+
+def _guard_mask(guard: Guard, bound: Set[str]) -> Mask:
+    """Positions of the guard's args that are bound given ``bound`` vars.
+
+    Constants are always bound; variables are bound when an earlier
+    step (or the base valuation) fixed them.  Guards only ever carry
+    simple args (``Guard.simple_args`` gates eligibility upstream).
+    """
+    mask: List[int] = []
+    for i, arg in enumerate(guard.args):
+        if isinstance(arg, Constant) or (
+            isinstance(arg, Variable) and arg.name in bound
+        ):
+            mask.append(i)
+    return tuple(mask)
+
+
+def _guard_index(guard: Guard, stats: Optional[JoinStats]) -> KeyIndex:
+    """The guard's persistent index, or an ephemeral one over its keys."""
+    if guard.index is not None:
+        return guard.index
+    return KeyIndex(guard.keys(), stats=stats)
+
+
+def build_plan(
+    guards: Sequence[Guard],
+    bound: Set[str] = frozenset(),
+    stats: Optional[JoinStats] = None,
+) -> JoinPlan:
+    """Compile guards into a selectivity-ordered :class:`JoinPlan`."""
+    indexes = [_guard_index(g, stats) for g in guards]
+    remaining = list(range(len(guards)))
+    bound_now: Set[str] = set(bound)
+    steps: List[PlanStep] = []
+    while remaining:
+        best = None
+        best_score: Tuple[float, int] = (float("inf"), 0)
+        best_mask: Mask = ()
+        for pos in remaining:
+            mask = _guard_mask(guards[pos], bound_now)
+            score = (indexes[pos].estimate(mask), pos)
+            if best is None or score < best_score:
+                best, best_score, best_mask = pos, score, mask
+        remaining.remove(best)
+        guard = guards[best]
+        steps.append(
+            PlanStep(
+                guard=guard,
+                index=indexes[best],
+                mask=best_mask,
+                probe_args=tuple(guard.args[i] for i in best_mask),
+            )
+        )
+        for arg in guard.args:
+            if isinstance(arg, Variable):
+                bound_now.add(arg.name)
+    return JoinPlan(steps=tuple(steps))
+
+
+def execute_plan(
+    plan: JoinPlan,
+    variables: Sequence[str],
+    fallback_domain: Sequence[Any],
+    condition: Condition,
+    bool_lookup: Callable[[str, Key], bool],
+    base: Optional[Valuation] = None,
+    stats: Optional[JoinStats] = None,
+) -> Iterator[Valuation]:
+    """Run a join plan, yielding every satisfying valuation once.
+
+    Semantically identical to the seed's guard-nested-loop enumeration
+    (see :func:`repro.core.valuations.enumerate_valuations`): variables
+    not covered by any guard range over ``fallback_domain`` and every
+    candidate is filtered through ``condition``.
+    """
+    steps = plan.steps
+    counters = stats if stats is not None else JoinStats()
+
+    def finish(valuation: Valuation) -> Iterator[Valuation]:
+        remaining = [v for v in variables if v not in valuation]
+        if not remaining:
+            if condition_holds(condition, valuation, bool_lookup):
+                yield valuation
+            return
+        for combo in itertools.product(fallback_domain, repeat=len(remaining)):
+            candidate = dict(valuation)
+            candidate.update(zip(remaining, combo))
+            counters.fallback_candidates += 1
+            if condition_holds(condition, candidate, bool_lookup):
+                yield candidate
+
+    def recurse(i: int, valuation: Valuation) -> Iterator[Valuation]:
+        if i == len(steps):
+            yield from finish(valuation)
+            return
+        step = steps[i]
+        args = step.guard.args
+        if step.mask:
+            candidates = step.index.probe(
+                step.mask, step.probe_values(valuation)
+            )
+            counters.probes += 1
+            counters.probed_keys += len(candidates)
+        else:
+            candidates = step.index.keys()
+            counters.scans += 1
+            counters.scanned_keys += len(candidates)
+        arity = len(args)
+        for key in candidates:
+            if len(key) != arity:
+                continue
+            extended = _unify(args, key, valuation)
+            if extended is not None:
+                yield from recurse(i + 1, extended)
+
+    yield from recurse(0, dict(base) if base else {})

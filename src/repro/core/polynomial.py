@@ -14,7 +14,7 @@ make it sound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
 
 from ..fixpoint.iteration import FixpointResult, kleene_fixpoint
 from ..semirings.base import POPS, PreSemiring, Value

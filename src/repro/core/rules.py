@@ -29,7 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import (
     Any,
-    Callable,
     Dict,
     FrozenSet,
     Iterator,
@@ -189,6 +188,15 @@ class SumProduct:
         """Yield every RelAtom with its ``under_function`` flag."""
         for f in self.factors:
             yield from factor_atoms(f)
+
+    def enumeration_order(self) -> List[str]:
+        """Deterministic variable order for valuation enumeration.
+
+        Every engine (naïve, semi-naïve, grounding) enumerates a body's
+        valuations over the same variable order so their join plans,
+        work counters and traces are comparable.
+        """
+        return sorted(self.variables())
 
     def __str__(self) -> str:
         prod = " ⊗ ".join(map(str, self.factors)) or "1"

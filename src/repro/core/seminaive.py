@@ -24,11 +24,12 @@ naïve evaluation; both engines share work counters so the benchmark
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
 from .ast import eval_term
+from .indexes import IndexManager, KeyIndex
 from .instance import Database, Instance, Key
 from .naive import EvalStats, EvaluationResult, NaiveEvaluator
 from .rules import FuncFactor, Program, RelAtom, Rule, SumProduct, factor_atoms
@@ -49,6 +50,7 @@ class SemiNaiveEvaluator:
         database: Database,
         functions: Optional[FunctionRegistry] = None,
         max_iterations: int = 100_000,
+        plan: str = "indexed",
     ):
         self.program = program
         self.database = database
@@ -60,12 +62,15 @@ class SemiNaiveEvaluator:
             )
         self.functions = functions or FunctionRegistry()
         self.max_iterations = max_iterations
+        self.plan = plan
         self.idb_names = program.idb_names()
         self.evaluator = FactorEvaluator(self.pops, database, self.functions)
         self.domain: List = sorted(
             database.active_domain() | program.constants(), key=repr
         )
         self.stats = EvalStats()
+        self.indexes = IndexManager(stats=self.stats.join)
+        self._step = 0
         self._validate()
         self._plans = self._build_plans()
 
@@ -106,27 +111,106 @@ class SemiNaiveEvaluator:
         new: Instance,
         old: Instance,
     ) -> List[Guard]:
-        """Guards for the variant where occurrence ``j`` reads the delta."""
+        """Guards for the variant where occurrence ``j`` reads the delta.
+
+        Under ``plan="indexed"`` each guard carries a persistent index:
+        EDB/Boolean supports are cached for the whole run; the delta's
+        index is rebuilt once per iteration (versioned by the step
+        counter); and both ``new``- and ``old``-store occurrences probe
+        the *new* index, which is maintained incrementally as deltas
+        are applied.  Probing ``new``'s keys for an ``old`` occurrence
+        over-approximates ``old``'s support by exactly the last delta —
+        sound, because the extra candidates read ``⊥ = 0`` from ``old``
+        and their whole product is absorbed.
+        """
+        indexed = self.plan == "indexed"
         guards: List[Guard] = []
         for atom in positive_bool_atoms(body.condition):
             rel = self.database.bool_relations.get(atom.relation, set())
-            guards.append(Guard(args=atom.args, keys=lambda r=rel: r))
+            index = (
+                self.indexes.get(("bool", atom.relation), rel, version=len(rel))
+                if indexed
+                else None
+            )
+            guards.append(
+                Guard(
+                    args=atom.args,
+                    keys=lambda r=rel: r,
+                    name=f"bool:{atom.relation}",
+                    index=index,
+                )
+            )
         sparse = self.pops.is_semiring and self.pops.is_naturally_ordered
         for i, factor in enumerate(body.factors):
             if not isinstance(factor, RelAtom):
                 continue
+            rel_name = factor.relation
             if i in idb_positions:
                 store = self._store_for(i, idb_positions, j, delta, new, old)
-                keys = list(store.support(factor.relation).keys())
-                guards.append(Guard(args=factor.args, keys=lambda k=keys: k))
-            elif factor.relation in self.database.bool_relations:
+                index = None
+                if indexed:
+                    if store is delta:
+                        index = self.indexes.get(
+                            ("sn-delta", rel_name),
+                            lambda d=delta, r=rel_name: list(d.support_keys(r)),
+                            version=self._step,
+                        )
+                    else:
+                        index = self._new_index(rel_name, new)
+                guards.append(
+                    Guard(
+                        args=factor.args,
+                        keys=lambda s=store, r=rel_name: list(s.support_keys(r)),
+                        name=f"idb:{rel_name}",
+                        index=index,
+                    )
+                )
+            elif rel_name in self.database.bool_relations:
                 if self.pops.is_semiring:
-                    rel = self.database.bool_relations[factor.relation]
-                    guards.append(Guard(args=factor.args, keys=lambda r=rel: r))
+                    rel = self.database.bool_relations[rel_name]
+                    index = (
+                        self.indexes.get(
+                            ("bool", rel_name), rel, version=len(rel)
+                        )
+                        if indexed
+                        else None
+                    )
+                    guards.append(
+                        Guard(
+                            args=factor.args,
+                            keys=lambda r=rel: r,
+                            name=f"bool:{rel_name}",
+                            index=index,
+                        )
+                    )
             elif sparse:
-                support = self.database.support(factor.relation)
-                guards.append(Guard(args=factor.args, keys=lambda s=support: s))
+                support = self.database.support(rel_name)
+                index = (
+                    self.indexes.get(
+                        ("edb", rel_name), support, version=len(support)
+                    )
+                    if indexed
+                    else None
+                )
+                guards.append(
+                    Guard(
+                        args=factor.args,
+                        keys=lambda s=support: s,
+                        name=f"edb:{rel_name}",
+                        index=index,
+                    )
+                )
         return guards
+
+    def _new_index(self, relation: str, new: Instance) -> KeyIndex:
+        """The incrementally-maintained index over ``new``'s support."""
+        name = ("sn-new", relation)
+        index = self.indexes.peek(name)
+        if index is None:
+            index = self.indexes.get(
+                name, lambda: new.support_keys(relation), version="live"
+            )
+        return index
 
     @staticmethod
     def _store_for(
@@ -181,12 +265,14 @@ class SemiNaiveEvaluator:
             self.database,
             functions=self.functions,
             max_iterations=1,
+            plan=self.plan,
         )
         empty = Instance(self.pops)
         new = bootstrap.ico(empty)
         self.stats.iterations += 1
         self.stats.valuations += bootstrap.stats.valuations
         self.stats.products += bootstrap.stats.products
+        self.stats.join.merge(bootstrap.stats.join)
         delta = new.copy()
         old = empty
         trace: List[Instance] = []
@@ -199,6 +285,7 @@ class SemiNaiveEvaluator:
 
         for step in range(1, self.max_iterations):
             self.stats.iterations += 1
+            self._step = step
             contributions: Dict[Tuple[str, Key], Value] = {}
             for rule, body, idb_positions in self._plans:
                 if not idb_positions:
@@ -208,11 +295,13 @@ class SemiNaiveEvaluator:
                         body, idb_positions, j, delta, new, old
                     )
                     for valuation in enumerate_valuations(
-                        sorted(body.variables()),
+                        body.enumeration_order(),
                         guards,
                         self.domain,
                         body.condition,
                         self.database.bool_holds,
+                        plan=self.plan,
+                        stats=self.stats.join,
                     ):
                         self.stats.valuations += 1
                         value = self._variant_value(
@@ -247,6 +336,20 @@ class SemiNaiveEvaluator:
             for rel in list(next_delta.relations()):
                 for key, d in next_delta.support(rel).items():
                     new.merge(rel, key, d)
+            if self.plan == "indexed":
+                # Maintain the shared new-store indexes incrementally:
+                # the only keys that can appear are the delta's.
+                for rel in next_delta.relations():
+                    if self.indexes.peek(("sn-new", rel)) is None:
+                        self.indexes.get(
+                            ("sn-new", rel),
+                            lambda n=new, r=rel: n.support_keys(r),
+                            version="live",
+                        )
+                    else:
+                        self.indexes.extend(
+                            ("sn-new", rel), next_delta.support_keys(rel)
+                        )
             if capture_trace:
                 trace.append(new.copy())
             delta = next_delta
@@ -262,6 +365,7 @@ def seminaive_fixpoint(
     functions: Optional[FunctionRegistry] = None,
     max_iterations: int = 100_000,
     capture_trace: bool = False,
+    plan: str = "indexed",
 ) -> EvaluationResult:
     """Convenience wrapper: build a :class:`SemiNaiveEvaluator`, run it."""
     return SemiNaiveEvaluator(
@@ -269,4 +373,5 @@ def seminaive_fixpoint(
         database,
         functions=functions,
         max_iterations=max_iterations,
+        plan=plan,
     ).run(capture_trace=capture_trace)

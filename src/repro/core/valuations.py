@@ -24,19 +24,29 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..semirings.base import FunctionRegistry, POPS, Value
 from .ast import (
     Condition,
     Constant,
-    KeyFunc,
     Valuation,
     Variable,
     condition_holds,
     eval_term,
     positive_bool_atoms,
 )
+from .indexes import IndexManager, JoinStats, KeyIndex
 from .instance import Database, Instance, Key
 from .rules import (
     Factor,
@@ -51,10 +61,20 @@ from .rules import (
 
 @dataclass
 class Guard:
-    """A generator of candidate bindings: atom args + key supplier."""
+    """A generator of candidate bindings: atom args + key supplier.
+
+    ``index`` optionally carries a persistent
+    :class:`~repro.core.indexes.KeyIndex` over the same key set (shared
+    across enumerations by an :class:`~repro.core.indexes.IndexManager`);
+    when absent, the planner builds an ephemeral index from ``keys()``.
+    ``name`` identifies the key source for diagnostics and for
+    evaluators that refresh indexes between iterations.
+    """
 
     args: Tuple
     keys: Callable[[], Iterable[Key]]
+    name: str = ""
+    index: Optional[KeyIndex] = None
 
     def simple_args(self) -> bool:
         """Whether every argument is a plain variable or constant."""
@@ -91,15 +111,50 @@ def enumerate_valuations(
     condition: Condition,
     bool_lookup: Callable[[str, Key], bool],
     base: Optional[Valuation] = None,
+    plan: str = "indexed",
+    stats: Optional[JoinStats] = None,
 ) -> Iterator[Valuation]:
     """Yield every valuation of ``variables`` satisfying ``condition``.
 
-    Bindings are produced by joining the guards in order; variables not
-    covered by any guard range over ``fallback_domain``.  Each valuation
-    is yielded exactly once (distinct valuations correspond to distinct
+    Bindings are produced by joining the guards; variables not covered
+    by any guard range over ``fallback_domain``.  Each valuation is
+    yielded exactly once (distinct valuations correspond to distinct
     guard-key/fallback combinations).
+
+    Args:
+        plan: ``"indexed"`` (default) orders guards by estimated
+            selectivity and turns each guard after the first into a
+            hash-index probe on its bound columns (see
+            :mod:`repro.core.planner`); ``"naive"`` keeps the seed
+            behavior — guards in the given order, each one a full
+            support scan per candidate binding — as the differential
+            baseline.  Both produce the same set of valuations.
+        stats: Optional :class:`~repro.core.indexes.JoinStats` receiving
+            probe/scan counters.
     """
     usable = [g for g in guards if g.simple_args()]
+    base_valuation = dict(base) if base else {}
+
+    if plan == "indexed":
+        from .planner import build_plan, execute_plan
+
+        compiled = build_plan(
+            usable, bound=set(base_valuation), stats=stats
+        )
+        yield from execute_plan(
+            compiled,
+            variables,
+            fallback_domain,
+            condition,
+            bool_lookup,
+            base=base_valuation,
+            stats=stats,
+        )
+        return
+    if plan != "naive":
+        raise ValueError(f"unknown join plan {plan!r}")
+
+    counters = stats if stats is not None else JoinStats()
 
     def recurse(i: int, valuation: Valuation) -> Iterator[Valuation]:
         if i == len(usable):
@@ -111,18 +166,21 @@ def enumerate_valuations(
             for combo in itertools.product(fallback_domain, repeat=len(remaining)):
                 candidate = dict(valuation)
                 candidate.update(zip(remaining, combo))
+                counters.fallback_candidates += 1
                 if condition_holds(condition, candidate, bool_lookup):
                     yield candidate
             return
         guard = usable[i]
+        counters.scans += 1
         for key in guard.keys():
+            counters.scanned_keys += 1
             if len(key) != len(guard.args):
                 continue
             extended = _unify(guard.args, key, valuation)
             if extended is not None:
                 yield from recurse(i + 1, extended)
 
-    yield from recurse(0, dict(base) if base else {})
+    yield from recurse(0, base_valuation)
 
 
 class FactorEvaluator:
@@ -219,6 +277,7 @@ def body_guards(
     idb_names: frozenset,
     idb_supplier: Callable[[str], Callable[[], Iterable[Key]]],
     allow_idb_guards: bool = True,
+    indexes: Optional[IndexManager] = None,
 ) -> List[Guard]:
     """Build the guard list for a body under the soundness rules above.
 
@@ -232,11 +291,39 @@ def body_guards(
             instance changes between iterations).
         allow_idb_guards: Disable to force fallback enumeration for IDB
             atoms (used by grounding, where IDBs stay symbolic).
+        indexes: Optional :class:`~repro.core.indexes.IndexManager`;
+            when given, guards over POPS EDB relations carry a
+            persistent index shared across rule bodies and fixpoint
+            iterations (those supports are immutable for an evaluator's
+            lifetime).  Boolean-store and IDB guards stay late-bound —
+            their stores can grow mid-run (hybrid evaluator, fixpoint
+            iteration), so evaluators refresh their indexes per
+            iteration via :func:`refresh_guard_indexes`.
     """
+
+    def _edb_guard(args: Tuple, relation: str) -> Guard:
+        support = database.support(relation)
+        index = None
+        if indexes is not None:
+            index = indexes.get(
+                ("edb", relation), support, version=len(support)
+            )
+        return Guard(
+            args=args,
+            keys=lambda s=support: s,
+            name=f"edb:{relation}",
+            index=index,
+        )
+
+    def _bool_guard(args: Tuple, relation: str) -> Guard:
+        rel = database.bool_relations.get(relation, set())
+        return Guard(
+            args=args, keys=lambda r=rel: r, name=f"bool:{relation}"
+        )
+
     guards: List[Guard] = []
     for atom in positive_bool_atoms(body.condition):
-        rel = database.bool_relations.get(atom.relation, set())
-        guards.append(Guard(args=atom.args, keys=lambda r=rel: r))
+        guards.append(_bool_guard(atom.args, atom.relation))
     sparse_pops = pops.is_semiring and pops.is_naturally_ordered
     for atom, under_fn in body.atoms():
         if under_fn:
@@ -244,18 +331,46 @@ def body_guards(
         if atom.relation in idb_names:
             if sparse_pops and allow_idb_guards:
                 guards.append(
-                    Guard(args=atom.args, keys=idb_supplier(atom.relation))
+                    Guard(
+                        args=atom.args,
+                        keys=idb_supplier(atom.relation),
+                        name=f"idb:{atom.relation}",
+                    )
                 )
         elif atom.relation in database.relations:
             if sparse_pops:
-                support = database.support(atom.relation)
-                guards.append(Guard(args=atom.args, keys=lambda s=support: s))
+                guards.append(_edb_guard(atom.args, atom.relation))
         elif atom.relation in database.bool_relations:
             if pops.is_semiring:
-                rel = database.bool_relations[atom.relation]
-                guards.append(Guard(args=atom.args, keys=lambda r=rel: r))
+                guards.append(_bool_guard(atom.args, atom.relation))
         else:
             if sparse_pops:
-                support = database.support(atom.relation)
-                guards.append(Guard(args=atom.args, keys=lambda s=support: s))
+                guards.append(_edb_guard(atom.args, atom.relation))
     return guards
+
+
+def refresh_guard_indexes(
+    guards: Iterable[Guard],
+    indexes: IndexManager,
+    epoch: Hashable,
+) -> None:
+    """Point dynamic guards at up-to-date indexes before an iteration.
+
+    IDB guards read the evaluator's *current* instance, which changes
+    every iteration: their index entry is versioned by the caller's
+    ``epoch`` so the support is materialized once per iteration per
+    relation, shared by every body mentioning it.  Boolean-store guards
+    are versioned by store size (the sets only ever grow — the hybrid
+    evaluator adds threshold facts mid-run) so they rebuild exactly when
+    a fact appeared.  EDB guards already carry a persistent index.
+    """
+    for guard in guards:
+        if guard.name.startswith("idb:"):
+            guard.index = indexes.get(
+                ("idb", guard.name), guard.keys, version=epoch
+            )
+        elif guard.name.startswith("bool:"):
+            store = guard.keys()
+            guard.index = indexes.get(
+                ("bool", guard.name), store, version=len(store)
+            )

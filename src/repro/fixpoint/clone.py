@@ -22,7 +22,7 @@ lower-bound construction lives in its Appendix A).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from .iteration import function_stability_index
 from .poset import Poset, ProductPoset

@@ -21,10 +21,10 @@ Two implementations are provided and cross-checked by the tests:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from ..core.ast import terms
-from ..core.instance import Database, Instance
+from ..core.instance import Database
 from ..core.naive import EvaluationResult, NaiveEvaluator
 from ..core.rules import FuncFactor, Program, RelAtom, Rule, SumProduct
 from ..fixpoint.iteration import kleene_fixpoint

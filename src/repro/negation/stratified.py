@@ -21,7 +21,7 @@ tests verify against :mod:`repro.negation.wellfounded`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from ..core.ast import And, BoolAtom, Condition, Not, Or
 from ..core.instance import Database, Instance

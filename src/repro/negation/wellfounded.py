@@ -19,7 +19,7 @@ win-move example (Section 7.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Hashable, Iterable, List, Set, Tuple
 
 Atom = Hashable
 

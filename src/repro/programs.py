@@ -20,9 +20,9 @@ a :class:`~repro.core.instance.Database` over the intended value space:
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional, Sequence
+from typing import Hashable, Optional
 
-from .core.ast import Compare, Constant, KeyFunc, TrueCond, var
+from .core.ast import Compare, Constant, KeyFunc, var
 from .core.ast import BoolAtom
 from .core.rules import (
     Indicator,
@@ -32,7 +32,6 @@ from .core.rules import (
     Rule,
     SumProduct,
     ValueConst,
-    case_rule,
 )
 from .core.ast import terms
 from .semirings.base import Value

@@ -18,7 +18,7 @@ implements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from .base import AlgebraError, PreSemiring, Value
 from .stability import StabilityReport

@@ -7,13 +7,7 @@ import pytest
 from repro import programs, workloads
 from repro.analysis import classify, count_ground_atoms, tropp_linear_bound
 from repro.core import Database, naive_fixpoint
-from repro.semirings import (
-    LIFTED_REAL,
-    NAT,
-    TROP,
-    TropicalEtaSemiring,
-    TropicalPSemiring,
-)
+from repro.semirings import NAT, TROP, TropicalEtaSemiring, TropicalPSemiring
 
 
 class TestCounting:

@@ -13,7 +13,7 @@ from repro.analysis import (
     univariate_image_valid,
 )
 from repro.core import Monomial, Polynomial, PolynomialSystem
-from repro.semirings import FREE, NAT, TROP, monomial
+from repro.semirings import FREE, TROP, monomial
 
 
 def example_5_7_system(structure, a, b, c, u, v, w):

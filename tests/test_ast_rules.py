@@ -8,7 +8,6 @@ from repro.core import (
     And,
     BoolAtom,
     Compare,
-    Constant,
     FuncFactor,
     Indicator,
     KeyAsValue,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import programs
 from repro.core import (
@@ -17,7 +16,6 @@ from repro.core import (
     ThresholdRule,
     naive_fixpoint,
     terms,
-    var,
 )
 from repro.semirings import REAL_PLUS, TROP
 from repro.semirings.base import FunctionRegistry

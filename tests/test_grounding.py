@@ -17,7 +17,7 @@ from repro.core import (
     ground_program,
     terms,
 )
-from repro.semirings import BOOL, BOTTOM, LIFTED_REAL, THREE, TROP
+from repro.semirings import BOOL, BOTTOM, THREE, TROP
 from repro.semirings.base import FunctionRegistry
 from repro.semirings.three import three_not
 

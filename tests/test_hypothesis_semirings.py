@@ -8,7 +8,6 @@ characterization cross-checked against witness search).
 
 from __future__ import annotations
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

@@ -141,7 +141,6 @@ class TestPolynomials:
             Monomial.make(1, {}),
         ))
         g = f.substitute(NAT, "x", repl).combine_like_terms(NAT)
-        values = {("y",): None}
         for y in (0, 1, 2, 5):
             assert g.evaluate(NAT, {"y": y}, 0) == (y + 1) ** 2
 

@@ -10,7 +10,6 @@ produce identical fixpoints.  Hypothesis drives the graph generation.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import programs

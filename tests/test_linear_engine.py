@@ -14,10 +14,9 @@ from repro.core import (
     PolynomialSystem,
     ground_program,
     linear_lfp,
-    naive_fixpoint,
     solve,
 )
-from repro.semirings import BOOL, BOTTOM, INF, LIFTED_REAL, TROP, TropicalPSemiring
+from repro.semirings import BOOL, BOTTOM, LIFTED_REAL, TROP, TropicalPSemiring
 
 
 class TestLinearFunction:

@@ -13,7 +13,6 @@ from repro.core import (
     PolynomialSystem,
     ground_program,
     jacobian,
-    naive_fixpoint,
     newton_fixpoint,
     partial_derivative,
 )

@@ -13,7 +13,6 @@ from repro.core import (
     KeyAsValue,
     ParseError,
     RelAtom,
-    SumProduct,
     ValueConst,
     Variable,
     parse_program,

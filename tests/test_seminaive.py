@@ -14,7 +14,7 @@ from repro.core import (
 )
 from repro.core.rules import FuncFactor, Program, RelAtom, Rule, SumProduct
 from repro.core.ast import terms
-from repro.semirings import BOOL, LIFTED_REAL, NAT, TROP, TropicalPSemiring
+from repro.semirings import BOOL, TROP, TropicalPSemiring
 
 
 def _bool_db(edges) -> Database:

@@ -38,7 +38,6 @@ from repro.semirings import (
     TropicalPSemiring,
 )
 from repro.semirings.properties import (
-    check_monotonicity,
     check_partial_order,
     check_pops,
     check_pre_semiring,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.semirings import BOOL
 from repro.semirings.properties import check_idempotent_add, check_minus_laws

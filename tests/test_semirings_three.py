@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.semirings import BOTTOM, FOUR, THREE, TOP, four_not, three_not
 

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import programs, workloads
+from repro import programs
 from repro.core import Database, Instance, NaiveEvaluator
 from repro.core.ast import (
-    And,
     BoolAtom,
     Compare,
     Constant,
@@ -24,7 +22,7 @@ from repro.core.valuations import (
     enumerate_valuations,
 )
 from repro.core.rules import FuncFactor, Indicator, KeyAsValue, RelAtom, SumProduct, ValueConst
-from repro.semirings import BOOL, LIFTED_REAL, THREE, TROP, BOTTOM
+from repro.semirings import LIFTED_REAL, THREE, TROP
 from repro.semirings.base import FunctionRegistry
 
 

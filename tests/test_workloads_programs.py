@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import programs, workloads
 from repro.core import Database, naive_fixpoint
