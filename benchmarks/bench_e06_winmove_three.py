@@ -28,10 +28,13 @@ def _fmt(v):
     return "1" if v else "0"
 
 
-def test_e06_three_valued_trace(benchmark):
+def test_e06_three_valued_trace(benchmark, joincore_log):
     result = benchmark(
-        lambda: negation.win_move_datalogo(
-            workloads.fig_4_edges(), capture_trace=True
+        lambda: joincore_log.timed(
+            "e06/winmove-fig4-THREE",
+            lambda: negation.win_move_datalogo(
+                workloads.fig_4_edges(), capture_trace=True
+            ),
         )
     )
     measured = [

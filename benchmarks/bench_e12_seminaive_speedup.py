@@ -76,7 +76,7 @@ def test_e12_work_ratio_table(benchmark, quick):
         assert s_ <= n_ * 1.6  # and never catastrophically lose
 
 
-def test_e12_indexed_join_core_vs_seed(benchmark, quick):
+def test_e12_indexed_join_core_vs_seed(benchmark, quick, joincore_log):
     """Indexed planning vs the seed's scan join, on E12's largest size.
 
     ``keys_examined`` counts every candidate key the join core touched
@@ -91,8 +91,11 @@ def test_e12_indexed_join_core_vs_seed(benchmark, quick):
     def run_all():
         rows = []
         for method in ("naive", "seminaive"):
-            indexed = core.solve(
-                programs.sssp(0), db, method=method, plan="indexed"
+            indexed = joincore_log.timed(
+                f"e12/sssp-line({n})-{method}/indexed",
+                lambda m=method: core.solve(
+                    programs.sssp(0), db, method=m, plan="indexed"
+                ),
             )
             seed = core.solve(programs.sssp(0), db, method=method, plan="naive")
             assert indexed.instance.equals(seed.instance)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Gate join-core work counters against a checked-in baseline.
+
+Usage::
+
+    python benchmarks/check_joincore_regression.py \
+        BENCH_joincore.json benchmarks/baselines/joincore_quick.json \
+        [--tolerance 0.10]
+
+Both files are ``--json`` artifacts of the benchmark suite (see
+``benchmarks/conftest.py``).  For every benchmark present in the
+baseline, each gated counter (``keys_examined``,
+``fallback_candidates``) must not exceed the baseline by more than the
+tolerance — an increase means the planner started examining more
+candidate keys or pruning less, i.e. a join-core perf regression, even
+if wall time (noisy on CI) happens to hide it.  Benchmarks new in the
+current run are reported but never fail; benchmarks missing from the
+current run fail (a silently skipped measurement is itself a
+regression).  Wall times are printed for context only.
+
+Exit status: 0 when clean, 1 on any regression or missing benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != "joincore-bench/1":
+        raise SystemExit(f"{path}: not a joincore-bench/1 artifact")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced --json artifact")
+    parser.add_argument("baseline", help="checked-in baseline artifact")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative increase per gated counter (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    gated = baseline.get("gated_stats") or ["keys_examined", "fallback_candidates"]
+
+    current_by_name = {b["name"]: b for b in current.get("benchmarks", [])}
+    failures = []
+    rows = []
+    for bench in baseline.get("benchmarks", []):
+        name = bench["name"]
+        now = current_by_name.pop(name, None)
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        rows.append(
+            f"  {name:50s} {'wall_s (context)':20s} "
+            f"{bench.get('wall_s', 0.0):>10.4f} -> {now.get('wall_s', 0.0):>10.4f}"
+        )
+        for stat in gated:
+            base_value = bench.get("stats", {}).get(stat)
+            if base_value is None:
+                continue
+            now_value = now.get("stats", {}).get(stat)
+            if now_value is None:
+                failures.append(f"{name}: current run lacks stat {stat!r}")
+                continue
+            ceiling = base_value * (1.0 + args.tolerance)
+            marker = ""
+            if now_value > ceiling:
+                failures.append(
+                    f"{name}: {stat} regressed {base_value} -> {now_value} "
+                    f"(ceiling {ceiling:.1f})"
+                )
+                marker = "  <-- REGRESSION"
+            rows.append(
+                f"  {name:50s} {stat:20s} {base_value:>10d} -> {now_value:>10d}"
+                f"{marker}"
+            )
+
+    print("join-core regression check "
+          f"(tolerance {args.tolerance:.0%}, gated: {', '.join(gated)})")
+    for row in rows:
+        print(row)
+    for name in sorted(current_by_name):
+        print(f"  {name}: new benchmark (no baseline, not gated)")
+
+    if failures:
+        print("\nFAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nOK: no join-core regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,23 @@ Every benchmark module reproduces one table/figure of the paper
 (experiment ids E1–E16, see DESIGN.md).  Benchmarks both *assert* the
 reproduced rows (so `--benchmark-only` runs double as verification) and
 print the table for EXPERIMENTS.md; run with ``-s`` to see the tables.
+
+``--json PATH`` additionally writes a machine-readable perf trajectory
+(per-benchmark wall time plus :class:`~repro.core.indexes.JoinStats`
+snapshots) — the artifact the CI join-core regression gate diffs
+against ``benchmarks/baselines/``.  Benchmarks opt in through the
+``joincore_log`` fixture::
+
+    def test_e12_…(benchmark, joincore_log):
+        result = …
+        joincore_log.record("e12/sssp-line/indexed", wall, result.stats)
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import pytest
 
@@ -24,6 +36,23 @@ def pytest_addoption(parser) -> None:
             "regressions fast (combine with --benchmark-disable)"
         ),
     )
+    try:
+        parser.addoption(
+            "--json",
+            action="store",
+            default=None,
+            metavar="PATH",
+            help=(
+                "write per-benchmark wall time and JoinStats snapshots "
+                "(keys_examined, fallback_candidates, …) as JSON to PATH "
+                "(e.g. BENCH_joincore.json); the CI join-core regression "
+                "step diffs this file against benchmarks/baselines/"
+            ),
+        )
+    except ValueError:
+        # A third-party plugin (e.g. pytest-json) already owns --json;
+        # its value is reused via getoption, so the knob keeps working.
+        pass
 
 
 @pytest.fixture
@@ -35,6 +64,88 @@ def quick(request) -> bool:
 def sized(quick: bool, full, small):
     """Pick the smoke-size parameter when ``--quick`` is on."""
     return small if quick else full
+
+
+class JoinCoreLog:
+    """Collects per-benchmark join-core measurements for ``--json``.
+
+    Records survive in ``config._joincore_records`` until session end;
+    without ``--json`` the recorder still works (so benchmarks need no
+    conditionals) but nothing is written.
+    """
+
+    #: The stats keys the regression gate tracks (must be a subset of
+    #: ``JoinStats.snapshot()`` / ``EvalStats.snapshot()`` keys).
+    GATED = ("keys_examined", "fallback_candidates")
+
+    def __init__(self, records: List[Dict]):
+        self._records = records
+
+    def record(
+        self, name: str, wall_s: float, stats: Optional[Dict[str, int]] = None
+    ) -> None:
+        """Add one measurement (idempotent per name: last write wins)."""
+        entry = {
+            "name": name,
+            "wall_s": round(float(wall_s), 6),
+            "stats": {
+                k: int(v)
+                for k, v in (stats or {}).items()
+                if isinstance(v, (int, float))
+            },
+        }
+        for i, existing in enumerate(self._records):
+            if existing["name"] == name:
+                self._records[i] = entry
+                return
+        self._records.append(entry)
+
+    def timed(self, name: str, fn, stats_from=None):
+        """Run ``fn``, record its wall time and stats, return its result.
+
+        ``stats_from`` maps the result to a stats dict; by default the
+        result's ``stats`` attribute (an ``EvaluationResult``) or the
+        result itself when it is a dict.
+        """
+        start = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - start
+        if stats_from is not None:
+            stats = stats_from(result)
+        elif hasattr(result, "stats"):
+            stats = result.stats
+        elif isinstance(result, dict):
+            stats = result
+        else:
+            stats = {}
+        self.record(name, wall, stats)
+        return result
+
+
+@pytest.fixture
+def joincore_log(request) -> JoinCoreLog:
+    """Session-wide recorder behind the ``--json`` knob."""
+    records = getattr(request.config, "_joincore_records", None)
+    if records is None:
+        records = []
+        request.config._joincore_records = records
+    return JoinCoreLog(records)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    path = session.config.getoption("--json", default=None)
+    if not path:
+        return
+    records = getattr(session.config, "_joincore_records", [])
+    payload = {
+        "schema": "joincore-bench/1",
+        "quick": bool(session.config.getoption("--quick", default=False)),
+        "gated_stats": list(JoinCoreLog.GATED),
+        "benchmarks": sorted(records, key=lambda r: r["name"]),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..semirings.base import FunctionRegistry
 from .grounding import assignment_to_instance, ground_program
+from .indexes import JoinStats
 from .instance import Database
 from .linear import linear_lfp
 from .naive import EvaluationResult, naive_fixpoint
@@ -79,7 +80,10 @@ def solve(
             plan=plan,
         )
     if method == "grounded":
-        system = ground_program(program, database, functions=functions, plan=plan)
+        join_stats = JoinStats()
+        system = ground_program(
+            program, database, functions=functions, plan=plan, stats=join_stats
+        )
         result = system.kleene(
             max_steps=max_iterations, capture_trace=capture_trace
         )
@@ -89,17 +93,23 @@ def solve(
             for snapshot in result.trace
         ]
         return EvaluationResult(
-            instance=instance, steps=result.steps, trace=trace, stats={}
+            instance=instance,
+            steps=result.steps,
+            trace=trace,
+            stats=join_stats.snapshot(),
         )
     if method == "linear":
         if stability_p is None:
             raise ValueError("method='linear' requires stability_p")
-        system = ground_program(program, database, functions=functions, plan=plan)
+        join_stats = JoinStats()
+        system = ground_program(
+            program, database, functions=functions, plan=plan, stats=join_stats
+        )
         assignment = linear_lfp(system, stability_p)
         return EvaluationResult(
             instance=assignment_to_instance(system, assignment),
             steps=0,
             trace=[],
-            stats={},
+            stats=join_stats.snapshot(),
         )
     raise ValueError(f"unknown method {method!r}")

@@ -27,7 +27,7 @@ from .ast import Term, eval_term
 from .instance import Database, Instance, Key
 from .naive import EvaluationResult, NaiveEvaluator
 from .rules import Program, SumProduct
-from .valuations import body_guards, enumerate_valuations
+from .valuations import body_guards, enumerate_matches
 
 
 @dataclass(frozen=True)
@@ -96,7 +96,7 @@ class HybridEvaluator:
             )
             acc: Dict[Key, Value] = {}
             self._base._current = idb
-            for valuation in enumerate_valuations(
+            for valuation, slot_values in enumerate_matches(
                 rule.body.enumeration_order(),
                 guards,
                 self._base.domain,
@@ -106,7 +106,8 @@ class HybridEvaluator:
                 stats=self._base.stats.join,
             ):
                 value = self._base.evaluator.product_value(
-                    rule.body, valuation, idb, self.program.idb_names()
+                    rule.body, valuation, idb, self.program.idb_names(),
+                    slot_values=slot_values,
                 )
                 head_key = tuple(eval_term(t, valuation) for t in rule.head_args)
                 if head_key in acc:

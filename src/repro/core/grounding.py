@@ -24,7 +24,6 @@ from .indexes import IndexManager, JoinStats
 from .instance import Database, Instance
 from .polynomial import Monomial, Polynomial, PolynomialSystem, VarId
 from .rules import (
-    Factor,
     FuncFactor,
     Program,
     RelAtom,
@@ -34,7 +33,7 @@ from .rules import (
 from .valuations import (
     FactorEvaluator,
     body_guards,
-    enumerate_valuations,
+    enumerate_matches,
     refresh_guard_indexes,
 )
 
@@ -57,11 +56,17 @@ def _monomial_for_valuation(
     evaluator: FactorEvaluator,
     idb_names: frozenset,
     empty_idb: Instance,
+    slot_values: Optional[Dict[int, Value]] = None,
 ) -> Monomial:
-    """Build the monomial of one valuation (Eq. 12, EDBs substituted)."""
+    """Build the monomial of one valuation (Eq. 12, EDBs substituted).
+
+    ``slot_values`` carries EDB values that rode the enumeration's
+    index probes, so the coefficient is assembled without re-hashing
+    the probed keys.
+    """
     coeff: Value = pops.one
     powers: List[Tuple[VarId, int]] = []
-    for factor in body.factors:
+    for i, factor in enumerate(body.factors):
         if isinstance(factor, RelAtom) and factor.relation in idb_names:
             key = tuple(eval_term(a, valuation) for a in factor.args)
             powers.append(((factor.relation, key), 1))
@@ -75,6 +80,8 @@ def _monomial_for_valuation(
                 coeff,
                 evaluator.factor_value(factor, valuation, empty_idb, idb_names),
             )
+        elif slot_values and i in slot_values:
+            coeff = pops.mul(coeff, slot_values[i])
         else:
             coeff = pops.mul(
                 coeff,
@@ -121,7 +128,7 @@ def ground_program(
     pops = database.pops
     if total is None:
         total = not (pops.is_semiring and pops.is_naturally_ordered)
-    evaluator = FactorEvaluator(pops, database, functions)
+    evaluator = FactorEvaluator(pops, database, functions, stats=stats)
     idb_names = program.idb_names()
     empty_idb = Instance(pops)
     indexes = IndexManager(stats=stats) if plan == "indexed" else None
@@ -157,7 +164,7 @@ def ground_program(
             if indexes is not None:
                 refresh_guard_indexes(guards, indexes, epoch="ground")
             variables = body.enumeration_order()
-            for valuation in enumerate_valuations(
+            for valuation, slot_values in enumerate_matches(
                 variables,
                 guards,
                 domain,
@@ -172,7 +179,8 @@ def ground_program(
                     polynomials[var] = Polynomial()
                     order.append(var)
                 monomial = _monomial_for_valuation(
-                    body, valuation, pops, evaluator, idb_names, empty_idb
+                    body, valuation, pops, evaluator, idb_names, empty_idb,
+                    slot_values=slot_values,
                 )
                 polynomials[var] = polynomials[var].plus(Polynomial((monomial,)))
 

@@ -9,18 +9,28 @@ structure that turns those scans into O(1) hash probes:
 
 * :class:`KeyIndex` — one relation's key set plus lazily-built hash
   maps keyed by *bound-column masks*: for the mask ``(0, 2)`` the map
-  sends ``(key[0], key[2])`` to the list of matching keys.  Masks are
-  materialized on first probe and maintained incrementally by
+  sends ``(key[0], key[2])`` to the list of matching entries.  Masks
+  are materialized on first probe and maintained incrementally by
   :meth:`KeyIndex.add`, so the semi-naïve engine can keep one index
   per IDB relation alive across iterations and merely feed it each
-  applied delta.
+  applied delta.  Entries optionally **carry the relation's value**
+  alongside the key (fed from a support ``Mapping``), so factor
+  evaluation can ride the probe instead of paying a second hash lookup
+  per factor — see ``FactorEvaluator.product_value``.
 * :class:`IndexManager` — a versioned cache of named indexes, so
   evaluators share one index per EDB relation across every rule body
   and every fixpoint iteration (the support never changes), and can
-  cheaply invalidate by bumping the version when it does.
-* :class:`JoinStats` — probe/scan counters for the join core, surfaced
-  through ``EvalStats`` so benchmarks (E2, E12, E21) can report the
-  saving of indexed over naïve enumeration.
+  cheaply invalidate by bumping the version when it does.  Rebuilt
+  indexes inherit (decayed) probe observations from their predecessor,
+  keeping selectivity estimates adaptive across iterations.
+* :class:`JoinStats` — probe/scan/fallback/pushdown counters for the
+  join core, surfaced through ``EvalStats`` so benchmarks (E2, E12,
+  E21, E23) can report the saving of indexed over naïve enumeration.
+
+Selectivity estimates are **adaptive**: a built mask table knows its
+true distinct count, every probe records its hit rate, and
+:meth:`KeyIndex.estimate` prefers observed candidates-per-probe over
+the static ``n / 4^bound`` guess the seed planner used.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from typing import (
     Hashable,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -44,10 +55,24 @@ Key = Tuple[Any, ...]
 #: known (bound) at probe time.  The empty mask means a full scan.
 Mask = Tuple[int, ...]
 
+#: Marks an entry whose key source carried no value (Boolean stores,
+#: plain key iterables).  ``None`` is not usable — it is a legitimate
+#: POPS value in principle.
+NO_VALUE: Any = object()
+
+#: An index entry: a 2-slot list ``[key, value]``.  Lists (not tuples)
+#: so that a value update via :meth:`KeyIndex.add` is visible through
+#: every mask bucket holding the entry, without rebuilds.
+Entry = List  # [Key, Value]
+
 #: Assumed per-bound-column branching factor used to estimate the
 #: selectivity of a mask whose hash map has not been built yet (building
 #: it just to rank candidate join orders would defeat the laziness).
 _DEFAULT_FANOUT = 4
+
+#: Probes observed on a mask before its hit rate outranks the distinct
+#: count as the estimate (tiny samples are noise).
+_MIN_OBSERVATIONS = 4
 
 
 @dataclass
@@ -58,7 +83,26 @@ class JoinStats:
     is the benchmarks' "join-core operations" metric: every candidate
     key the executor had to look at.  Indexed planning shrinks it by
     replacing support scans with hash probes that return only the
-    matching bucket.
+    matching bucket; condition pushdown shrinks it further by pruning
+    fallback products before they complete.
+
+    The pushdown/value-probe counters:
+
+    * ``fallback_extensions`` — intermediate (non-final) candidates the
+      incremental fallback loop touched;
+    * ``pushdown_prunes`` — partial valuations rejected by a pushed
+      filter before the leaf;
+    * ``equality_bindings`` — fallback variables bound directly from an
+      ``x = t`` conjunct instead of enumerating the domain;
+    * ``arity_skips`` — keys dropped because their arity mismatched the
+      guard's (previously an invisible ``continue``);
+    * ``probe_hits`` / ``probe_misses`` — probes returning a non-empty /
+      empty bucket (the planner's adaptive-selectivity signal);
+    * ``value_probe_hits`` — factor evaluations served by a value that
+      rode the probe (no secondary hash lookup);
+    * ``factor_lookups`` — factor evaluations that did pay a store
+      lookup (the metric the value-carrying path drives to zero on
+      fully probed bodies).
     """
 
     probes: int = 0
@@ -67,6 +111,14 @@ class JoinStats:
     scanned_keys: int = 0
     fallback_candidates: int = 0
     index_builds: int = 0
+    fallback_extensions: int = 0
+    pushdown_prunes: int = 0
+    equality_bindings: int = 0
+    arity_skips: int = 0
+    probe_hits: int = 0
+    probe_misses: int = 0
+    value_probe_hits: int = 0
+    factor_lookups: int = 0
 
     @property
     def keys_examined(self) -> int:
@@ -80,6 +132,14 @@ class JoinStats:
         self.scanned_keys += other.scanned_keys
         self.fallback_candidates += other.fallback_candidates
         self.index_builds += other.index_builds
+        self.fallback_extensions += other.fallback_extensions
+        self.pushdown_prunes += other.pushdown_prunes
+        self.equality_bindings += other.equality_bindings
+        self.arity_skips += other.arity_skips
+        self.probe_hits += other.probe_hits
+        self.probe_misses += other.probe_misses
+        self.value_probe_hits += other.value_probe_hits
+        self.factor_lookups += other.factor_lookups
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -89,11 +149,19 @@ class JoinStats:
             "scanned_keys": self.scanned_keys,
             "fallback_candidates": self.fallback_candidates,
             "index_builds": self.index_builds,
+            "fallback_extensions": self.fallback_extensions,
+            "pushdown_prunes": self.pushdown_prunes,
+            "equality_bindings": self.equality_bindings,
+            "arity_skips": self.arity_skips,
+            "probe_hits": self.probe_hits,
+            "probe_misses": self.probe_misses,
+            "value_probe_hits": self.value_probe_hits,
+            "factor_lookups": self.factor_lookups,
             "keys_examined": self.keys_examined,
         }
 
 
-_EMPTY: Tuple[Key, ...] = ()
+_EMPTY: Tuple[Entry, ...] = ()
 
 
 class KeyIndex:
@@ -101,93 +169,176 @@ class KeyIndex:
 
     Keys keep insertion order (scans and probe buckets enumerate in the
     order keys were added, keeping plans deterministic).  Duplicate keys
-    are dropped, matching set/dict-backed supports.
+    are dropped, matching set/dict-backed supports; re-adding an
+    existing key with a value *updates* the carried value in place —
+    the semi-naïve engine's hook for ``⊕``-merged deltas.
+
+    Feed a ``Mapping`` (a relation support) to carry values; any other
+    iterable builds a key-only index.
     """
 
-    __slots__ = ("_keys", "_seen", "_maps", "stats")
+    __slots__ = ("_entries", "_keys", "_pos", "_maps", "_observed", "stats", "has_values")
 
     def __init__(
-        self, keys: Iterable[Key] = (), stats: Optional[JoinStats] = None
+        self,
+        keys: Union[Mapping[Key, Any], Iterable[Key]] = (),
+        stats: Optional[JoinStats] = None,
     ):
+        self._entries: List[Entry] = []
         self._keys: List[Key] = []
-        self._seen: set = set()
-        self._maps: Dict[Mask, Dict[Tuple[Hashable, ...], List[Key]]] = {}
+        self._pos: Dict[Key, int] = {}
+        self._maps: Dict[Mask, Dict[Tuple[Hashable, ...], List[Entry]]] = {}
+        #: Per-mask probe observations: mask -> [probes, entries returned].
+        self._observed: Dict[Mask, List[int]] = {}
         self.stats = stats
+        self.has_values = False
         self.extend(keys)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._entries)
 
     def keys(self) -> Sequence[Key]:
         """Return every key (a scan — prefer :meth:`probe` when bound)."""
         return self._keys
 
-    def add(self, key: Key) -> bool:
+    def entries(self) -> Sequence[Entry]:
+        """Return every ``[key, value]`` entry (the value-aware scan)."""
+        return self._entries
+
+    def add(self, key: Key, value: Any = NO_VALUE) -> bool:
         """Insert one key, updating every built mask map incrementally.
 
-        Returns whether the key was new.  This is the maintenance hook
-        the semi-naïve engine calls when it applies a delta: O(#built
-        masks) per new key instead of a rebuild.
+        Returns whether the key was new.  Passing a value for an
+        existing key updates the carried value in place (visible in
+        every bucket — entries are shared).  This is the maintenance
+        hook the semi-naïve engine calls when it applies a delta:
+        O(#built masks) per new key instead of a rebuild.
         """
         key = tuple(key)
-        if key in self._seen:
+        pos = self._pos.get(key)
+        if pos is not None:
+            if value is not NO_VALUE:
+                self._entries[pos][1] = value
+                self.has_values = True
             return False
-        self._seen.add(key)
+        entry: Entry = [key, value]
+        self._pos[key] = len(self._entries)
+        self._entries.append(entry)
         self._keys.append(key)
+        if value is not NO_VALUE:
+            self.has_values = True
         for mask, table in self._maps.items():
             if not mask or mask[-1] < len(key):
                 proj = tuple(key[i] for i in mask)
-                table.setdefault(proj, []).append(key)
+                table.setdefault(proj, []).append(entry)
         return True
 
-    def extend(self, keys: Iterable[Key]) -> int:
-        """Insert many keys; returns how many were new."""
+    def extend(self, keys: Union[Mapping[Key, Any], Iterable[Key]]) -> int:
+        """Insert many keys (a ``Mapping`` carries values); count new ones."""
+        if isinstance(keys, Mapping):
+            return sum(1 for key, value in keys.items() if self.add(key, value))
         return sum(1 for key in keys if self.add(key))
 
     # ------------------------------------------------------------------
-    def _table(self, mask: Mask) -> Dict[Tuple[Hashable, ...], List[Key]]:
+    def _table(self, mask: Mask) -> Dict[Tuple[Hashable, ...], List[Entry]]:
         table = self._maps.get(mask)
         if table is None:
             table = {}
-            for key in self._keys:
+            for entry in self._entries:
+                key = entry[0]
                 if mask and mask[-1] >= len(key):
                     continue  # arity-mismatched key; executor skips it
                 proj = tuple(key[i] for i in mask)
-                table.setdefault(proj, []).append(key)
+                table.setdefault(proj, []).append(entry)
             self._maps[mask] = table
             if self.stats is not None:
                 self.stats.index_builds += 1
         return table
 
-    def probe(self, mask: Mask, values: Tuple[Hashable, ...]) -> Sequence[Key]:
-        """Return the keys matching ``values`` on the mask's positions.
+    def probe_entries(
+        self, mask: Mask, values: Tuple[Hashable, ...]
+    ) -> Sequence[Entry]:
+        """Return the entries matching ``values`` on the mask's positions.
 
         The first probe of a mask builds its hash map (O(n)); every
-        further probe is O(1) plus the bucket size.
+        further probe is O(1) plus the bucket size.  Each probe feeds
+        the mask's observed hit rate, which :meth:`estimate` prefers
+        over static guesses once the sample is large enough.
         """
         if not mask:
+            return self._entries
+        bucket = self._table(mask).get(values, _EMPTY)
+        observed = self._observed.get(mask)
+        if observed is None:
+            observed = self._observed[mask] = [0, 0]
+        observed[0] += 1
+        observed[1] += len(bucket)
+        if self.stats is not None:
+            if bucket:
+                self.stats.probe_hits += 1
+            else:
+                self.stats.probe_misses += 1
+        return bucket
+
+    def probe(self, mask: Mask, values: Tuple[Hashable, ...]) -> Sequence[Key]:
+        """Key-only view of :meth:`probe_entries` (compatibility shim)."""
+        if not mask:
             return self._keys
-        return self._table(mask).get(values, _EMPTY)
+        return [entry[0] for entry in self.probe_entries(mask, values)]
 
     def estimate(self, mask: Mask) -> float:
         """Estimated candidates per probe on ``mask`` (for plan ordering).
 
-        Uses the true average bucket size when the mask map is already
-        built, else assumes each bound column divides the support by a
-        constant branching factor.  Never builds a map.
+        Preference order: observed candidates-per-probe (once the mask
+        has been probed enough), then the true distinct count of a
+        built mask table, then distinct counts of built *sub*-masks
+        scaled by the default fanout, then the static
+        ``n / fanout^bound`` guess.  Never builds a map.
         """
-        n = len(self._keys)
+        n = len(self._entries)
         if not mask or n == 0:
             return float(n)
+        observed = self._observed.get(mask)
+        if observed is not None and observed[0] >= _MIN_OBSERVATIONS:
+            return observed[1] / observed[0]
         table = self._maps.get(mask)
         if table is not None:
             return n / max(1, len(table))
-        return n / float(_DEFAULT_FANOUT ** len(mask))
+        mask_set = set(mask)
+        divisor = float(_DEFAULT_FANOUT ** len(mask))
+        for built, built_table in self._maps.items():
+            if built and set(built) <= mask_set:
+                scaled = len(built_table) * float(
+                    _DEFAULT_FANOUT ** (len(mask) - len(built))
+                )
+                if scaled > divisor:
+                    divisor = scaled
+        return n / divisor
+
+    def inherit_observations(self, previous: "KeyIndex") -> None:
+        """Carry (decayed) probe observations over from a predecessor.
+
+        Rebuilt indexes (per-iteration IDB snapshots) start with half
+        the predecessor's sample so selectivity ordering stays adaptive
+        across fixpoint iterations without trusting stale data forever.
+        """
+        for mask, (probes, returned) in previous._observed.items():
+            mine = self._observed.setdefault(mask, [0, 0])
+            mine[0] += probes // 2
+            mine[1] += returned // 2
+
+    def distinct_count(self, mask: Mask) -> Optional[int]:
+        """True distinct count of a built mask table (None if unbuilt)."""
+        table = self._maps.get(mask)
+        return None if table is None else len(table)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         masks = sorted(self._maps)
-        return f"KeyIndex(n={len(self._keys)}, masks={masks})"
+        return (
+            f"KeyIndex(n={len(self._entries)}, masks={masks}, "
+            f"values={self.has_values})"
+        )
 
 
 @dataclass
@@ -201,7 +352,9 @@ class IndexManager:
 
     Evaluators register one index per key source (EDB relation, live
     IDB instance, …) under a hashable name.  ``get`` rebuilds only when
-    the caller-supplied version changed; ``extend`` maintains an entry
+    the caller-supplied version changed — the rebuilt index inherits
+    the predecessor's decayed probe observations, so estimates keep
+    adapting across fixpoint iterations; ``extend`` maintains an entry
     incrementally (the semi-naïve delta hook) without touching the
     version.
     """
@@ -213,17 +366,24 @@ class IndexManager:
     def get(
         self,
         name: Hashable,
-        keys: Union[Callable[[], Iterable[Key]], Iterable[Key]],
+        keys: Union[
+            Callable[[], Union[Mapping[Key, Any], Iterable[Key]]],
+            Mapping[Key, Any],
+            Iterable[Key],
+        ],
         version: Hashable = None,
     ) -> KeyIndex:
         """Return the cached index for ``name``, (re)building on version
-        change.  ``keys`` may be an iterable or a zero-arg callable (late
+        change.  ``keys`` may be a mapping (values ride along), a plain
+        iterable of keys, or a zero-arg callable returning either (late
         binding for stores that change between iterations)."""
         entry = self._entries.get(name)
         if entry is not None and entry.version == version:
             return entry.index
         material = keys() if callable(keys) else keys
         index = KeyIndex(material, stats=self.stats)
+        if entry is not None:
+            index.inherit_observations(entry.index)
         self._entries[name] = _Entry(index=index, version=version)
         return index
 
@@ -232,11 +392,14 @@ class IndexManager:
         entry = self._entries.get(name)
         return entry.index if entry is not None else None
 
-    def extend(self, name: Hashable, keys: Iterable[Key]) -> int:
+    def extend(
+        self, name: Hashable, keys: Union[Mapping[Key, Any], Iterable[Key]]
+    ) -> int:
         """Incrementally add keys to a cached index (delta maintenance).
 
         Returns the number of new keys; raises ``KeyError`` when the
-        index was never built (nothing to maintain).
+        index was never built (nothing to maintain).  A mapping updates
+        carried values for existing keys too.
         """
         return self._entries[name].index.extend(keys)
 

@@ -29,7 +29,8 @@ from .rules import Program, Rule, SumProduct
 from .valuations import (
     FactorEvaluator,
     body_guards,
-    enumerate_valuations,
+    enumerate_matches,
+    pushable_indicator_conditions,
     refresh_guard_indexes,
 )
 
@@ -98,7 +99,10 @@ class NaiveEvaluator:
         self.max_iterations = max_iterations
         self.plan = plan
         self.idb_names = program.idb_names()
-        self.evaluator = FactorEvaluator(self.pops, database, self.functions)
+        self.stats = EvalStats()
+        self.evaluator = FactorEvaluator(
+            self.pops, database, self.functions, stats=self.stats.join
+        )
         self.domain: List[Any] = sorted(
             database.active_domain() | program.constants() | set(extra_domain),
             key=repr,
@@ -108,14 +112,13 @@ class NaiveEvaluator:
                 self.pops.is_semiring and self.pops.is_naturally_ordered
             )
         self.total_heads = total_heads
-        self.stats = EvalStats()
         self.indexes = IndexManager(stats=self.stats.join)
         self._epoch = 0
         self._current: Instance = Instance(self.pops)
         self._plans = self._build_plans()
 
     # ------------------------------------------------------------------
-    def _build_plans(self) -> List[Tuple[Rule, SumProduct, list, List[str]]]:
+    def _build_plans(self) -> List[Tuple[Rule, SumProduct, list, List[str], tuple]]:
         plans = []
         for rule in self.program.rules:
             for body in rule.bodies:
@@ -127,13 +130,18 @@ class NaiveEvaluator:
                     self._idb_supplier,
                     indexes=self.indexes if self.plan == "indexed" else None,
                 )
+                extra = pushable_indicator_conditions(
+                    body, self.pops, self.total_heads
+                )
                 plans.append(
-                    (rule, body, guards, body.enumeration_order())
+                    (rule, body, guards, body.enumeration_order(), extra)
                 )
         return plans
 
     def _idb_supplier(self, name: str):
-        return lambda: list(self._current.support(name).keys())
+        # The mapping (not just its keys) feeds the guard index, so
+        # probed factor values ride along with the probed keys.
+        return lambda: self._current.support(name)
 
     # ------------------------------------------------------------------
     def ico(self, instance: Instance) -> Instance:
@@ -145,10 +153,10 @@ class NaiveEvaluator:
             for rel, arity in self.program.idbs.items():
                 for key in itertools.product(self.domain, repeat=arity):
                     acc[(rel, key)] = self.pops.zero
-        for rule, body, guards, variables in self._plans:
+        for rule, body, guards, variables, extra_conjuncts in self._plans:
             if self.plan == "indexed":
                 refresh_guard_indexes(guards, self.indexes, self._epoch)
-            for valuation in enumerate_valuations(
+            for valuation, slot_values in enumerate_matches(
                 variables,
                 guards,
                 self.domain,
@@ -156,10 +164,12 @@ class NaiveEvaluator:
                 self.database.bool_holds,
                 plan=self.plan,
                 stats=self.stats.join,
+                extra_conjuncts=extra_conjuncts,
             ):
                 self.stats.valuations += 1
                 value = self.evaluator.product_value(
-                    body, valuation, instance, self.idb_names
+                    body, valuation, instance, self.idb_names,
+                    slot_values=slot_values,
                 )
                 self.stats.products += 1
                 head_key = tuple(eval_term(t, valuation) for t in rule.head_args)

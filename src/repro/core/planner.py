@@ -1,8 +1,10 @@
 """Selectivity-ordered join planning over guard indexes.
 
 This is the optimizer half of the indexed join subsystem (the storage
-half is :mod:`repro.core.indexes`).  Given a body's guards and the set
-of variables already bound (constants, base bindings), the planner
+half is :mod:`repro.core.indexes`; the condition half is
+:mod:`repro.core.pushdown`).  Given a body's guards, the variables
+already bound (constants, base bindings) and the body's condition
+``Φ``, the planner
 
 1. materializes a :class:`~repro.core.indexes.KeyIndex` per guard —
    reusing a persistent index when the guard carries one (EDB
@@ -12,24 +14,32 @@ of variables already bound (constants, base bindings), the planner
    step it computes, for every remaining guard, the bound-column mask
    implied by the variables bound so far and picks the guard whose
    index predicts the fewest candidates per probe (ties broken by the
-   original guard order, keeping plans deterministic);
+   original guard order, keeping plans deterministic).  Estimates are
+   *adaptive*: built mask tables expose true distinct counts and
+   probes feed back observed hit rates (see ``KeyIndex.estimate``);
 3. compiles each chosen guard into a :class:`PlanStep` holding the
-   mask and the probe terms, so execution does an O(1) hash probe per
-   partial valuation instead of re-scanning the guard's support.
+   mask, the probe terms, the pushed-down filters that become
+   decidable at that step, and — for guards over value-carrying
+   sources — the body-factor slot whose value rides the probe;
+4. compiles the condition's residue into a
+   :class:`~repro.core.pushdown.PushdownSchedule`: per-step filters,
+   direct equality bindings, and an incremental per-variable fallback
+   loop replacing the seed's monolithic ``itertools.product`` leaf.
 
 Soundness is unchanged from the seed enumeration: the planner only
-*reorders* guards (join commutativity) and *narrows* each guard's
+*reorders* guards (join commutativity), *narrows* each guard's
 candidate list to keys that agree with the partial valuation on the
-masked positions — keys the seed's ``_unify`` would have rejected one
-at a time.  Guard *eligibility* (which atoms may drive enumeration at
-all, per the value space's ``is_semiring`` / ``is_naturally_ordered``
-flags) stays the business of :func:`repro.core.valuations.body_guards`.
+masked positions, and *hoists* pure conjuncts of ``Φ`` to the earliest
+point their variables are bound — keys and candidates the seed's
+``_unify``-plus-leaf-check would have rejected anyway.  Guard
+*eligibility* (which atoms may drive enumeration at all, per the value
+space's ``is_semiring`` / ``is_naturally_ordered`` flags) stays the
+business of :func:`repro.core.valuations.body_guards`.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -42,8 +52,15 @@ from typing import (
 )
 
 from .ast import Condition, Constant, Valuation, Variable, condition_holds
-from .indexes import JoinStats, Key, KeyIndex, Mask
-from .valuations import Guard, _unify
+from .indexes import NO_VALUE, JoinStats, Key, KeyIndex, Mask
+from .pushdown import (
+    PushdownSchedule,
+    apply_initial_bindings,
+    compile_schedule,
+    naive_schedule,
+    run_fallback,
+)
+from .valuations import Guard, SlotValues, _NO_SLOTS, _unify
 
 
 @dataclass
@@ -56,12 +73,18 @@ class PlanStep:
         mask: Positions of ``guard.args`` bound when the step runs.
         probe_args: The terms at the masked positions (constants or
             variables guaranteed bound by earlier steps/base bindings).
+        filters: Pushed-down conjuncts of ``Φ`` decidable right after
+            this step's variables bind.
+        slot: Body-factor position whose value the guard's entries
+            carry (None for Boolean/condition guards).
     """
 
     guard: Guard
     index: KeyIndex
     mask: Mask
     probe_args: Tuple
+    filters: Tuple[Condition, ...] = ()
+    slot: Optional[int] = None
 
     def probe_values(self, valuation: Valuation) -> Tuple:
         """Evaluate the probe terms under the current partial valuation."""
@@ -73,9 +96,14 @@ class PlanStep:
 
 @dataclass
 class JoinPlan:
-    """An ordered probe-join over a body's guards."""
+    """An ordered probe-join over a body's guards, plus the pushdown
+    schedule compiled for the condition it was built against (``None``
+    when the plan was built without one — execution then falls back to
+    the seed's single leaf check)."""
 
     steps: Tuple[PlanStep, ...]
+    schedule: Optional[PushdownSchedule] = None
+    bound_after_steps: frozenset = field(default_factory=frozenset)
 
 
 def _guard_mask(guard: Guard, bound: Set[str]) -> Mask:
@@ -105,22 +133,44 @@ def build_plan(
     guards: Sequence[Guard],
     bound: Set[str] = frozenset(),
     stats: Optional[JoinStats] = None,
+    condition: Optional[Condition] = None,
+    variables: Sequence[str] = (),
+    extra_conjuncts: Sequence[Condition] = (),
 ) -> JoinPlan:
-    """Compile guards into a selectivity-ordered :class:`JoinPlan`."""
+    """Compile guards into a selectivity-ordered :class:`JoinPlan`.
+
+    When ``condition`` is given, its conjuncts (plus
+    ``extra_conjuncts``) are pushed down into the plan (step filters,
+    equality bindings, incremental fallback — see
+    :mod:`repro.core.pushdown`); execution then needs no separate leaf
+    condition.  Without it the plan carries no schedule and
+    :func:`execute_plan` applies its ``condition`` argument at the
+    leaf, seed-style.
+    """
     indexes = [_guard_index(g, stats) for g in guards]
-    remaining = list(range(len(guards)))
+    remaining_guards = list(range(len(guards)))
     bound_now: Set[str] = set(bound)
+
+    schedule: Optional[PushdownSchedule] = None
+    if condition is not None:
+        # Equality bindings decidable from the base belong to the bound
+        # set *before* ordering, so probe masks can exploit them.  The
+        # schedule is recompiled against the final order below.
+        pre = compile_schedule(condition, extra_conjuncts, bound_now, (), variables)
+        for var, _term, _check in pre.initial_bindings:
+            bound_now.add(var)
+
     steps: List[PlanStep] = []
-    while remaining:
+    while remaining_guards:
         best = None
         best_score: Tuple[float, int] = (float("inf"), 0)
         best_mask: Mask = ()
-        for pos in remaining:
+        for pos in remaining_guards:
             mask = _guard_mask(guards[pos], bound_now)
             score = (indexes[pos].estimate(mask), pos)
             if best is None or score < best_score:
                 best, best_score, best_mask = pos, score, mask
-        remaining.remove(best)
+        remaining_guards.remove(best)
         guard = guards[best]
         steps.append(
             PlanStep(
@@ -128,12 +178,38 @@ def build_plan(
                 index=indexes[best],
                 mask=best_mask,
                 probe_args=tuple(guard.args[i] for i in best_mask),
+                slot=guard.slot if guard.carries_value else None,
             )
         )
         for arg in guard.args:
             if isinstance(arg, Variable):
                 bound_now.add(arg.name)
-    return JoinPlan(steps=tuple(steps))
+
+    if condition is not None:
+        schedule = compile_schedule(
+            condition,
+            extra_conjuncts,
+            set(bound),
+            tuple(step.guard for step in steps),
+            variables,
+        )
+        steps = [
+            PlanStep(
+                guard=step.guard,
+                index=step.index,
+                mask=step.mask,
+                probe_args=step.probe_args,
+                filters=schedule.step_filters[i],
+                slot=step.slot,
+            )
+            for i, step in enumerate(steps)
+        ]
+
+    return JoinPlan(
+        steps=tuple(steps),
+        schedule=schedule,
+        bound_after_steps=frozenset(bound_now),
+    )
 
 
 def execute_plan(
@@ -144,52 +220,107 @@ def execute_plan(
     bool_lookup: Callable[[str, Key], bool],
     base: Optional[Valuation] = None,
     stats: Optional[JoinStats] = None,
-) -> Iterator[Valuation]:
-    """Run a join plan, yielding every satisfying valuation once.
+) -> Iterator[Tuple[Valuation, SlotValues]]:
+    """Run a join plan, yielding ``(valuation, slot_values)`` pairs.
 
-    Semantically identical to the seed's guard-nested-loop enumeration
-    (see :func:`repro.core.valuations.enumerate_valuations`): variables
-    not covered by any guard range over ``fallback_domain`` and every
-    candidate is filtered through ``condition``.
+    Every satisfying valuation is yielded exactly once, with the POPS
+    values that rode the probes keyed by body-factor slot (empty when
+    no guard carries values).  Semantically the valuation stream is
+    identical to the seed's guard-nested-loop enumeration (see
+    :func:`repro.core.valuations.enumerate_valuations`): variables not
+    covered by any guard range over ``fallback_domain`` and every
+    candidate passes ``condition`` — just checked piecewise at the
+    earliest sound position when the plan carries a pushdown schedule.
     """
     steps = plan.steps
     counters = stats if stats is not None else JoinStats()
+    base_valuation = dict(base) if base else {}
 
-    def finish(valuation: Valuation) -> Iterator[Valuation]:
-        remaining = [v for v in variables if v not in valuation]
-        if not remaining:
-            if condition_holds(condition, valuation, bool_lookup):
-                yield valuation
+    schedule = plan.schedule
+    if schedule is None:
+        # Legacy call path (plan built without a condition): seed-style
+        # single leaf check, with the loop-invariant ``remaining`` list
+        # still hoisted out of the per-prefix ``finish``.
+        remaining = [
+            v
+            for v in variables
+            if v not in plan.bound_after_steps and v not in base_valuation
+        ]
+        schedule = naive_schedule(condition, remaining)
+
+    domain_set = frozenset(fallback_domain) if schedule.needs_domain_set else None
+
+    # Bindings first: prefix filters may mention variables they define.
+    if schedule.initial_bindings:
+        extended = apply_initial_bindings(
+            schedule, base_valuation, domain_set, counters
+        )
+        if extended is None:
             return
-        for combo in itertools.product(fallback_domain, repeat=len(remaining)):
-            candidate = dict(valuation)
-            candidate.update(zip(remaining, combo))
-            counters.fallback_candidates += 1
-            if condition_holds(condition, candidate, bool_lookup):
-                yield candidate
+        base_valuation = extended
+    for cond in schedule.prefix_filters:
+        if not condition_holds(cond, base_valuation, bool_lookup):
+            counters.pushdown_prunes += 1
+            return
 
-    def recurse(i: int, valuation: Valuation) -> Iterator[Valuation]:
+    fallback_steps = schedule.fallback
+    residual = schedule.residual
+
+    def finish(valuation: Valuation, carried: Tuple) -> Iterator[Tuple[Valuation, SlotValues]]:
+        slot_values: SlotValues = dict(carried) if carried else _NO_SLOTS
+        for candidate in run_fallback(
+            valuation,
+            fallback_steps,
+            residual,
+            fallback_domain,
+            domain_set,
+            bool_lookup,
+            counters,
+        ):
+            yield candidate, slot_values
+
+    def recurse(
+        i: int, valuation: Valuation, carried: Tuple
+    ) -> Iterator[Tuple[Valuation, SlotValues]]:
         if i == len(steps):
-            yield from finish(valuation)
+            yield from finish(valuation, carried)
             return
         step = steps[i]
         args = step.guard.args
         if step.mask:
-            candidates = step.index.probe(
+            candidates = step.index.probe_entries(
                 step.mask, step.probe_values(valuation)
             )
             counters.probes += 1
             counters.probed_keys += len(candidates)
         else:
-            candidates = step.index.keys()
+            candidates = step.index.entries()
             counters.scans += 1
             counters.scanned_keys += len(candidates)
         arity = len(args)
-        for key in candidates:
+        filters = step.filters
+        slot = step.slot
+        for entry in candidates:
+            key = entry[0]
             if len(key) != arity:
+                counters.arity_skips += 1
                 continue
             extended = _unify(args, key, valuation)
-            if extended is not None:
-                yield from recurse(i + 1, extended)
+            if extended is None:
+                continue
+            if filters:
+                pruned = False
+                for cond in filters:
+                    if not condition_holds(cond, extended, bool_lookup):
+                        counters.pushdown_prunes += 1
+                        pruned = True
+                        break
+                if pruned:
+                    continue
+            value = entry[1]
+            if slot is not None and value is not NO_VALUE:
+                yield from recurse(i + 1, extended, carried + ((slot, value),))
+            else:
+                yield from recurse(i + 1, extended, carried)
 
-    yield from recurse(0, dict(base) if base else {})
+    yield from recurse(0, base_valuation, ())

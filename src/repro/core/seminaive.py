@@ -33,7 +33,12 @@ from .indexes import IndexManager, KeyIndex
 from .instance import Database, Instance, Key
 from .naive import EvalStats, EvaluationResult, NaiveEvaluator
 from .rules import FuncFactor, Program, RelAtom, Rule, SumProduct, factor_atoms
-from .valuations import FactorEvaluator, Guard, enumerate_valuations
+from .valuations import (
+    FactorEvaluator,
+    Guard,
+    enumerate_matches,
+    pushable_indicator_conditions,
+)
 from .ast import positive_bool_atoms
 
 
@@ -64,11 +69,13 @@ class SemiNaiveEvaluator:
         self.max_iterations = max_iterations
         self.plan = plan
         self.idb_names = program.idb_names()
-        self.evaluator = FactorEvaluator(self.pops, database, self.functions)
+        self.stats = EvalStats()
+        self.evaluator = FactorEvaluator(
+            self.pops, database, self.functions, stats=self.stats.join
+        )
         self.domain: List = sorted(
             database.active_domain() | program.constants(), key=repr
         )
-        self.stats = EvalStats()
         self.indexes = IndexManager(stats=self.stats.join)
         self._step = 0
         self._validate()
@@ -122,6 +129,12 @@ class SemiNaiveEvaluator:
         over-approximates ``old``'s support by exactly the last delta —
         sound, because the extra candidates read ``⊥ = 0`` from ``old``
         and their whole product is absorbed.
+
+        Guards whose index covers the *same* store the variant reads
+        (delta at ``j``, ``new`` before it, EDB relations) carry the
+        stored values into the probe (``carries_value``), so
+        :meth:`_variant_value` skips the second hash lookup; ``old``
+        occurrences probe ``new``'s index and therefore stay key-only.
         """
         indexed = self.plan == "indexed"
         guards: List[Guard] = []
@@ -152,7 +165,7 @@ class SemiNaiveEvaluator:
                     if store is delta:
                         index = self.indexes.get(
                             ("sn-delta", rel_name),
-                            lambda d=delta, r=rel_name: list(d.support_keys(r)),
+                            lambda d=delta, r=rel_name: d.support(r),
                             version=self._step,
                         )
                     else:
@@ -160,9 +173,13 @@ class SemiNaiveEvaluator:
                 guards.append(
                     Guard(
                         args=factor.args,
-                        keys=lambda s=store, r=rel_name: list(s.support_keys(r)),
+                        keys=lambda s=store, r=rel_name: s.support(r),
                         name=f"idb:{rel_name}",
                         index=index,
+                        slot=i,
+                        # ``old`` occurrences probe ``new``'s index:
+                        # the carried values belong to the wrong store.
+                        carries_value=store is not old,
                     )
                 )
             elif rel_name in self.database.bool_relations:
@@ -198,17 +215,24 @@ class SemiNaiveEvaluator:
                         keys=lambda s=support: s,
                         name=f"edb:{rel_name}",
                         index=index,
+                        slot=i,
+                        carries_value=True,
                     )
                 )
         return guards
 
     def _new_index(self, relation: str, new: Instance) -> KeyIndex:
-        """The incrementally-maintained index over ``new``'s support."""
+        """The incrementally-maintained index over ``new``'s support.
+
+        Built from the support *mapping* so probed values ride along;
+        :meth:`run` keeps the carried values fresh by re-``add``-ing
+        each applied delta key with its ⊕-merged value.
+        """
         name = ("sn-new", relation)
         index = self.indexes.peek(name)
         if index is None:
             index = self.indexes.get(
-                name, lambda: new.support_keys(relation), version="live"
+                name, lambda: new.support(relation), version="live"
             )
         return index
 
@@ -238,15 +262,26 @@ class SemiNaiveEvaluator:
         delta: Instance,
         new: Instance,
         old: Instance,
+        slot_values: Optional[Dict[int, Value]] = None,
     ) -> Value:
-        """Evaluate one differential variant under a valuation."""
+        """Evaluate one differential variant under a valuation.
+
+        ``slot_values`` holds the values that rode the index probes
+        (only from guards whose index covers the variant's own store —
+        see :meth:`_variant_guards`), saving the per-factor hash
+        lookup.
+        """
         empty = Instance(self.pops)
         acc = self.pops.one
         for i, factor in enumerate(body.factors):
-            if isinstance(factor, RelAtom) and i in idb_positions:
+            if slot_values and i in slot_values:
+                value = slot_values[i]
+                self.stats.join.value_probe_hits += 1
+            elif isinstance(factor, RelAtom) and i in idb_positions:
                 store = self._store_for(i, idb_positions, j, delta, new, old)
                 key = tuple(eval_term(a, valuation) for a in factor.args)
                 value = store.get(factor.relation, key)
+                self.stats.join.factor_lookups += 1
             else:
                 value = self.evaluator.factor_value(
                     factor, valuation, empty, frozenset()
@@ -290,11 +325,14 @@ class SemiNaiveEvaluator:
             for rule, body, idb_positions in self._plans:
                 if not idb_positions:
                     continue  # Eq. 65: EDB-only bodies drop out for t ≥ 1.
+                extra_conjuncts = pushable_indicator_conditions(
+                    body, self.pops, total_heads=False
+                )
                 for j in range(len(idb_positions)):
                     guards = self._variant_guards(
                         body, idb_positions, j, delta, new, old
                     )
-                    for valuation in enumerate_valuations(
+                    for valuation, slot_values in enumerate_matches(
                         body.enumeration_order(),
                         guards,
                         self.domain,
@@ -302,10 +340,12 @@ class SemiNaiveEvaluator:
                         self.database.bool_holds,
                         plan=self.plan,
                         stats=self.stats.join,
+                        extra_conjuncts=extra_conjuncts,
                     ):
                         self.stats.valuations += 1
                         value = self._variant_value(
-                            body, idb_positions, j, valuation, delta, new, old
+                            body, idb_positions, j, valuation, delta, new, old,
+                            slot_values=slot_values,
                         )
                         head_key = tuple(
                             eval_term(t, valuation) for t in rule.head_args
@@ -338,18 +378,21 @@ class SemiNaiveEvaluator:
                     new.merge(rel, key, d)
             if self.plan == "indexed":
                 # Maintain the shared new-store indexes incrementally:
-                # the only keys that can appear are the delta's.
+                # the only keys that can appear (or whose value can
+                # change) are the delta's, and their fresh ⊕-merged
+                # values must replace the carried ones so probes keep
+                # reading exactly what ``new`` stores.
                 for rel in next_delta.relations():
-                    if self.indexes.peek(("sn-new", rel)) is None:
+                    index = self.indexes.peek(("sn-new", rel))
+                    if index is None:
                         self.indexes.get(
                             ("sn-new", rel),
-                            lambda n=new, r=rel: n.support_keys(r),
+                            lambda n=new, r=rel: n.support(r),
                             version="live",
                         )
                     else:
-                        self.indexes.extend(
-                            ("sn-new", rel), next_delta.support_keys(rel)
-                        )
+                        for key in next_delta.support_keys(rel):
+                            index.add(key, new.get(rel, key))
             if capture_trace:
                 trace.append(new.copy())
             delta = next_delta

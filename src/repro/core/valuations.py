@@ -18,15 +18,24 @@ exactly when the flags of the value space say so:
 
 Positive conjunctive atoms of ``Φ`` itself are always usable as guards:
 a valuation violating them fails ``Φ`` outright.
+
+On top of guard-driven enumeration the indexed plan adds **condition
+pushdown** (conjuncts of ``Φ`` applied at the earliest step where their
+variables are bound, equality conjuncts turned into direct bindings —
+see :mod:`repro.core.pushdown`) and **value-carrying probes** (guards
+over POPS supports yield ``(key, value)`` entries so
+:class:`FactorEvaluator` evaluates the matching factor without a second
+hash lookup).  ``plan="naive"`` keeps the seed behavior untouched as
+the differential-testing baseline.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
+    Dict,
     Hashable,
     Iterable,
     Iterator,
@@ -48,6 +57,7 @@ from .ast import (
 )
 from .indexes import IndexManager, JoinStats, KeyIndex
 from .instance import Database, Instance, Key
+from .pushdown import naive_schedule, run_fallback
 from .rules import (
     Factor,
     FuncFactor,
@@ -56,7 +66,13 @@ from .rules import (
     RelAtom,
     SumProduct,
     ValueConst,
+    factor_atoms,
 )
+
+#: Body-factor position -> the POPS value that rode the probe.
+SlotValues = Dict[int, Value]
+
+_NO_SLOTS: SlotValues = {}
 
 
 @dataclass
@@ -69,12 +85,20 @@ class Guard:
     when absent, the planner builds an ephemeral index from ``keys()``.
     ``name`` identifies the key source for diagnostics and for
     evaluators that refresh indexes between iterations.
+
+    ``slot`` is the body-factor position the guard's atom occupies;
+    when ``carries_value`` is set the guard's key source is the *same
+    store* factor evaluation would read, so the value stored in the
+    index entry may be used directly for that factor (no second hash
+    lookup).  Boolean and condition guards stay key-only.
     """
 
     args: Tuple
     keys: Callable[[], Iterable[Key]]
     name: str = ""
     index: Optional[KeyIndex] = None
+    slot: Optional[int] = None
+    carries_value: bool = False
 
     def simple_args(self) -> bool:
         """Whether every argument is a plain variable or constant."""
@@ -104,7 +128,7 @@ def _unify(args: Tuple, key: Key, valuation: Valuation) -> Optional[Valuation]:
 _UNSET = object()
 
 
-def enumerate_valuations(
+def enumerate_matches(
     variables: Sequence[str],
     guards: Sequence[Guard],
     fallback_domain: Sequence[Any],
@@ -113,24 +137,33 @@ def enumerate_valuations(
     base: Optional[Valuation] = None,
     plan: str = "indexed",
     stats: Optional[JoinStats] = None,
-) -> Iterator[Valuation]:
-    """Yield every valuation of ``variables`` satisfying ``condition``.
+    extra_conjuncts: Sequence[Condition] = (),
+) -> Iterator[Tuple[Valuation, SlotValues]]:
+    """Yield ``(valuation, slot_values)`` for every satisfying valuation.
 
-    Bindings are produced by joining the guards; variables not covered
-    by any guard range over ``fallback_domain``.  Each valuation is
-    yielded exactly once (distinct valuations correspond to distinct
-    guard-key/fallback combinations).
+    ``slot_values`` maps body-factor positions to the POPS values that
+    rode the index probes (always empty under ``plan="naive"``).
 
     Args:
         plan: ``"indexed"`` (default) orders guards by estimated
-            selectivity and turns each guard after the first into a
-            hash-index probe on its bound columns (see
-            :mod:`repro.core.planner`); ``"naive"`` keeps the seed
-            behavior — guards in the given order, each one a full
-            support scan per candidate binding — as the differential
-            baseline.  Both produce the same set of valuations.
+            selectivity, turns each guard after the first into a
+            hash-index probe on its bound columns, pushes the conjuncts
+            of ``condition`` (plus ``extra_conjuncts``) down to their
+            earliest decidable position, and replaces the fallback
+            product with an incremental pruning loop (see
+            :mod:`repro.core.planner` / :mod:`repro.core.pushdown`);
+            ``"naive"`` keeps the seed behavior — guards in the given
+            order, each one a full support scan per candidate binding,
+            ``condition`` checked once at the leaf — as the
+            differential baseline.  Both produce the same set of
+            valuations.
         stats: Optional :class:`~repro.core.indexes.JoinStats` receiving
-            probe/scan counters.
+            probe/scan/pushdown counters.
+        extra_conjuncts: Additional engine-proven pushable filters
+            (e.g. indicator brackets whose false branch is the
+            absorbing ``0``).  Applied only by the indexed plan; the
+            naive baseline ignores them and relies on the ``0``
+            contributions being ⊕-neutral.
     """
     usable = [g for g in guards if g.simple_args()]
     base_valuation = dict(base) if base else {}
@@ -139,7 +172,12 @@ def enumerate_valuations(
         from .planner import build_plan, execute_plan
 
         compiled = build_plan(
-            usable, bound=set(base_valuation), stats=stats
+            usable,
+            bound=set(base_valuation),
+            stats=stats,
+            condition=condition,
+            variables=variables,
+            extra_conjuncts=extra_conjuncts,
         )
         yield from execute_plan(
             compiled,
@@ -155,26 +193,40 @@ def enumerate_valuations(
         raise ValueError(f"unknown join plan {plan!r}")
 
     counters = stats if stats is not None else JoinStats()
+    # Loop-invariant: every usable guard binds all its variables, so
+    # the fallback variable list is the same at every leaf.
+    guard_bound = {
+        arg.name
+        for guard in usable
+        for arg in guard.args
+        if isinstance(arg, Variable)
+    }
+    remaining = [
+        v
+        for v in variables
+        if v not in base_valuation and v not in guard_bound
+    ]
+    schedule = naive_schedule(condition, remaining)
 
-    def recurse(i: int, valuation: Valuation) -> Iterator[Valuation]:
+    def recurse(i: int, valuation: Valuation) -> Iterator[Tuple[Valuation, SlotValues]]:
         if i == len(usable):
-            remaining = [v for v in variables if v not in valuation]
-            if not remaining:
-                if condition_holds(condition, valuation, bool_lookup):
-                    yield valuation
-                return
-            for combo in itertools.product(fallback_domain, repeat=len(remaining)):
-                candidate = dict(valuation)
-                candidate.update(zip(remaining, combo))
-                counters.fallback_candidates += 1
-                if condition_holds(condition, candidate, bool_lookup):
-                    yield candidate
+            for candidate in run_fallback(
+                valuation,
+                schedule.fallback,
+                schedule.residual,
+                fallback_domain,
+                None,
+                bool_lookup,
+                counters,
+            ):
+                yield candidate, _NO_SLOTS
             return
         guard = usable[i]
         counters.scans += 1
         for key in guard.keys():
             counters.scanned_keys += 1
             if len(key) != len(guard.args):
+                counters.arity_skips += 1
                 continue
             extended = _unify(guard.args, key, valuation)
             if extended is not None:
@@ -183,12 +235,74 @@ def enumerate_valuations(
     yield from recurse(0, base_valuation)
 
 
+def enumerate_valuations(
+    variables: Sequence[str],
+    guards: Sequence[Guard],
+    fallback_domain: Sequence[Any],
+    condition: Condition,
+    bool_lookup: Callable[[str, Key], bool],
+    base: Optional[Valuation] = None,
+    plan: str = "indexed",
+    stats: Optional[JoinStats] = None,
+) -> Iterator[Valuation]:
+    """Yield every valuation of ``variables`` satisfying ``condition``.
+
+    Bindings are produced by joining the guards; variables not covered
+    by any guard range over ``fallback_domain``.  Each valuation is
+    yielded exactly once (distinct valuations correspond to distinct
+    guard-key/fallback combinations).  This is the valuation-only view
+    of :func:`enumerate_matches`.
+    """
+    for valuation, _slots in enumerate_matches(
+        variables,
+        guards,
+        fallback_domain,
+        condition,
+        bool_lookup,
+        base=base,
+        plan=plan,
+        stats=stats,
+    ):
+        yield valuation
+
+
+def pushable_indicator_conditions(
+    body: SumProduct, pops: POPS, total_heads: bool
+) -> Tuple[Condition, ...]:
+    """Indicator brackets usable as extra pushdown filters.
+
+    A top-level :class:`Indicator` factor whose false branch is the
+    semiring ``0`` zeroes the whole ⊗-product whenever its condition
+    fails (``0`` absorbs), and a ``0`` summand is ⊕-neutral — so
+    valuations falsifying the condition may be *skipped* instead of
+    evaluated, provided skipping is unobservable: either every head
+    slot is pre-totalized to ``0`` (``total_heads``) or absent and
+    ``0`` coincide (``is_naturally_ordered``, where ``⊥ = 0``).  The
+    classic win is SSSP's ``[x = source]`` source bracket: the
+    equality binds ``x`` directly instead of enumerating the domain.
+    """
+    if not pops.is_semiring:
+        return ()
+    if not (total_heads or pops.is_naturally_ordered):
+        return ()
+    out: List[Condition] = []
+    for factor in body.factors:
+        if isinstance(factor, Indicator):
+            false_value = factor.false_value
+            if false_value is None or pops.eq(false_value, pops.zero):
+                out.append(factor.condition)
+    return tuple(out)
+
+
 class FactorEvaluator:
     """Evaluates body factors under a valuation (Section 2.4 semantics).
 
     Lookups default to the POPS bottom for ``σ``/``τ`` relations and to
     ``0``/``1`` for Boolean relations used as factors (the standard
-    embedding ``B ↪ P`` via ``{0, 1}``).
+    embedding ``B ↪ P`` via ``{0, 1}``).  When the enumeration supplies
+    ``slot_values`` (values that rode the index probes), the matching
+    factors are served from them — zero secondary hash lookups on
+    probed paths; ``stats`` counts both paths.
     """
 
     def __init__(
@@ -196,13 +310,17 @@ class FactorEvaluator:
         pops: POPS,
         database: Database,
         functions: Optional[FunctionRegistry] = None,
+        stats: Optional[JoinStats] = None,
     ):
         self.pops = pops
         self.database = database
         self.functions = functions or FunctionRegistry()
+        self.stats = stats
 
     def atom_value(self, atom: RelAtom, valuation: Valuation, idb: Instance, idb_names: frozenset) -> Value:
         """Return the value of a relation atom under a valuation."""
+        if self.stats is not None:
+            self.stats.factor_lookups += 1
         key = tuple(eval_term(a, valuation) for a in atom.args)
         if atom.relation in idb_names:
             return idb.get(atom.relation, key)
@@ -263,11 +381,31 @@ class FactorEvaluator:
         valuation: Valuation,
         idb: Instance,
         idb_names: frozenset,
+        slot_values: Optional[SlotValues] = None,
     ) -> Value:
-        """Evaluate the ⊗-product of a sum-product body (unit for empty)."""
-        return self.pops.mul_many(
-            self.factor_value(f, valuation, idb, idb_names) for f in body.factors
-        )
+        """Evaluate the ⊗-product of a sum-product body (unit for empty).
+
+        ``slot_values`` (factor position -> probed value) short-circuits
+        the store lookup for factors whose value rode an index probe.
+        """
+        if not slot_values:
+            return self.pops.mul_many(
+                self.factor_value(f, valuation, idb, idb_names)
+                for f in body.factors
+            )
+        stats = self.stats
+
+        def values() -> Iterator[Value]:
+            for i, factor in enumerate(body.factors):
+                probed = slot_values.get(i, _UNSET)
+                if probed is not _UNSET:
+                    if stats is not None:
+                        stats.value_probe_hits += 1
+                    yield probed
+                else:
+                    yield self.factor_value(factor, valuation, idb, idb_names)
+
+        return self.pops.mul_many(values())
 
 
 def body_guards(
@@ -288,7 +426,8 @@ def body_guards(
         idb_names: IDB relation names.
         idb_supplier: Maps an IDB name to a key supplier reading the
             *current* instance at enumeration time (late binding — the
-            instance changes between iterations).
+            instance changes between iterations).  Suppliers returning
+            a ``Mapping`` make the guard value-carrying.
         allow_idb_guards: Disable to force fallback enumeration for IDB
             atoms (used by grounding, where IDBs stay symbolic).
         indexes: Optional :class:`~repro.core.indexes.IndexManager`;
@@ -301,7 +440,7 @@ def body_guards(
             iteration via :func:`refresh_guard_indexes`.
     """
 
-    def _edb_guard(args: Tuple, relation: str) -> Guard:
+    def _edb_guard(args: Tuple, relation: str, slot: Optional[int]) -> Guard:
         support = database.support(relation)
         index = None
         if indexes is not None:
@@ -313,6 +452,8 @@ def body_guards(
             keys=lambda s=support: s,
             name=f"edb:{relation}",
             index=index,
+            slot=slot,
+            carries_value=True,
         )
 
     def _bool_guard(args: Tuple, relation: str) -> Guard:
@@ -325,27 +466,30 @@ def body_guards(
     for atom in positive_bool_atoms(body.condition):
         guards.append(_bool_guard(atom.args, atom.relation))
     sparse_pops = pops.is_semiring and pops.is_naturally_ordered
-    for atom, under_fn in body.atoms():
-        if under_fn:
-            continue
-        if atom.relation in idb_names:
-            if sparse_pops and allow_idb_guards:
-                guards.append(
-                    Guard(
-                        args=atom.args,
-                        keys=idb_supplier(atom.relation),
-                        name=f"idb:{atom.relation}",
+    for slot, factor in enumerate(body.factors):
+        for atom, under_fn in factor_atoms(factor):
+            if under_fn:
+                continue
+            if atom.relation in idb_names:
+                if sparse_pops and allow_idb_guards:
+                    guards.append(
+                        Guard(
+                            args=atom.args,
+                            keys=idb_supplier(atom.relation),
+                            name=f"idb:{atom.relation}",
+                            slot=slot,
+                            carries_value=True,
+                        )
                     )
-                )
-        elif atom.relation in database.relations:
-            if sparse_pops:
-                guards.append(_edb_guard(atom.args, atom.relation))
-        elif atom.relation in database.bool_relations:
-            if pops.is_semiring:
-                guards.append(_bool_guard(atom.args, atom.relation))
-        else:
-            if sparse_pops:
-                guards.append(_edb_guard(atom.args, atom.relation))
+            elif atom.relation in database.relations:
+                if sparse_pops:
+                    guards.append(_edb_guard(atom.args, atom.relation, slot))
+            elif atom.relation in database.bool_relations:
+                if pops.is_semiring:
+                    guards.append(_bool_guard(atom.args, atom.relation))
+            else:
+                if sparse_pops:
+                    guards.append(_edb_guard(atom.args, atom.relation, slot))
     return guards
 
 
@@ -359,10 +503,12 @@ def refresh_guard_indexes(
     IDB guards read the evaluator's *current* instance, which changes
     every iteration: their index entry is versioned by the caller's
     ``epoch`` so the support is materialized once per iteration per
-    relation, shared by every body mentioning it.  Boolean-store guards
-    are versioned by store size (the sets only ever grow — the hybrid
-    evaluator adds threshold facts mid-run) so they rebuild exactly when
-    a fact appeared.  EDB guards already carry a persistent index.
+    relation, shared by every body mentioning it (rebuilt indexes
+    inherit decayed probe observations, keeping selectivity estimates
+    adaptive).  Boolean-store guards are versioned by store size (the
+    sets only ever grow — the hybrid evaluator adds threshold facts
+    mid-run) so they rebuild exactly when a fact appeared.  EDB guards
+    already carry a persistent index.
     """
     for guard in guards:
         if guard.name.startswith("idb:"):

@@ -139,12 +139,13 @@ class TestPlanner:
         outer = Guard(args=terms(["X"]), keys=lambda: [(0,), (5,)])
         inner = Guard(args=terms(["X", "Y"]), keys=lambda: edges)
         plan = build_plan([outer, inner], stats=stats)
-        vals = list(
-            execute_plan(
+        vals = [
+            valuation
+            for valuation, _slots in execute_plan(
                 plan, ["X", "Y"], [], TrueCond(), lambda r, k: False,
                 stats=stats,
             )
-        )
+        ]
         assert sorted(v["Y"] for v in vals) == [1, 6]
         # One scan of the outer guard; one probe per outer candidate.
         assert stats.scans == 1

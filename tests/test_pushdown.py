@@ -1,0 +1,556 @@
+"""Condition pushdown, value-carrying probes, adaptive statistics.
+
+Covers the three layers added on top of indexed join planning:
+
+* :mod:`repro.core.pushdown` — conjunct decomposition, equality
+  bindings, fallback scheduling, and the *yield-set invariance*
+  property: pushing filters never changes the enumerated valuations
+  (hypothesis differential against ``plan="naive"``);
+* value-carrying :class:`~repro.core.indexes.KeyIndex` entries and the
+  ``slot_values`` plumbing that lets ``FactorEvaluator`` skip the
+  second hash lookup on probed paths;
+* adaptive selectivity estimates fed by true distinct counts and
+  observed probe hit rates;
+* engine-level differential tests (THREE / lifted / tropical,
+  including non-naturally-ordered POPS where guard skipping is
+  unsound) asserting byte-identical fixpoints between the pushdown
+  pipeline and the untouched ``plan="naive"`` baseline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import programs, workloads
+from repro.core import Database, HybridEvaluator, solve
+from repro.core.ast import (
+    BoolAtom,
+    Compare,
+    Constant,
+    KeyFunc,
+    Not,
+    Or,
+    TrueCond,
+    terms,
+    var,
+)
+from repro.core.indexes import NO_VALUE, JoinStats, KeyIndex
+from repro.core.pushdown import (
+    compile_schedule,
+    equality_binding,
+    flatten_conjuncts,
+)
+from repro.core.rules import (
+    FuncFactor,
+    Indicator,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+)
+from repro.core.valuations import (
+    Guard,
+    enumerate_valuations,
+    pushable_indicator_conditions,
+)
+from repro.semirings import BOOL, LIFTED_REAL, REAL_PLUS, THREE, TROP
+
+
+def valuation_set(iterator):
+    return {frozenset(v.items()) for v in iterator}
+
+
+class TestConjunctDecomposition:
+    def test_flatten_nested_and(self):
+        a = Compare("==", var("X"), Constant(1))
+        b = Compare("!=", var("Y"), Constant(2))
+        c = BoolAtom("B", terms(["Z"]))
+        cond = (a & b) & c
+        assert flatten_conjuncts(cond) == (a, b, c)
+
+    def test_or_and_not_stay_atomic(self):
+        a = Compare("==", var("X"), Constant(1))
+        b = Compare("==", var("Y"), Constant(2))
+        cond = Or((a, b)) & Not(a)
+        parts = flatten_conjuncts(cond)
+        assert len(parts) == 2
+        assert isinstance(parts[0], Or)
+        assert isinstance(parts[1], Not)
+
+    def test_true_cond_is_empty(self):
+        assert flatten_conjuncts(TrueCond()) == ()
+
+    def test_equality_binding_orientations(self):
+        assert equality_binding(Compare("==", var("X"), Constant(3))) == (
+            "X",
+            Constant(3),
+        )
+        assert equality_binding(Compare("==", Constant(3), var("X"))) == (
+            "X",
+            Constant(3),
+        )
+        # X == X defines nothing (the term mentions the variable).
+        assert equality_binding(Compare("==", var("X"), var("X"))) is None
+        # Inequalities define nothing.
+        assert equality_binding(Compare("<", var("X"), Constant(3))) is None
+
+
+class TestScheduleCompilation:
+    def test_equality_becomes_fallback_binding(self):
+        cond = Compare("==", var("Y"), var("X"))
+        schedule = compile_schedule(cond, (), set(), (), ["X", "Y"])
+        steps = {s.var: s for s in schedule.fallback}
+        assert steps["X"].binding is None
+        assert steps["Y"].binding == var("X")
+        assert schedule.residual == ()
+
+    def test_var_var_equality_binds_whichever_side_is_later(self):
+        # X is pre-bound: X == Y must bind Y (the right-hand reading).
+        cond = Compare("==", var("X"), var("Y"))
+        schedule = compile_schedule(cond, (), {"X"}, (), ["Y"])
+        assert schedule.initial_bindings == (("Y", var("X"), True),)
+        assert schedule.fallback == ()
+
+    def test_base_decidable_equality_binds_initially(self):
+        cond = Compare("==", var("X"), Constant(7))
+        schedule = compile_schedule(cond, (), set(), (), ["X"])
+        assert schedule.initial_bindings == (("X", Constant(7), True),)
+        assert schedule.fallback == ()
+
+    def test_filter_attaches_to_earliest_variable(self):
+        cond = Compare("!=", var("X"), Constant(0)) & Compare(
+            "<", var("X"), var("Z")
+        )
+        schedule = compile_schedule(cond, (), set(), (), ["X", "Y", "Z"])
+        by_var = {s.var: s.filters for s in schedule.fallback}
+        assert len(by_var["X"]) == 1  # X != 0 the moment X binds
+        assert len(by_var["Y"]) == 0
+        assert len(by_var["Z"]) == 1  # X < Z once both are bound
+
+    def test_bool_guard_conjunct_is_consumed(self):
+        atom = BoolAtom("B", terms(["X"]))
+        guard = Guard(args=atom.args, keys=lambda: [("a",)], name="bool:B")
+        schedule = compile_schedule(atom, (), set(), (guard,), ["X"])
+        assert schedule.step_filters == ((),)
+        assert schedule.residual == ()
+
+
+class TestFallbackExecution:
+    """The incremental per-variable loop against the seed product."""
+
+    def run_both(self, variables, guards, domain, cond, bool_lookup=None):
+        lookup = bool_lookup or (lambda r, k: False)
+        out = []
+        for plan in ("indexed", "naive"):
+            out.append(
+                valuation_set(
+                    enumerate_valuations(
+                        variables, guards, domain, cond, lookup, plan=plan
+                    )
+                )
+            )
+        assert out[0] == out[1]
+        return out[0]
+
+    def test_equality_binding_skips_domain_enumeration(self):
+        stats = JoinStats()
+        cond = Compare("==", var("X"), Constant("b"))
+        vals = list(
+            enumerate_valuations(
+                ["X"], [], ["a", "b", "c"], cond, lambda r, k: False,
+                stats=stats,
+            )
+        )
+        assert vals == [{"X": "b"}]
+        assert stats.equality_bindings == 1
+        assert stats.fallback_candidates == 0
+
+    def test_equality_binding_outside_domain_yields_nothing(self):
+        cond = Compare("==", var("X"), Constant("zz"))
+        assert (
+            self.run_both(["X"], [], ["a", "b"], cond) == set()
+        )
+
+    def test_conflicting_equalities_yield_nothing(self):
+        cond = Compare("==", var("X"), Constant("a")) & Compare(
+            "==", var("X"), Constant("b")
+        )
+        assert self.run_both(["X"], [], ["a", "b"], cond) == set()
+
+    def test_chained_equalities_bind_transitively(self):
+        cond = Compare("==", var("X"), Constant("a")) & Compare(
+            "==", var("Y"), var("X")
+        )
+        vals = self.run_both(["X", "Y"], [], ["a", "b"], cond)
+        assert vals == {frozenset({("X", "a"), ("Y", "a")})}
+
+    def test_keyfunc_equality_binding(self):
+        succ = KeyFunc("succ", lambda v: v + 1, (var("X"),))
+        cond = Compare("==", var("Y"), succ)
+        vals = self.run_both(["X", "Y"], [], [0, 1, 2], cond)
+        assert vals == {
+            frozenset({("X", 0), ("Y", 1)}),
+            frozenset({("X", 1), ("Y", 2)}),
+        }
+
+    def test_pruning_happens_before_inner_variables(self):
+        stats = JoinStats()
+        cond = Compare("==", var("X"), Constant("a")) & Compare(
+            "!=", var("Y"), var("X")
+        )
+        domain = ["a", "b", "c", "d"]
+        vals = list(
+            enumerate_valuations(
+                ["X", "Y", "Z"], [], domain, cond, lambda r, k: False,
+                stats=stats,
+            )
+        )
+        assert len(vals) == 3 * 4  # Y ∈ {b,c,d} × Z ∈ domain
+        # The seed would have touched 4³ = 64 complete candidates.
+        assert stats.fallback_candidates == 12
+
+    def test_guard_plus_residual_or_condition(self):
+        guard = Guard(args=terms(["X"]), keys=lambda: [("a",), ("b",)])
+        cond = Or(
+            (
+                Compare("==", var("Y"), Constant("u")),
+                Compare("==", var("X"), Constant("b")),
+            )
+        )
+        vals = self.run_both(["X", "Y"], [guard], ["u", "v"], cond)
+        assert vals == {
+            frozenset({("X", "a"), ("Y", "u")}),
+            frozenset({("X", "b"), ("Y", "u")}),
+            frozenset({("X", "b"), ("Y", "v")}),
+        }
+
+    def test_arity_mismatch_is_counted_not_silent(self):
+        stats = JoinStats()
+        guard = Guard(args=terms(["X"]), keys=lambda: [("a", "b"), ("c",)])
+        for plan in ("indexed", "naive"):
+            plan_stats = JoinStats()
+            vals = list(
+                enumerate_valuations(
+                    ["X"], [guard], [], TrueCond(), lambda r, k: False,
+                    plan=plan, stats=plan_stats,
+                )
+            )
+            assert vals == [{"X": "c"}]
+            assert plan_stats.arity_skips == 1
+        del stats
+
+
+# ---------------------------------------------------------------------------
+# Property: pushdown never changes the yielded valuation set.
+# ---------------------------------------------------------------------------
+
+_DOMAIN = ["a", "b", "c", "d"]
+_VARS = ["X", "Y", "Z"]
+
+_term = st.one_of(
+    st.sampled_from(_VARS).map(var),
+    st.sampled_from(_DOMAIN).map(Constant),
+)
+_compare = st.builds(
+    Compare,
+    st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+    _term,
+    _term,
+)
+_bool_atom = st.builds(
+    lambda v: BoolAtom("B", (var(v),)), st.sampled_from(_VARS)
+)
+_leaf = st.one_of(_compare, _bool_atom)
+_conjunct = st.one_of(
+    _leaf,
+    _leaf.map(Not),
+    st.tuples(_leaf, _leaf).map(Or),
+)
+_condition = st.lists(_conjunct, max_size=4).map(
+    lambda parts: TrueCond() if not parts else (
+        parts[0] if len(parts) == 1 else __import__(
+            "repro.core.ast", fromlist=["And"]
+        ).And(tuple(parts))
+    )
+)
+_guard_keys = st.lists(
+    st.tuples(st.sampled_from(_DOMAIN), st.sampled_from(_DOMAIN)),
+    max_size=6,
+).map(lambda keys: list(dict.fromkeys(keys)))
+_bool_facts = st.sets(st.sampled_from(_DOMAIN), max_size=3)
+
+
+class TestPushdownInvariance:
+    @settings(max_examples=120, deadline=None)
+    @given(_condition, _guard_keys, _bool_facts, st.booleans())
+    def test_yield_set_matches_naive(self, condition, keys, facts, use_guard):
+        guards = []
+        if use_guard:
+            guards.append(Guard(args=terms(["X", "Y"]), keys=lambda: keys))
+        lookup = lambda rel, key: rel == "B" and key[0] in facts
+
+        sets = {}
+        for plan in ("indexed", "naive"):
+            sets[plan] = valuation_set(
+                enumerate_valuations(
+                    _VARS, guards, _DOMAIN, condition, lookup, plan=plan
+                )
+            )
+        assert sets["indexed"] == sets["naive"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_condition, _guard_keys, _bool_facts)
+    def test_indexed_never_does_more_fallback_work(self, condition, keys, facts):
+        lookup = lambda rel, key: rel == "B" and key[0] in facts
+        counters = {}
+        for plan in ("indexed", "naive"):
+            stats = JoinStats()
+            list(
+                enumerate_valuations(
+                    _VARS,
+                    [Guard(args=terms(["X", "Y"]), keys=lambda: keys)],
+                    _DOMAIN,
+                    condition,
+                    lookup,
+                    plan=plan,
+                    stats=stats,
+                )
+            )
+            counters[plan] = stats.fallback_candidates
+        assert counters["indexed"] <= counters["naive"]
+
+
+# ---------------------------------------------------------------------------
+# Value-carrying indexes and zero-secondary-lookup factor evaluation.
+# ---------------------------------------------------------------------------
+
+
+class TestValueCarryingIndex:
+    def test_mapping_feed_carries_values(self):
+        index = KeyIndex({("a",): 1.0, ("b",): 2.0})
+        assert index.has_values
+        entries = index.probe_entries((0,), ("a",))
+        assert [tuple(e) for e in entries] == [(("a",), 1.0)]
+
+    def test_key_only_feed_has_no_values(self):
+        index = KeyIndex([("a",), ("b",)])
+        assert not index.has_values
+        (entry,) = index.probe_entries((0,), ("a",))
+        assert entry[1] is NO_VALUE
+
+    def test_value_update_in_place_visible_through_buckets(self):
+        index = KeyIndex({("a",): 5.0})
+        (entry,) = index.probe_entries((0,), ("a",))
+        assert entry[1] == 5.0
+        assert index.add(("a",), 3.0) is False  # existing key: update
+        (entry,) = index.probe_entries((0,), ("a",))
+        assert entry[1] == 3.0
+
+    def test_probe_compat_shim_returns_keys(self):
+        index = KeyIndex({("a", "b"): 1.0, ("a", "c"): 2.0})
+        assert list(index.probe((0,), ("a",))) == [("a", "b"), ("a", "c")]
+
+    def test_naive_engine_rides_probes(self):
+        edges = workloads.line_edges(10)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        result = solve(programs.apsp(), db, plan="indexed")
+        assert result.stats["factor_lookups"] == 0
+        assert result.stats["value_probe_hits"] > 0
+
+    def test_seminaive_rides_probes_with_fresh_delta_values(self):
+        edges = workloads.line_edges(10)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        indexed = solve(programs.sssp(0), db, method="seminaive", plan="indexed")
+        seed = solve(programs.sssp(0), db, method="seminaive", plan="naive")
+        assert indexed.instance.equals(seed.instance)
+        assert indexed.stats["factor_lookups"] == 0
+        assert indexed.stats["value_probe_hits"] > 0
+
+
+class TestAdaptiveEstimates:
+    def test_built_table_reports_true_distinct_count(self):
+        index = KeyIndex([(i % 2, i) for i in range(20)])
+        assert index.estimate((0,)) == 20 / 4  # static guess first
+        index.probe_entries((0,), (0,))
+        assert index.distinct_count((0,)) == 2
+        assert index.estimate((0,)) == 10.0
+
+    def test_observed_hit_rate_overrides_distinct_count(self):
+        index = KeyIndex([(0, i) for i in range(10)])
+        for _ in range(4):
+            index.probe_entries((0,), (99,))  # all misses
+        assert index.estimate((0,)) == 0.0
+
+    def test_submask_distinct_counts_refine_unbuilt_masks(self):
+        index = KeyIndex([(i, i, i) for i in range(32)])
+        index.probe_entries((0,), (0,))  # builds mask (0,): 32 distinct
+        # (0, 1) unbuilt: the (0,) submask's 32 groups beat 4² = 16.
+        assert index.estimate((0, 1)) == 32 / (32 * 4)
+
+    def test_rebuilt_index_inherits_decayed_observations(self):
+        from repro.core.indexes import IndexManager
+
+        manager = IndexManager()
+        first = manager.get("r", {(0, i): float(i) for i in range(8)}, version=1)
+        for _ in range(8):
+            first.probe_entries((0,), (0,))
+        rebuilt = manager.get("r", {(0, i): float(i) for i in range(8)}, version=2)
+        assert rebuilt is not first
+        # Half the sample survives: 4 probes × 8 entries each.
+        assert rebuilt.estimate((0,)) == 8.0
+
+
+# ---------------------------------------------------------------------------
+# Indicator extraction: the bracket's condition as a pushable filter.
+# ---------------------------------------------------------------------------
+
+
+class TestIndicatorExtraction:
+    def _sssp_body(self):
+        return programs.sssp(0).rules[0].bodies[0]
+
+    def test_extracted_over_semiring_with_total_heads(self):
+        body = self._sssp_body()
+        assert pushable_indicator_conditions(body, TROP, total_heads=False)
+        assert pushable_indicator_conditions(body, THREE, total_heads=True)
+
+    def test_not_extracted_when_zero_is_observable(self):
+        body = self._sssp_body()
+        # THREE without head totalization: absent (⊥) ≠ 0, skipping the
+        # zero contribution would be observable.
+        assert pushable_indicator_conditions(body, THREE, total_heads=False) == ()
+        # Non-semirings never absorb through 0.
+        assert (
+            pushable_indicator_conditions(body, LIFTED_REAL, total_heads=True)
+            == ()
+        )
+
+    def test_explicit_nonzero_false_value_not_extracted(self):
+        body = SumProduct(
+            (Indicator(Compare("==", var("X"), Constant(0)), false_value=1.0),)
+        )
+        assert pushable_indicator_conditions(body, TROP, total_heads=False) == ()
+
+    def test_sssp_fallback_collapses_to_source(self):
+        edges = workloads.line_edges(15)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        indexed = solve(programs.sssp(0), db, plan="indexed")
+        seed = solve(programs.sssp(0), db, plan="naive")
+        assert indexed.instance.equals(seed.instance)
+        assert indexed.stats["fallback_candidates"] == 0
+        assert indexed.stats["equality_bindings"] > 0
+        assert seed.stats["fallback_candidates"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Engine-level differentials on the paper's workloads.
+# ---------------------------------------------------------------------------
+
+
+def _assert_plans_agree(prog, db, methods=("naive",), **kwargs):
+    for method in methods:
+        indexed = solve(prog, db, method=method, plan="indexed", **kwargs)
+        naive = solve(prog, db, method=method, plan="naive", **kwargs)
+        assert indexed.instance.equals(naive.instance), method
+        assert indexed.steps == naive.steps, method
+
+
+class TestEngineDifferentials:
+    def test_three_winmove_trace_identical(self):
+        edges = workloads.fig_4_edges()
+        results = {}
+        for plan in ("indexed", "naive"):
+            from repro.core.naive import NaiveEvaluator
+            from repro.semirings.three import three_not
+            from repro.semirings.base import FunctionRegistry
+
+            registry = FunctionRegistry()
+            registry.register("not", three_not)
+            rule = Rule(
+                "Win",
+                terms(["X"]),
+                (
+                    SumProduct(
+                        (
+                            RelAtom("E", terms(["X", "Y"])),
+                            FuncFactor("not", (RelAtom("Win", terms(["Y"])),)),
+                        )
+                    ),
+                ),
+            )
+            program = Program(rules=[rule], bool_edbs={"E": 2})
+            database = Database(
+                pops=THREE, bool_relations={"E": set(map(tuple, edges))}
+            )
+            evaluator = NaiveEvaluator(
+                program, database, functions=registry, plan=plan
+            )
+            results[plan] = evaluator.run(capture_trace=True)
+        assert results["indexed"].instance.equals(results["naive"].instance)
+        assert results["indexed"].steps == results["naive"].steps
+        for a, b in zip(results["indexed"].trace, results["naive"].trace):
+            assert a.equals(b)
+
+    def test_lifted_bill_of_material(self):
+        db = Database(
+            pops=LIFTED_REAL,
+            relations={"C": {("a",): 1.0, ("b",): 2.0, ("c",): 4.0}},
+            bool_relations={"E": {("a", "b"), ("b", "c")}},
+        )
+        _assert_plans_agree(programs.bill_of_material(), db)
+
+    def test_prefix_sum_real_plus(self):
+        n = 6
+        db = Database(
+            pops=REAL_PLUS,
+            relations={"V": {(i,): float(i + 1) for i in range(n)}},
+            bool_relations={"Idx": {(i,) for i in range(n)}},
+        )
+        _assert_plans_agree(programs.prefix_sum(length=n), db)
+        result = solve(programs.prefix_sum(length=n), db, plan="indexed")
+        assert result.instance.get("W", (n - 1,)) == sum(
+            float(i + 1) for i in range(n)
+        )
+
+    def test_tropical_sssp_all_methods(self):
+        edges = workloads.line_edges(12)
+        db = Database(pops=TROP, relations={"E": dict(edges)})
+        _assert_plans_agree(
+            programs.sssp(0), db, methods=("naive", "seminaive", "grounded")
+        )
+
+    def test_boolean_tc_all_methods(self):
+        dag = workloads.random_dag(10, 0.25, seed=23)
+        db = Database(pops=BOOL, relations={"E": {e: True for e in dag}})
+        _assert_plans_agree(
+            programs.transitive_closure(),
+            db,
+            methods=("naive", "seminaive", "grounded"),
+        )
+
+    def test_hybrid_threshold_differential(self):
+        # Example 4.3 shape: ownership over R+, control via threshold.
+        from repro.core.extensions import ThresholdRule
+
+        rule = Rule(
+            "T",
+            terms(["X", "Y"]),
+            (SumProduct((RelAtom("CV", terms(["X", "Y"])),)),),
+        )
+        program = Program(rules=[rule], edbs={"CV": 2})
+        threshold = ThresholdRule(
+            head_relation="C",
+            head_args=terms(["X", "Y"]),
+            body=SumProduct((RelAtom("T", terms(["X", "Y"])),)),
+            predicate=lambda v: v > 0.5,
+        )
+        facts = {}
+        for plan in ("indexed", "naive"):
+            db = Database(
+                pops=REAL_PLUS,
+                relations={"CV": {("a", "b"): 0.6, ("b", "c"): 0.4}},
+            )
+            hybrid = HybridEvaluator(program, [threshold], db, plan=plan)
+            hybrid.run()
+            facts[plan] = hybrid.bool_facts("C")
+        assert facts["indexed"] == facts["naive"] == {("a", "b")}
