@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Gate join-core work counters against a checked-in baseline.
+"""Gate benchmark work counters against a checked-in baseline.
 
 Usage::
 
@@ -7,12 +7,20 @@ Usage::
         BENCH_joincore.json benchmarks/baselines/joincore_quick.json \
         [--tolerance 0.10]
 
-Both files are ``--json`` artifacts of the benchmark suite (see
-``benchmarks/conftest.py``).  For every benchmark present in the
-baseline, each gated counter (``keys_examined``,
-``fallback_candidates``) must not exceed the baseline by more than the
-tolerance — an increase means the planner started examining more
-candidate keys or pruning less, i.e. a join-core perf regression, even
+    python benchmarks/check_joincore_regression.py \
+        BENCH_schedule.json benchmarks/baselines/schedule_quick.json
+
+Both files are artifacts of the benchmark suite (see
+``benchmarks/conftest.py``): either a legacy single-snapshot
+(``*/1`` schema) or a longitudinal trajectory (``*/2`` schema, one run
+record per invocation) — for trajectories the **latest** run is gated.
+For every benchmark present in the baseline, each gated counter (the
+baseline's ``gated_stats``: ``keys_examined``, ``fallback_candidates``
+for the join core; total fixpoint ``iterations`` and
+``rule_applications`` for the scheduler) must not exceed the baseline
+by more than the tolerance — an increase means the planner started
+examining more candidate keys, or the scheduler started re-applying
+rules the condensation should have frozen, i.e. a perf regression even
 if wall time (noisy on CI) happens to hide it.  Benchmarks new in the
 current run are reported but never fail; benchmarks missing from the
 current run fail (a silently skipped measurement is itself a
@@ -27,18 +35,30 @@ import argparse
 import json
 import sys
 
+_FAMILIES = ("joincore-bench", "schedule-bench")
+
 
 def load(path: str) -> dict:
+    """Load an artifact, reducing a trajectory to its latest run."""
     with open(path) as handle:
         payload = json.load(handle)
-    if payload.get("schema") != "joincore-bench/1":
-        raise SystemExit(f"{path}: not a joincore-bench/1 artifact")
+    schema = payload.get("schema", "")
+    family, _, version = schema.partition("/")
+    if family not in _FAMILIES or version not in ("1", "2"):
+        raise SystemExit(f"{path}: not a benchmark artifact ({schema!r})")
+    if version == "2":
+        runs = payload.get("runs", [])
+        if not runs:
+            raise SystemExit(f"{path}: trajectory has no runs")
+        run = runs[-1]
+        run.setdefault("gated_stats", [])
+        return run
     return payload
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="freshly produced --json artifact")
+    parser.add_argument("current", help="freshly produced benchmark artifact")
     parser.add_argument("baseline", help="checked-in baseline artifact")
     parser.add_argument(
         "--tolerance",
@@ -86,7 +106,7 @@ def main(argv=None) -> int:
                 f"{marker}"
             )
 
-    print("join-core regression check "
+    print("benchmark regression check "
           f"(tolerance {args.tolerance:.0%}, gated: {', '.join(gated)})")
     for row in rows:
         print(row)
@@ -98,7 +118,7 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("\nOK: no join-core regressions")
+    print("\nOK: no regressions")
     return 0
 
 

@@ -5,20 +5,31 @@ Every benchmark module reproduces one table/figure of the paper
 reproduced rows (so `--benchmark-only` runs double as verification) and
 print the table for EXPERIMENTS.md; run with ``-s`` to see the tables.
 
-``--json PATH`` additionally writes a machine-readable perf trajectory
-(per-benchmark wall time plus :class:`~repro.core.indexes.JoinStats`
-snapshots) — the artifact the CI join-core regression gate diffs
-against ``benchmarks/baselines/``.  Benchmarks opt in through the
-``joincore_log`` fixture::
+``--json PATH`` writes a machine-readable perf **trajectory**: the file
+accumulates one run record per invocation (git SHA, timestamp, wall
+times, :class:`~repro.core.indexes.JoinStats` snapshots) instead of
+overwriting a single snapshot, so wall-time history survives across
+PRs; the CI join-core regression gate diffs the *latest* run against
+``benchmarks/baselines/``.  ``--schedule-json PATH`` does the same for
+the stratum scheduler's counters (per-stratum iterations and rule
+applications).  ``--json-sha`` / ``--json-timestamp`` pin the run
+metadata (CI passes the commit SHA; the timestamp is passed in rather
+than sampled so baseline artifacts are reproducible).
 
-    def test_e12_…(benchmark, joincore_log):
+Benchmarks opt in through the ``joincore_log`` / ``schedule_log``
+fixtures::
+
+    def test_e12_…(benchmark, joincore_log, schedule_log):
         result = …
         joincore_log.record("e12/sssp-line/indexed", wall, result.stats)
+        schedule_log.record("e12/layered/scc", wall, result)
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -43,16 +54,46 @@ def pytest_addoption(parser) -> None:
             default=None,
             metavar="PATH",
             help=(
-                "write per-benchmark wall time and JoinStats snapshots "
-                "(keys_examined, fallback_candidates, …) as JSON to PATH "
-                "(e.g. BENCH_joincore.json); the CI join-core regression "
-                "step diffs this file against benchmarks/baselines/"
+                "append one run record (sha, timestamp, wall times, "
+                "JoinStats snapshots) to the perf trajectory at PATH "
+                "(e.g. BENCH_joincore.json); the CI join-core "
+                "regression step diffs the latest run against "
+                "benchmarks/baselines/"
             ),
         )
     except ValueError:
         # A third-party plugin (e.g. pytest-json) already owns --json;
         # its value is reused via getoption, so the knob keeps working.
         pass
+    parser.addoption(
+        "--schedule-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the stratum scheduler's per-stratum iteration and "
+            "rule-application counters to the trajectory at PATH "
+            "(e.g. BENCH_schedule.json)"
+        ),
+    )
+    parser.addoption(
+        "--json-sha",
+        action="store",
+        default=None,
+        metavar="SHA",
+        help="git SHA recorded on the run (defaults to `git rev-parse`)",
+    )
+    parser.addoption(
+        "--json-timestamp",
+        action="store",
+        default=None,
+        metavar="TS",
+        help=(
+            "timestamp recorded on the run (passed in, not sampled, so "
+            "checked-in baselines are reproducible; defaults to now, "
+            "UTC ISO-8601)"
+        ),
+    )
 
 
 @pytest.fixture
@@ -76,7 +117,15 @@ class JoinCoreLog:
 
     #: The stats keys the regression gate tracks (must be a subset of
     #: ``JoinStats.snapshot()`` / ``EvalStats.snapshot()`` keys).
-    GATED = ("keys_examined", "fallback_candidates")
+    #: ``iterations`` and ``rule_applications`` gate the fixpoint
+    #: scheduler: regressions in total iteration or rule-application
+    #: counts fail CI exactly like join-core regressions.
+    GATED = (
+        "keys_examined",
+        "fallback_candidates",
+        "iterations",
+        "rule_applications",
+    )
 
     def __init__(self, records: List[Dict]):
         self._records = records
@@ -122,6 +171,26 @@ class JoinCoreLog:
         return result
 
 
+class ScheduleLog(JoinCoreLog):
+    """Collects the stratum scheduler's counters for ``--schedule-json``.
+
+    Each record carries the gated totals (fixpoint ``iterations``,
+    ``rule_applications``) in ``stats`` — so the same regression
+    checker gates both artifacts — plus the per-stratum breakdown
+    under ``strata``.
+    """
+
+    GATED = ("iterations", "rule_applications")
+
+    def record_result(self, name: str, wall_s: float, result) -> None:
+        """Record an SCC-scheduled ``EvaluationResult`` with strata."""
+        self.record(name, wall_s, result.stats)
+        for entry in self._records:
+            if entry["name"] == name:
+                entry["strata"] = [r.as_dict() for r in result.strata]
+                return
+
+
 @pytest.fixture
 def joincore_log(request) -> JoinCoreLog:
     """Session-wide recorder behind the ``--json`` knob."""
@@ -132,20 +201,105 @@ def joincore_log(request) -> JoinCoreLog:
     return JoinCoreLog(records)
 
 
-def pytest_sessionfinish(session, exitstatus) -> None:
-    path = session.config.getoption("--json", default=None)
-    if not path:
-        return
-    records = getattr(session.config, "_joincore_records", [])
-    payload = {
-        "schema": "joincore-bench/1",
-        "quick": bool(session.config.getoption("--quick", default=False)),
-        "gated_stats": list(JoinCoreLog.GATED),
-        "benchmarks": sorted(records, key=lambda r: r["name"]),
-    }
+@pytest.fixture
+def schedule_log(request) -> ScheduleLog:
+    """Session-wide recorder behind the ``--schedule-json`` knob."""
+    records = getattr(request.config, "_schedule_records", None)
+    if records is None:
+        records = []
+        request.config._schedule_records = records
+    return ScheduleLog(records)
+
+
+def _run_meta(config) -> Dict[str, str]:
+    sha = config.getoption("--json-sha", default=None)
+    if not sha:
+        try:
+            sha = (
+                subprocess.check_output(
+                    ["git", "rev-parse", "--short", "HEAD"],
+                    cwd=os.path.dirname(os.path.abspath(__file__)),
+                    stderr=subprocess.DEVNULL,
+                )
+                .decode()
+                .strip()
+            )
+        except Exception:
+            sha = "unknown"
+    timestamp = config.getoption("--json-timestamp", default=None)
+    if not timestamp:
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    return {"sha": sha, "timestamp": timestamp}
+
+
+def _append_trajectory(
+    path: str, family: str, run: Dict
+) -> None:
+    """Append one run to a trajectory file (creating or upgrading it).
+
+    A ``<family>/1`` single-snapshot artifact (the pre-trajectory
+    format) is upgraded in place: its benchmarks become the first run,
+    with unknown metadata.
+    """
+    runs: List[Dict] = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+        schema = payload.get("schema", "")
+        if schema == f"{family}/2":
+            runs = payload.get("runs", [])
+        elif schema == f"{family}/1":
+            runs = [
+                {
+                    "sha": "unknown",
+                    "timestamp": "unknown",
+                    "quick": payload.get("quick", False),
+                    "gated_stats": payload.get("gated_stats", []),
+                    "benchmarks": payload.get("benchmarks", []),
+                }
+            ]
+        else:
+            raise SystemExit(
+                f"{path}: refusing to append to non-{family} artifact "
+                f"(schema {schema!r})"
+            )
+    runs.append(run)
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(
+            {"schema": f"{family}/2", "runs": runs},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
         handle.write("\n")
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    config = session.config
+    meta = None
+    for option, attr, family, gated in (
+        ("--json", "_joincore_records", "joincore-bench", JoinCoreLog.GATED),
+        (
+            "--schedule-json",
+            "_schedule_records",
+            "schedule-bench",
+            ScheduleLog.GATED,
+        ),
+    ):
+        path = config.getoption(option, default=None)
+        if not path:
+            continue
+        if meta is None:
+            meta = _run_meta(config)
+        records = getattr(config, attr, [])
+        run = {
+            "sha": meta["sha"],
+            "timestamp": meta["timestamp"],
+            "quick": bool(config.getoption("--quick", default=False)),
+            "gated_stats": list(gated),
+            "benchmarks": sorted(records, key=lambda r: r["name"]),
+        }
+        _append_trajectory(path, family, run)
 
 
 def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

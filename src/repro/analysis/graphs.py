@@ -162,35 +162,76 @@ def is_recursive(program: Program) -> bool:
     return bool(predicate_graph(program).cyclic_nodes())
 
 
-def strata(program: Program) -> List[Set[str]]:
-    """Topologically ordered SCC strata of the predicate graph.
+@dataclass
+class Condensation:
+    """The predicate dependency graph condensed to its SCC DAG.
 
-    For stratified multi-space programs (Section 4.5) each stratum can
-    be evaluated to fixpoint before the next begins.
+    ``components`` lists the SCCs in a topological order of the
+    condensation (every predicate a component reads from lives in an
+    earlier component); ``recursive`` flags, per component, whether it
+    actually contains a cycle (a multi-predicate SCC or a self-loop).
+    Non-recursive components reach their fixpoint after a single ICO
+    application, which is what the stratum scheduler exploits.
+
+    Both lists are deterministic: components are emitted in Kahn order
+    with ties broken by the lexicographically least member name, so
+    schedules (and their work counters) are reproducible across runs.
     """
+
+    components: List[Tuple[str, ...]]
+    recursive: List[bool]
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __iter__(self):
+        return iter(zip(self.components, self.recursive))
+
+
+def condensation(program: Program) -> Condensation:
+    """Condense the predicate graph into topologically ordered SCCs."""
     graph = predicate_graph(program)
     comps = graph.strongly_connected_components()
     comp_of: Dict[Node, int] = {}
     for i, comp in enumerate(comps):
         for node in comp:
             comp_of[node] = i
-    dag_edges: Set[Tuple[int, int]] = set()
-    for a, b in graph.edges:
-        if comp_of[a] != comp_of[b]:
-            dag_edges.add((comp_of[a], comp_of[b]))
-    # Kahn topological sort over the condensation.
+    succs: Dict[int, Set[int]] = {i: set() for i in range(len(comps))}
     indeg = {i: 0 for i in range(len(comps))}
-    for a, b in dag_edges:
-        indeg[b] += 1
-    ready = [i for i, d in indeg.items() if d == 0]
-    ordered: List[Set[Node]] = []
+    for a, b in graph.edges:
+        ca, cb = comp_of[a], comp_of[b]
+        if ca != cb and cb not in succs[ca]:
+            succs[ca].add(cb)
+            indeg[cb] += 1
+    self_loops = {a for a, b in graph.edges if a == b}
+    names = {i: min(map(str, comp)) for i, comp in enumerate(comps)}
+    ready = sorted(
+        (i for i, d in indeg.items() if d == 0), key=names.__getitem__
+    )
+    ordered: List[Tuple[str, ...]] = []
+    recursive: List[bool] = []
     while ready:
-        i = ready.pop()
-        ordered.append(comps[i])
-        for a, b in list(dag_edges):
-            if a == i:
-                dag_edges.discard((a, b))
-                indeg[b] -= 1
-                if indeg[b] == 0:
-                    ready.append(b)
-    return [set(map(str, comp)) for comp in ordered]
+        i = ready.pop(0)
+        comp = comps[i]
+        ordered.append(tuple(sorted(map(str, comp))))
+        recursive.append(len(comp) > 1 or bool(comp & self_loops))
+        freed = []
+        for j in succs[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                freed.append(j)
+        if freed:
+            ready.extend(freed)
+            ready.sort(key=names.__getitem__)
+    return Condensation(components=ordered, recursive=recursive)
+
+
+def strata(program: Program) -> List[Set[str]]:
+    """Topologically ordered SCC strata of the predicate graph.
+
+    For stratified multi-space programs (Section 4.5) each stratum can
+    be evaluated to fixpoint before the next begins.  The set-valued
+    view of :func:`condensation` (which additionally flags recursive
+    components for the stratum scheduler).
+    """
+    return [set(comp) for comp in condensation(program).components]

@@ -13,6 +13,14 @@
 All strategies return an :class:`~repro.core.naive.EvaluationResult`
 over the same :class:`~repro.core.instance.Instance` type, so callers
 (and the differential tests) can compare them directly.
+
+The iterative methods additionally take a ``schedule``: by default the
+program is evaluated stratum-by-stratum over its SCC condensation
+(:mod:`repro.core.scheduler`) — non-recursive predicates leave the
+fixpoint loop entirely and lower strata are frozen behind read-only
+indexes — while ``schedule="monolithic"`` keeps the seed's
+whole-program iteration (required for global trace capture, and the
+differential baseline).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from .instance import Database
 from .linear import linear_lfp
 from .naive import EvaluationResult, naive_fixpoint
 from .rules import Program
+from .scheduler import scheduled_fixpoint
 from .seminaive import seminaive_fixpoint
 
 
@@ -38,6 +47,7 @@ def solve(
     capture_trace: bool = False,
     stability_p: Optional[int] = None,
     plan: str = "indexed",
+    schedule: str = "auto",
 ) -> EvaluationResult:
     """Evaluate a datalog° program to its least fixpoint.
 
@@ -52,15 +62,49 @@ def solve(
         stability_p: Uniform stability index of the value space,
             required by ``method="linear"``.
         plan: Join strategy for the enumeration core — ``"indexed"``
-            (selectivity-ordered hash-index probes, the default) or
-            ``"naive"`` (the seed's scan join, kept as the
-            differential-testing baseline).  Both plans compute the
+            (hash-index probes, cost-based join ordering — the
+            default), ``"indexed-greedy"`` (the same probe pipeline
+            under the one-step greedy ordering, kept for plan-quality
+            differentials) or ``"naive"`` (the seed's scan join, the
+            differential-testing baseline).  All plans compute the
             same fixpoint; they differ only in join-core work (see
             the ``keys_examined`` statistic).
+        schedule: Fixpoint scheduling for ``naive``/``seminaive`` —
+            ``"scc"`` condenses the predicate dependency graph and
+            runs one fixpoint per SCC with lower strata frozen (see
+            :mod:`repro.core.scheduler`); ``"monolithic"`` keeps the
+            seed's whole-program iteration; ``"auto"`` (the default)
+            picks ``"scc"`` except when ``capture_trace`` asks for the
+            global iteration chain, which only the monolithic run
+            produces.  Ignored by ``grounded``/``linear`` (grounding
+            is one-shot).  Both schedules compute the same fixpoint;
+            scheduled runs report ``steps`` as the deepest stratum's
+            step count and carry per-stratum reports on
+            ``result.strata``.
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.
     """
+    if schedule not in ("auto", "scc", "monolithic"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if method in ("naive", "seminaive"):
+        resolved = schedule
+        if schedule == "auto":
+            resolved = "monolithic" if capture_trace else "scc"
+        if resolved == "scc":
+            if capture_trace:
+                raise ValueError(
+                    "schedule='scc' has no global iteration chain to "
+                    "trace; use schedule='monolithic' with capture_trace"
+                )
+            return scheduled_fixpoint(
+                program,
+                database,
+                method=method,
+                functions=functions,
+                max_iterations=max_iterations,
+                plan=plan,
+            )
     if method == "naive":
         return naive_fixpoint(
             program,

@@ -27,7 +27,7 @@ from .ast import Term, eval_term
 from .instance import Database, Instance, Key
 from .naive import EvaluationResult, NaiveEvaluator
 from .rules import Program, SumProduct
-from .valuations import body_guards, enumerate_matches
+from .valuations import body_guards, enumerate_matches, is_indexed_plan
 
 
 @dataclass(frozen=True)
@@ -91,7 +91,7 @@ class HybridEvaluator:
                 self.program.idb_names(),
                 self._base._idb_supplier,
                 indexes=(
-                    self._base.indexes if self.plan == "indexed" else None
+                    self._base.indexes if is_indexed_plan(self.plan) else None
                 ),
             )
             acc: Dict[Key, Value] = {}

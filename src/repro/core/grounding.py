@@ -34,6 +34,7 @@ from .valuations import (
     FactorEvaluator,
     body_guards,
     enumerate_matches,
+    is_indexed_plan,
     refresh_guard_indexes,
 )
 
@@ -131,7 +132,7 @@ def ground_program(
     evaluator = FactorEvaluator(pops, database, functions, stats=stats)
     idb_names = program.idb_names()
     empty_idb = Instance(pops)
-    indexes = IndexManager(stats=stats) if plan == "indexed" else None
+    indexes = IndexManager(stats=stats) if is_indexed_plan(plan) else None
     domain = sorted(
         database.active_domain() | program.constants(), key=repr
     )

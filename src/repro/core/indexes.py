@@ -74,6 +74,15 @@ _DEFAULT_FANOUT = 4
 #: count as the estimate (tiny samples are noise).
 _MIN_OBSERVATIONS = 4
 
+#: Largest index for which :meth:`KeyIndex.estimate` counts the exact
+#: distinct projections of an *unbuilt* mask (one O(n) pass, cached)
+#: instead of falling back to the static fanout guess.  The cost-based
+#: join-order DP multiplies estimates across steps, so mixing observed
+#: rates for one guard with static guesses for another skews the
+#: comparison; exact counts keep small indexes — the common case —
+#: consistent.
+_EXACT_COUNT_LIMIT = 512
+
 
 @dataclass
 class JoinStats:
@@ -102,7 +111,11 @@ class JoinStats:
       rode the probe (no secondary hash lookup);
     * ``factor_lookups`` — factor evaluations that did pay a store
       lookup (the metric the value-carrying path drives to zero on
-      fully probed bodies).
+      fully probed bodies);
+    * ``rebuild_skips`` — per-iteration index refreshes skipped because
+      the relation's store was untouched by the last delta (previously
+      every IDB index was re-validated and rebuilt each iteration,
+      whether or not the relation changed).
     """
 
     probes: int = 0
@@ -119,6 +132,7 @@ class JoinStats:
     probe_misses: int = 0
     value_probe_hits: int = 0
     factor_lookups: int = 0
+    rebuild_skips: int = 0
 
     @property
     def keys_examined(self) -> int:
@@ -140,6 +154,7 @@ class JoinStats:
         self.probe_misses += other.probe_misses
         self.value_probe_hits += other.value_probe_hits
         self.factor_lookups += other.factor_lookups
+        self.rebuild_skips += other.rebuild_skips
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -157,6 +172,7 @@ class JoinStats:
             "probe_misses": self.probe_misses,
             "value_probe_hits": self.value_probe_hits,
             "factor_lookups": self.factor_lookups,
+            "rebuild_skips": self.rebuild_skips,
             "keys_examined": self.keys_examined,
         }
 
@@ -177,7 +193,16 @@ class KeyIndex:
     iterable builds a key-only index.
     """
 
-    __slots__ = ("_entries", "_keys", "_pos", "_maps", "_observed", "stats", "has_values")
+    __slots__ = (
+        "_entries",
+        "_keys",
+        "_pos",
+        "_maps",
+        "_observed",
+        "_distinct",
+        "stats",
+        "has_values",
+    )
 
     def __init__(
         self,
@@ -190,6 +215,9 @@ class KeyIndex:
         self._maps: Dict[Mask, Dict[Tuple[Hashable, ...], List[Entry]]] = {}
         #: Per-mask probe observations: mask -> [probes, entries returned].
         self._observed: Dict[Mask, List[int]] = {}
+        #: Exact distinct projection counts for unbuilt masks (cleared
+        #: whenever a new key lands — see :meth:`estimate`).
+        self._distinct: Dict[Mask, int] = {}
         self.stats = stats
         self.has_values = False
         self.extend(keys)
@@ -226,6 +254,8 @@ class KeyIndex:
         self._pos[key] = len(self._entries)
         self._entries.append(entry)
         self._keys.append(key)
+        if self._distinct:
+            self._distinct.clear()
         if value is not NO_VALUE:
             self.has_values = True
         for mask, table in self._maps.items():
@@ -292,9 +322,11 @@ class KeyIndex:
 
         Preference order: observed candidates-per-probe (once the mask
         has been probed enough), then the true distinct count of a
-        built mask table, then distinct counts of built *sub*-masks
-        scaled by the default fanout, then the static
-        ``n / fanout^bound`` guess.  Never builds a map.
+        built mask table, then — for indexes up to
+        ``_EXACT_COUNT_LIMIT`` keys — the exact distinct projection
+        count (one cached O(n) pass, no hash map built), then distinct
+        counts of built *sub*-masks scaled by the default fanout, then
+        the static ``n / fanout^bound`` guess.  Never builds a map.
         """
         n = len(self._entries)
         if not mask or n == 0:
@@ -305,6 +337,22 @@ class KeyIndex:
         table = self._maps.get(mask)
         if table is not None:
             return n / max(1, len(table))
+        if n <= _EXACT_COUNT_LIMIT:
+            distinct = self._distinct.get(mask)
+            if distinct is None:
+                top = mask[-1]
+                distinct = max(
+                    1,
+                    len(
+                        {
+                            tuple(key[i] for i in mask)
+                            for key in self._keys
+                            if top < len(key)
+                        }
+                    ),
+                )
+                self._distinct[mask] = distinct
+            return n / distinct
         mask_set = set(mask)
         divisor = float(_DEFAULT_FANOUT ** len(mask))
         for built, built_table in self._maps.items():

@@ -30,6 +30,7 @@ from .valuations import (
     FactorEvaluator,
     body_guards,
     enumerate_matches,
+    is_indexed_plan,
     pushable_indicator_conditions,
     refresh_guard_indexes,
 )
@@ -45,11 +46,18 @@ class EvalStats:
     ``stats["keys_examined"]`` — the number of candidate keys the join
     core touched, the metric on which indexed planning must beat the
     seed's scan-per-candidate enumeration.
+
+    ``rule_applications`` counts every evaluation of one rule body (a
+    differential variant counts once per occurrence-variant): the
+    scheduler's headline metric — SCC scheduling drops it from
+    ``#bodies × global-fixpoint depth`` to ``Σ #bodies × per-SCC
+    depth``, with non-recursive strata applying exactly once.
     """
 
     iterations: int = 0
     valuations: int = 0
     products: int = 0
+    rule_applications: int = 0
     join: JoinStats = field(default_factory=JoinStats)
 
     def snapshot(self) -> Dict[str, int]:
@@ -57,6 +65,7 @@ class EvalStats:
             "iterations": self.iterations,
             "valuations": self.valuations,
             "products": self.products,
+            "rule_applications": self.rule_applications,
         }
         out.update(self.join.snapshot())
         return out
@@ -69,14 +78,39 @@ class EvaluationResult:
     Attributes:
         instance: The least-fixpoint IDB instance.
         steps: Convergence step count ``t`` with ``J⁽ᵗ⁾ = J⁽ᵗ⁺¹⁾``.
+            For SCC-scheduled runs this is the *deepest stratum's*
+            step count (strata converge independently; there is no
+            single global chain).
         trace: Per-iteration snapshots ``[J⁽⁰⁾, J⁽¹⁾, …]`` when captured.
         stats: Work counters.
+        strata: Per-stratum
+            :class:`~repro.core.scheduler.StratumReport` records when
+            the run was SCC-scheduled (empty for monolithic runs).
     """
 
     instance: Instance
     steps: int
     trace: List[Instance] = field(default_factory=list)
     stats: Dict[str, int] = field(default_factory=dict)
+    strata: List = field(default_factory=list)
+
+
+def _relation_equal(pops, current, previous) -> bool:
+    """Pointwise equality of two relation supports (stored entries only).
+
+    Instances store only non-``⊥`` values, so equal relations have the
+    same key set; a size or key mismatch is an immediate change.
+    """
+    if len(current) != len(previous):
+        return False
+    for key, value in current.items():
+        old = previous.get(key, _ABSENT)
+        if old is _ABSENT or not pops.eq(value, old):
+            return False
+    return True
+
+
+_ABSENT = object()
 
 
 class NaiveEvaluator:
@@ -91,7 +125,16 @@ class NaiveEvaluator:
         total_heads: Optional[bool] = None,
         extra_domain: Sequence[Any] = (),
         plan: str = "indexed",
+        domain: Optional[Sequence[Any]] = None,
+        stats: Optional[EvalStats] = None,
+        indexes: Optional[IndexManager] = None,
     ):
+        """``domain``, ``stats`` and ``indexes`` exist for the stratum
+        scheduler: per-stratum evaluators must enumerate over the
+        *whole program's* domain (not the sub-program's, which may be
+        smaller) and share one counter set plus one index cache so
+        frozen-layer indexes are built once and reused across strata.
+        """
         self.program = program
         self.database = database
         self.pops = database.pops
@@ -99,22 +142,31 @@ class NaiveEvaluator:
         self.max_iterations = max_iterations
         self.plan = plan
         self.idb_names = program.idb_names()
-        self.stats = EvalStats()
+        self.stats = stats if stats is not None else EvalStats()
         self.evaluator = FactorEvaluator(
             self.pops, database, self.functions, stats=self.stats.join
         )
-        self.domain: List[Any] = sorted(
-            database.active_domain() | program.constants() | set(extra_domain),
-            key=repr,
-        )
+        if domain is not None:
+            self.domain: List[Any] = list(domain)
+        else:
+            self.domain = sorted(
+                database.active_domain()
+                | program.constants()
+                | set(extra_domain),
+                key=repr,
+            )
         if total_heads is None:
             total_heads = not (
                 self.pops.is_semiring and self.pops.is_naturally_ordered
             )
         self.total_heads = total_heads
-        self.indexes = IndexManager(stats=self.stats.join)
+        self.indexes = (
+            indexes if indexes is not None else IndexManager(stats=self.stats.join)
+        )
         self._epoch = 0
         self._current: Instance = Instance(self.pops)
+        self._last_seen: Optional[Instance] = None
+        self._rel_versions: Dict[str, int] = {}
         self._plans = self._build_plans()
 
     # ------------------------------------------------------------------
@@ -128,7 +180,7 @@ class NaiveEvaluator:
                     self.database,
                     self.idb_names,
                     self._idb_supplier,
-                    indexes=self.indexes if self.plan == "indexed" else None,
+                    indexes=self.indexes if is_indexed_plan(self.plan) else None,
                 )
                 extra = pushable_indicator_conditions(
                     body, self.pops, self.total_heads
@@ -144,18 +196,51 @@ class NaiveEvaluator:
         return lambda: self._current.support(name)
 
     # ------------------------------------------------------------------
+    def _bump_changed_relations(self, instance: Instance) -> None:
+        """Advance per-relation index versions for changed stores only.
+
+        IDB guard indexes are versioned by these counters (not by the
+        global epoch), so a relation the last delta did not touch keeps
+        its index — and its accumulated probe observations — across the
+        iteration instead of being rebuilt; ``rebuild_skips`` counts the
+        relations whose refresh was skipped this iteration.  The
+        comparison is pointwise over the stored supports, which is what
+        makes skipping sound for value-carrying entries: "untouched"
+        means every carried value is still exactly what the store
+        holds, not merely that the key set is unchanged.
+        """
+        previous = self._last_seen
+        for rel in self.program.idbs:
+            if previous is not None and _relation_equal(
+                self.pops, instance.support(rel), previous.support(rel)
+            ):
+                # Only count a skip when an index exists to skip —
+                # head-only relations never drive a guard.
+                if self.indexes.peek(("idb", f"idb:{rel}")) is not None:
+                    self.stats.join.rebuild_skips += 1
+            else:
+                self._rel_versions[rel] = self._rel_versions.get(rel, 0) + 1
+        self._last_seen = instance
+
     def ico(self, instance: Instance) -> Instance:
         """One application of the immediate consequence operator."""
         self._current = instance
         self._epoch += 1
+        indexed = is_indexed_plan(self.plan)
+        if indexed:
+            self._bump_changed_relations(instance)
         acc: Dict[Tuple[str, Key], Value] = {}
         if self.total_heads:
             for rel, arity in self.program.idbs.items():
                 for key in itertools.product(self.domain, repeat=arity):
                     acc[(rel, key)] = self.pops.zero
         for rule, body, guards, variables, extra_conjuncts in self._plans:
-            if self.plan == "indexed":
-                refresh_guard_indexes(guards, self.indexes, self._epoch)
+            self.stats.rule_applications += 1
+            if indexed:
+                refresh_guard_indexes(
+                    guards, self.indexes, self._epoch,
+                    versions=self._rel_versions,
+                )
             for valuation, slot_values in enumerate_matches(
                 variables,
                 guards,

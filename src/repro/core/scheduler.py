@@ -1,0 +1,248 @@
+"""SCC-stratified fixpoint scheduling (the stratum scheduler).
+
+The paper defines the ICO fixpoint over the *whole* program, and the
+monolithic engines run it literally: every iteration re-applies every
+rule and refreshes indexes for every relation, even when most
+predicates are not mutually recursive.  This module evaluates the
+program one **stratum** at a time instead:
+
+1. **Condense** the predicate dependency graph into its SCC DAG
+   (:func:`repro.analysis.graphs.condensation`) and order the
+   components topologically.
+2. **Evaluate per component.**  Every component sees the relations of
+   earlier components as **frozen**: their fixpoint values are
+   published into a working :class:`~repro.core.instance.Database` as
+   ordinary POPS EDB relations, so their (value-carrying) indexes are
+   built once and then probed read-only across *every* iteration of
+   every later stratum — one shared
+   :class:`~repro.core.indexes.IndexManager` carries them across
+   strata.  Non-recursive components (singleton SCCs without a
+   self-loop) skip the fixpoint loop entirely: one ICO application
+   from ``⊥`` *is* their least fixpoint, so their rules apply exactly
+   once per run instead of once per global iteration.  Recursive
+   components run the ordinary naïve or semi-naïve fixpoint of their
+   sub-program.
+3. **Merge** the per-stratum instances into the final least fixpoint.
+
+Soundness: the condensation makes the grounded system block-triangular
+— component ``k``'s ICO reads only components ``≤ k`` — so Kleene
+iteration may be performed block-by-block, each block iterated to its
+least fixpoint with the earlier blocks held at theirs.  This is the
+same argument the paper applies to stratified multi-space programs
+(Section 4.5) and :mod:`repro.negation.stratified` applies to
+negation; here it is applied *inside* a single program purely for
+performance.  Every stratum evaluator is pinned to the **whole
+program's** domain (active domain plus all constants), so head
+totalization over ``GA(τ, D₀)`` and fallback enumeration behave
+byte-for-byte like the monolithic run; ``schedule="monolithic"``
+(:func:`repro.core.engine.solve`) keeps the seed whole-program
+fixpoint as the differential baseline.
+
+A pleasant corollary: under SCC scheduling the semi-naïve engine
+accepts programs whose *lower strata* appear under interpreted
+functions or repeated occurrences — frozen relations are constants to
+the differential rule, so affinity is only required of a body in its
+own component's relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..semirings.base import FunctionRegistry
+from .indexes import IndexManager
+from .instance import Database, Instance
+from .naive import EvalStats, EvaluationResult, NaiveEvaluator
+from .rules import Program, Rule
+from .seminaive import SemiNaiveEvaluator
+from .valuations import is_indexed_plan
+
+
+@dataclass
+class StratumReport:
+    """Work accounting for one scheduled component.
+
+    ``rule_applications`` is the scheduler's headline number: for a
+    non-recursive stratum it equals the stratum's body count (every
+    rule applies exactly once); for a recursive stratum it grows with
+    the component's own fixpoint depth instead of the global one.
+    """
+
+    relations: Tuple[str, ...]
+    recursive: bool
+    steps: int
+    iterations: int
+    rule_applications: int
+    valuations: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "relations": list(self.relations),
+            "recursive": self.recursive,
+            "steps": self.steps,
+            "iterations": self.iterations,
+            "rule_applications": self.rule_applications,
+            "valuations": self.valuations,
+        }
+
+
+def _sub_program(program: Program, component: Tuple[str, ...]) -> Program:
+    """Restrict a program to one component's rules.
+
+    Only the component's relations stay IDBs; relations of earlier
+    components referenced by the bodies are auto-registered as POPS
+    EDBs by :class:`~repro.core.rules.Program` validation — exactly the
+    frozen reading, since the scheduler publishes their fixpoints into
+    the working database before this sub-program runs.  Rule-less IDBs
+    (declared but never defined) keep their declaration so head
+    totalization covers them.
+    """
+    rules: List[Rule] = [
+        rule for rule in program.rules if rule.head_relation in component
+    ]
+    return Program(
+        rules=rules,
+        edbs=dict(program.edbs),
+        bool_edbs=dict(program.bool_edbs),
+        idbs={rel: program.idbs[rel] for rel in component},
+    )
+
+
+def scheduled_fixpoint(
+    program: Program,
+    database: Database,
+    method: str = "naive",
+    functions: Optional[FunctionRegistry] = None,
+    max_iterations: int = 100_000,
+    plan: str = "indexed",
+    total_heads: Optional[bool] = None,
+) -> EvaluationResult:
+    """Evaluate a program stratum-by-stratum over its SCC condensation.
+
+    Args:
+        program: The datalog° program.
+        database: The EDB instance (never mutated; frozen strata
+            accumulate in a working copy).
+        method: Fixpoint engine for recursive components — ``"naive"``
+            or ``"seminaive"``.  Non-recursive components always
+            evaluate with a single ICO application.
+        functions: Interpreted value-space functions.
+        max_iterations: Per-component divergence guard.
+        plan: Join strategy, as in the monolithic engines.
+        total_heads: Forwarded to the per-stratum evaluators (``None``
+            keeps the per-POPS default).
+
+    Returns:
+        An :class:`~repro.core.naive.EvaluationResult` whose ``steps``
+        is the deepest component's step count, whose ``stats`` carry
+        the run's total counters plus ``strata`` /
+        ``recursive_strata``, and whose ``strata`` attribute holds one
+        :class:`StratumReport` per component in schedule order.
+    """
+    from ..analysis.graphs import condensation  # local: avoids a cycle
+
+    if method not in ("naive", "seminaive"):
+        raise ValueError(
+            f"scheduled evaluation supports 'naive'/'seminaive', "
+            f"not {method!r}"
+        )
+    pops = database.pops
+    components = condensation(program)
+    # The monolithic engines enumerate over the whole program's domain;
+    # pinning it here keeps totalized heads and fallback enumeration
+    # identical stratum-by-stratum.
+    domain: List[Any] = sorted(
+        database.active_domain() | program.constants(), key=repr
+    )
+    stats = EvalStats()
+    indexes = IndexManager(stats=stats.join) if is_indexed_plan(plan) else None
+    # Database.__post_init__ re-copies (freezing keys, dropping ⊥), so
+    # the stores can be handed over directly without pre-copying.
+    working = Database(
+        pops=pops,
+        relations=database.relations,
+        bool_relations=database.bool_relations,
+    )
+    combined = Instance(pops)
+    reports: List[StratumReport] = []
+
+    for component, recursive in components:
+        sub = _sub_program(program, component)
+        before = (
+            stats.iterations,
+            stats.rule_applications,
+            stats.valuations,
+        )
+        if not recursive:
+            # One ICO application from ⊥ is the least fixpoint: the
+            # component's bodies read only frozen/EDB stores, so the
+            # operator is constant — no loop, no convergence check.
+            evaluator = NaiveEvaluator(
+                sub,
+                working,
+                functions=functions,
+                max_iterations=max_iterations,
+                total_heads=total_heads,
+                plan=plan,
+                domain=domain,
+                stats=stats,
+                indexes=indexes,
+            )
+            stats.iterations += 1
+            instance = evaluator.ico(Instance(pops))
+            steps = 0 if instance.size() == 0 else 1
+        elif method == "seminaive":
+            result = SemiNaiveEvaluator(
+                sub,
+                working,
+                functions=functions,
+                max_iterations=max_iterations,
+                plan=plan,
+                domain=domain,
+                stats=stats,
+                indexes=indexes,
+            ).run()
+            instance, steps = result.instance, result.steps
+        else:
+            result = NaiveEvaluator(
+                sub,
+                working,
+                functions=functions,
+                max_iterations=max_iterations,
+                total_heads=total_heads,
+                plan=plan,
+                domain=domain,
+                stats=stats,
+                indexes=indexes,
+            ).run()
+            instance, steps = result.instance, result.steps
+        reports.append(
+            StratumReport(
+                relations=component,
+                recursive=recursive,
+                steps=steps,
+                iterations=stats.iterations - before[0],
+                rule_applications=stats.rule_applications - before[1],
+                valuations=stats.valuations - before[2],
+            )
+        )
+        # Freeze the component: publish its fixpoint as POPS EDB
+        # relations for every later stratum (their indexes are built
+        # once in the shared manager and reused read-only).
+        for rel in component:
+            support = dict(instance.support(rel))
+            working.relations[rel] = support
+            for key, value in support.items():
+                combined.set(rel, key, value)
+
+    snapshot = stats.snapshot()
+    snapshot["strata"] = len(reports)
+    snapshot["recursive_strata"] = sum(1 for r in reports if r.recursive)
+    return EvaluationResult(
+        instance=combined,
+        steps=max((r.steps for r in reports), default=0),
+        trace=[],
+        stats=snapshot,
+        strata=reports,
+    )

@@ -24,7 +24,7 @@ naïve evaluation; both engines share work counters so the benchmark
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
@@ -37,6 +37,7 @@ from .valuations import (
     FactorEvaluator,
     Guard,
     enumerate_matches,
+    is_indexed_plan,
     pushable_indicator_conditions,
 )
 from .ast import positive_bool_atoms
@@ -56,7 +57,16 @@ class SemiNaiveEvaluator:
         functions: Optional[FunctionRegistry] = None,
         max_iterations: int = 100_000,
         plan: str = "indexed",
+        domain: Optional[Sequence[Any]] = None,
+        stats: Optional[EvalStats] = None,
+        indexes: Optional[IndexManager] = None,
     ):
+        """``domain``, ``stats`` and ``indexes`` serve the stratum
+        scheduler exactly as in
+        :class:`~repro.core.naive.NaiveEvaluator`: pinned whole-program
+        domain, shared counters, shared index cache (so frozen-layer
+        indexes survive across strata).
+        """
         self.program = program
         self.database = database
         self.pops = database.pops
@@ -69,14 +79,19 @@ class SemiNaiveEvaluator:
         self.max_iterations = max_iterations
         self.plan = plan
         self.idb_names = program.idb_names()
-        self.stats = EvalStats()
+        self.stats = stats if stats is not None else EvalStats()
         self.evaluator = FactorEvaluator(
             self.pops, database, self.functions, stats=self.stats.join
         )
-        self.domain: List = sorted(
-            database.active_domain() | program.constants(), key=repr
+        if domain is not None:
+            self.domain: List = list(domain)
+        else:
+            self.domain = sorted(
+                database.active_domain() | program.constants(), key=repr
+            )
+        self.indexes = (
+            indexes if indexes is not None else IndexManager(stats=self.stats.join)
         )
-        self.indexes = IndexManager(stats=self.stats.join)
         self._step = 0
         self._validate()
         self._plans = self._build_plans()
@@ -136,7 +151,7 @@ class SemiNaiveEvaluator:
         :meth:`_variant_value` skips the second hash lookup; ``old``
         occurrences probe ``new``'s index and therefore stay key-only.
         """
-        indexed = self.plan == "indexed"
+        indexed = is_indexed_plan(self.plan)
         guards: List[Guard] = []
         for atom in positive_bool_atoms(body.condition):
             rel = self.database.bool_relations.get(atom.relation, set())
@@ -294,20 +309,23 @@ class SemiNaiveEvaluator:
     def run(self, capture_trace: bool = False) -> EvaluationResult:
         """Run Algorithm 3 to fixpoint."""
         zero = self.pops.zero
-        # J⁽¹⁾ = F(0̄) and δ⁽⁰⁾ = J⁽¹⁾ ⊖ 0̄ = J⁽¹⁾ (b ⊖ 0 = b).
+        # J⁽¹⁾ = F(0̄) and δ⁽⁰⁾ = J⁽¹⁾ ⊖ 0̄ = J⁽¹⁾ (b ⊖ 0 = b).  The
+        # bootstrap shares this evaluator's counters, domain and index
+        # cache, so its EDB indexes are the ones the differential loop
+        # keeps probing (built once for the whole run).
         bootstrap = NaiveEvaluator(
             self.program,
             self.database,
             functions=self.functions,
             max_iterations=1,
             plan=self.plan,
+            domain=self.domain,
+            stats=self.stats,
+            indexes=self.indexes,
         )
         empty = Instance(self.pops)
         new = bootstrap.ico(empty)
         self.stats.iterations += 1
-        self.stats.valuations += bootstrap.stats.valuations
-        self.stats.products += bootstrap.stats.products
-        self.stats.join.merge(bootstrap.stats.join)
         delta = new.copy()
         old = empty
         trace: List[Instance] = []
@@ -329,6 +347,7 @@ class SemiNaiveEvaluator:
                     body, self.pops, total_heads=False
                 )
                 for j in range(len(idb_positions)):
+                    self.stats.rule_applications += 1
                     guards = self._variant_guards(
                         body, idb_positions, j, delta, new, old
                     )
@@ -376,7 +395,7 @@ class SemiNaiveEvaluator:
             for rel in list(next_delta.relations()):
                 for key, d in next_delta.support(rel).items():
                     new.merge(rel, key, d)
-            if self.plan == "indexed":
+            if is_indexed_plan(self.plan):
                 # Maintain the shared new-store indexes incrementally:
                 # the only keys that can appear (or whose value can
                 # change) are the delta's, and their fresh ⊕-merged

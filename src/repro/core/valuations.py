@@ -75,6 +75,22 @@ SlotValues = Dict[int, Value]
 _NO_SLOTS: SlotValues = {}
 
 
+def is_indexed_plan(plan: str) -> bool:
+    """Whether a plan name selects the hash-index probe pipeline.
+
+    ``"indexed"`` (cost-based join ordering, the default) and
+    ``"indexed-greedy"`` (the PR-1/PR-2 greedy ordering, kept for
+    plan-quality differentials) share the whole probe/pushdown
+    machinery; only the guard-ordering strategy differs.
+    """
+    return plan in ("indexed", "indexed-greedy")
+
+
+def plan_ordering(plan: str) -> str:
+    """The :func:`repro.core.planner.build_plan` ordering for a plan."""
+    return "greedy" if plan == "indexed-greedy" else "cost"
+
+
 @dataclass
 class Guard:
     """A generator of candidate bindings: atom args + key supplier.
@@ -168,7 +184,7 @@ def enumerate_matches(
     usable = [g for g in guards if g.simple_args()]
     base_valuation = dict(base) if base else {}
 
-    if plan == "indexed":
+    if is_indexed_plan(plan):
         from .planner import build_plan, execute_plan
 
         compiled = build_plan(
@@ -178,6 +194,7 @@ def enumerate_matches(
             condition=condition,
             variables=variables,
             extra_conjuncts=extra_conjuncts,
+            order=plan_ordering(plan),
         )
         yield from execute_plan(
             compiled,
@@ -497,23 +514,31 @@ def refresh_guard_indexes(
     guards: Iterable[Guard],
     indexes: IndexManager,
     epoch: Hashable,
+    versions: Optional[Dict[str, Hashable]] = None,
 ) -> None:
     """Point dynamic guards at up-to-date indexes before an iteration.
 
     IDB guards read the evaluator's *current* instance, which changes
-    every iteration: their index entry is versioned by the caller's
-    ``epoch`` so the support is materialized once per iteration per
-    relation, shared by every body mentioning it (rebuilt indexes
+    between iterations: their index entry is versioned by the caller's
+    ``epoch`` so the support is materialized at most once per iteration
+    per relation, shared by every body mentioning it (rebuilt indexes
     inherit decayed probe observations, keeping selectivity estimates
-    adaptive).  Boolean-store guards are versioned by store size (the
-    sets only ever grow — the hybrid evaluator adds threshold facts
-    mid-run) so they rebuild exactly when a fact appeared.  EDB guards
-    already carry a persistent index.
+    adaptive).  When ``versions`` maps a relation name to a
+    *per-relation* change counter, that counter is used instead of the
+    global epoch: a relation the last delta did not touch keeps its
+    existing index (and its accumulated probe observations) instead of
+    being rebuilt — the caller counts those skips in
+    ``JoinStats.rebuild_skips``.  Boolean-store guards are versioned by
+    store size (the sets only ever grow — the hybrid evaluator adds
+    threshold facts mid-run) so they rebuild exactly when a fact
+    appeared.  EDB guards already carry a persistent index.
     """
     for guard in guards:
         if guard.name.startswith("idb:"):
+            relation = guard.name[4:]
+            version = epoch if versions is None else versions.get(relation, epoch)
             guard.index = indexes.get(
-                ("idb", guard.name), guard.keys, version=epoch
+                ("idb", guard.name), guard.keys, version=version
             )
         elif guard.name.startswith("bool:"):
             store = guard.keys()

@@ -10,6 +10,8 @@ a :class:`~repro.core.instance.Database` over the intended value space:
 * :func:`sssp` — single-source reachability/shortest-path, Example 4.1
   (the same program reads as reachability over ``B``, SSSP over
   ``Trop+``, top-(p+1) paths over ``Trop+_p``, …).
+* :func:`layered_sssp` — the same computation split into source /
+  distance / output strata (the SCC scheduler's showcase, E12).
 * :func:`bill_of_material` — Example 4.2 over ``R⊥``/``N``.
 * :func:`shortest_length_from_bool` — the keys-to-values rule of §4.5.
 * :func:`prefix_sum` — the case-statement example of §4.5.
@@ -121,6 +123,55 @@ def sssp(
         ),
     )
     return Program(rules=[rule], edbs={edge: 2})
+
+
+def layered_sssp(
+    source: Hashable,
+    edge: str = "E",
+    src: str = "S",
+    label: str = "L",
+    best: str = "Best",
+) -> Program:
+    """SSSP with explicit non-recursive source and output layers::
+
+        S(x)    :- [x = a]
+        L(x)    :- S(x) ⊕ ⨁_z L(z) ⊗ E(z, x)
+        Best(x) :- L(x)
+
+    Semantically identical to :func:`sssp` on ``L`` (and ``Best``
+    mirrors it), but the predicate dependency graph now condenses into
+    three strata — ``{S} → {L} → {Best}`` with only ``{L}``
+    recursive — which is the scheduler's showcase: under
+    ``schedule="scc"`` the source and output layers apply exactly once
+    while the monolithic fixpoint re-derives them every global
+    iteration.
+    """
+    rules = [
+        Rule(
+            src,
+            terms(["X"]),
+            (
+                SumProduct(
+                    (Indicator(Compare("==", var("X"), Constant(source))),)
+                ),
+            ),
+        ),
+        Rule(
+            label,
+            terms(["X"]),
+            (
+                SumProduct((RelAtom(src, terms(["X"])),)),
+                SumProduct(
+                    (
+                        RelAtom(label, terms(["Z"])),
+                        RelAtom(edge, terms(["Z", "X"])),
+                    )
+                ),
+            ),
+        ),
+        Rule(best, terms(["X"]), (SumProduct((RelAtom(label, terms(["X"])),)),)),
+    ]
+    return Program(rules=rules, edbs={edge: 2})
 
 
 def bill_of_material(

@@ -65,11 +65,20 @@ class TestKeyIndex:
         assert list(index.probe((1,), ("b",))) == [("a", "b")]
 
     def test_estimate_prefers_bound_masks(self):
-        index = KeyIndex([("a", i) for i in range(16)])
+        index = KeyIndex([(i % 4, i) for i in range(16)])
         assert index.estimate(()) == 16.0
-        assert index.estimate((0,)) < 16.0
+        # Small indexes get the exact distinct projection count even
+        # before the mask map is built: 4 groups of 4.
+        assert index.estimate((0,)) == 4.0
         # Once built, the estimate is the true average bucket size.
         index.probe((1,), (0,))
+        assert index.estimate((1,)) == 1.0
+
+    def test_estimate_sees_through_constant_columns(self):
+        # Every key shares column 0: probing it returns everything,
+        # and the exact count says so (the old static guess claimed 4×).
+        index = KeyIndex([("a", i) for i in range(16)])
+        assert index.estimate((0,)) == 16.0
         assert index.estimate((1,)) == 1.0
 
 

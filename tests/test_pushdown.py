@@ -370,10 +370,18 @@ class TestValueCarryingIndex:
 class TestAdaptiveEstimates:
     def test_built_table_reports_true_distinct_count(self):
         index = KeyIndex([(i % 2, i) for i in range(20)])
-        assert index.estimate((0,)) == 20 / 4  # static guess first
+        # Small index: the exact distinct projection count (2 groups)
+        # is available even before the mask map is built.
+        assert index.estimate((0,)) == 10.0
         index.probe_entries((0,), (0,))
         assert index.distinct_count((0,)) == 2
         assert index.estimate((0,)) == 10.0
+
+    def test_exact_count_invalidated_by_inserts(self):
+        index = KeyIndex([(0, i) for i in range(8)])
+        assert index.estimate((0,)) == 8.0  # one group
+        index.add((1, 99))
+        assert index.estimate((0,)) == 9 / 2  # two groups now
 
     def test_observed_hit_rate_overrides_distinct_count(self):
         index = KeyIndex([(0, i) for i in range(10)])
@@ -382,10 +390,12 @@ class TestAdaptiveEstimates:
         assert index.estimate((0,)) == 0.0
 
     def test_submask_distinct_counts_refine_unbuilt_masks(self):
-        index = KeyIndex([(i, i, i) for i in range(32)])
-        index.probe_entries((0,), (0,))  # builds mask (0,): 32 distinct
-        # (0, 1) unbuilt: the (0,) submask's 32 groups beat 4² = 16.
-        assert index.estimate((0, 1)) == 32 / (32 * 4)
+        # Beyond _EXACT_COUNT_LIMIT the exact-count tier bows out and
+        # built submask tables refine the static guess instead.
+        index = KeyIndex([(i, i, i) for i in range(600)])
+        index.probe_entries((0,), (0,))  # builds mask (0,): 600 distinct
+        # (0, 1) unbuilt: the (0,) submask's 600 groups beat 4² = 16.
+        assert index.estimate((0, 1)) == 600 / (600 * 4)
 
     def test_rebuilt_index_inherits_decayed_observations(self):
         from repro.core.indexes import IndexManager
