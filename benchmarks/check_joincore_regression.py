@@ -5,7 +5,7 @@ Usage::
 
     python benchmarks/check_joincore_regression.py \
         BENCH_joincore.json benchmarks/baselines/joincore_quick.json \
-        [--tolerance 0.10]
+        [--tolerance 0.10] [--wall-tolerance 0.25] [--wall-floor 0.05]
 
     python benchmarks/check_joincore_regression.py \
         BENCH_schedule.json benchmarks/baselines/schedule_quick.json
@@ -15,16 +15,29 @@ Both files are artifacts of the benchmark suite (see
 (``*/1`` schema) or a longitudinal trajectory (``*/2`` schema, one run
 record per invocation) — for trajectories the **latest** run is gated.
 For every benchmark present in the baseline, each gated counter (the
-baseline's ``gated_stats``: ``keys_examined``, ``fallback_candidates``
-for the join core; total fixpoint ``iterations`` and
-``rule_applications`` for the scheduler) must not exceed the baseline
-by more than the tolerance — an increase means the planner started
-examining more candidate keys, or the scheduler started re-applying
-rules the condensation should have frozen, i.e. a perf regression even
-if wall time (noisy on CI) happens to hide it.  Benchmarks new in the
-current run are reported but never fail; benchmarks missing from the
-current run fail (a silently skipped measurement is itself a
-regression).  Wall times are printed for context only.
+baseline's ``gated_stats``) must stay within the tolerance of the
+baseline:
+
+* most counters are *lower-is-better* (``keys_examined``,
+  ``fallback_candidates``, fixpoint ``iterations``,
+  ``rule_applications``): an increase beyond the tolerance means the
+  planner started examining more candidate keys, or the scheduler
+  started re-applying rules the condensation should have frozen;
+* ``rules_skipped`` and ``kernel_cache_hits`` are *higher-is-better*
+  floors: a drop beyond the tolerance means delta-driven rule
+  activation stopped skipping, or compiled kernels stopped being
+  reused across iterations — silent de-optimizations wall time (noisy
+  on CI) might hide.
+
+``--wall-tolerance`` additionally gates **wall time** against the
+baseline's ``wall_s`` fields (intended for a pinned runner; off by
+default).  Benchmarks whose baseline wall time is below
+``--wall-floor`` seconds are skipped — sub-floor timings are noise, not
+signal, at any tolerance.
+
+Benchmarks new in the current run are reported but never fail;
+benchmarks missing from the current run fail (a silently skipped
+measurement is itself a regression).
 
 Exit status: 0 when clean, 1 on any regression or missing benchmark.
 """
@@ -36,6 +49,10 @@ import json
 import sys
 
 _FAMILIES = ("joincore-bench", "schedule-bench")
+
+#: Gated counters where *more* is better: these gate as floors
+#: (current < baseline × (1 − tolerance) fails).
+_HIGHER_IS_BETTER = frozenset({"rules_skipped", "kernel_cache_hits"})
 
 
 def load(path: str) -> dict:
@@ -64,7 +81,29 @@ def main(argv=None) -> int:
         "--tolerance",
         type=float,
         default=0.10,
-        help="allowed relative increase per gated counter (default 0.10)",
+        help="allowed relative drift per gated counter (default 0.10)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "also gate wall time: fail when a benchmark runs more than "
+            "FRAC slower than its baseline wall_s (off by default — "
+            "enable on a pinned runner)"
+        ),
+    )
+    parser.add_argument(
+        "--wall-floor",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help=(
+            "skip wall gating for benchmarks whose baseline wall time "
+            "is below this floor (default 0.05s: sub-floor timings are "
+            "noise at any tolerance)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -81,9 +120,20 @@ def main(argv=None) -> int:
         if now is None:
             failures.append(f"{name}: missing from current run")
             continue
+        base_wall = bench.get("wall_s", 0.0)
+        now_wall = now.get("wall_s", 0.0)
+        wall_marker = ""
+        if args.wall_tolerance is not None and base_wall >= args.wall_floor:
+            ceiling = base_wall * (1.0 + args.wall_tolerance)
+            if now_wall > ceiling:
+                failures.append(
+                    f"{name}: wall time regressed {base_wall:.4f}s -> "
+                    f"{now_wall:.4f}s (ceiling {ceiling:.4f}s)"
+                )
+                wall_marker = "  <-- REGRESSION"
         rows.append(
-            f"  {name:50s} {'wall_s (context)':20s} "
-            f"{bench.get('wall_s', 0.0):>10.4f} -> {now.get('wall_s', 0.0):>10.4f}"
+            f"  {name:50s} {'wall_s':20s} "
+            f"{base_wall:>10.4f} -> {now_wall:>10.4f}{wall_marker}"
         )
         for stat in gated:
             base_value = bench.get("stats", {}).get(stat)
@@ -93,21 +143,38 @@ def main(argv=None) -> int:
             if now_value is None:
                 failures.append(f"{name}: current run lacks stat {stat!r}")
                 continue
-            ceiling = base_value * (1.0 + args.tolerance)
             marker = ""
-            if now_value > ceiling:
-                failures.append(
-                    f"{name}: {stat} regressed {base_value} -> {now_value} "
-                    f"(ceiling {ceiling:.1f})"
-                )
-                marker = "  <-- REGRESSION"
+            if stat in _HIGHER_IS_BETTER:
+                floor = base_value * (1.0 - args.tolerance)
+                if now_value < floor:
+                    failures.append(
+                        f"{name}: {stat} dropped {base_value} -> {now_value} "
+                        f"(floor {floor:.1f})"
+                    )
+                    marker = "  <-- REGRESSION"
+            else:
+                ceiling = base_value * (1.0 + args.tolerance)
+                if now_value > ceiling:
+                    failures.append(
+                        f"{name}: {stat} regressed {base_value} -> {now_value} "
+                        f"(ceiling {ceiling:.1f})"
+                    )
+                    marker = "  <-- REGRESSION"
             rows.append(
                 f"  {name:50s} {stat:20s} {base_value:>10d} -> {now_value:>10d}"
                 f"{marker}"
             )
 
-    print("benchmark regression check "
-          f"(tolerance {args.tolerance:.0%}, gated: {', '.join(gated)})")
+    wall_note = (
+        "off"
+        if args.wall_tolerance is None
+        else f"{args.wall_tolerance:.0%} over {args.wall_floor}s floor"
+    )
+    print(
+        "benchmark regression check "
+        f"(tolerance {args.tolerance:.0%}, wall gate {wall_note}, "
+        f"gated: {', '.join(gated)})"
+    )
     for row in rows:
         print(row)
     for name in sorted(current_by_name):

@@ -120,11 +120,17 @@ class JoinCoreLog:
     #: ``iterations`` and ``rule_applications`` gate the fixpoint
     #: scheduler: regressions in total iteration or rule-application
     #: counts fail CI exactly like join-core regressions.
+    #: ``rules_skipped`` / ``kernel_cache_hits`` gate the compiled
+    #: engine as *floors* (see ``check_joincore_regression.py``): a
+    #: drop means delta-driven activation or kernel reuse silently
+    #: stopped working.
     GATED = (
         "keys_examined",
         "fallback_candidates",
         "iterations",
         "rule_applications",
+        "rules_skipped",
+        "kernel_cache_hits",
     )
 
     def __init__(self, records: List[Dict]):
@@ -180,7 +186,7 @@ class ScheduleLog(JoinCoreLog):
     under ``strata``.
     """
 
-    GATED = ("iterations", "rule_applications")
+    GATED = ("iterations", "rule_applications", "rules_skipped")
 
     def record_result(self, name: str, wall_s: float, result) -> None:
         """Record an SCC-scheduled ``EvaluationResult`` with strata."""

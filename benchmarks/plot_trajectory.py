@@ -1,0 +1,314 @@
+#!/usr/bin/env python
+"""Render benchmark trajectories (``joincore-bench/2`` / ``schedule-bench/2``)
+to one SVG per benchmark.
+
+Usage::
+
+    python benchmarks/plot_trajectory.py BENCH_joincore.json \
+        [BENCH_schedule.json ...] --out-dir BENCH_plots \
+        [--stat keys_examined]
+
+Each trajectory file accumulates one run record per CI invocation (see
+``benchmarks/conftest.py``); this script turns the longitudinal story
+into small-multiple line charts: per benchmark, a wall-time panel plus
+one panel per gated counter that actually varies (constant counters are
+the common, healthy case — flat lines are noise, so they are skipped
+unless ``--all-stats`` asks for them).  Stdlib only — the SVG is
+assembled by hand so the plots render anywhere, including the CI
+artifact browser.
+
+Design notes (kept deliberately boring): one measure per panel — wall
+seconds and counters never share an axis; y starts at zero (these are
+magnitudes); single series per panel, so the panel title carries the
+identity and there is no legend; the last point is direct-labeled;
+every point carries a ``<title>`` so browsers show run metadata on
+hover.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Palette: categorical slots 1/2 on the light surface, text tokens for
+# every label (marks carry color; text never does).
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+SERIES_WALL = "#2a78d6"  # slot 1 (blue)
+SERIES_STAT = "#eb6834"  # slot 2 (orange)
+
+PANEL_W = 640
+PANEL_H = 170
+MARGIN_L = 64
+MARGIN_R = 20
+MARGIN_TOP = 34
+MARGIN_BETWEEN = 26
+MARGIN_BOTTOM = 44
+FONT = "-apple-system, 'Segoe UI', 'Helvetica Neue', Arial, sans-serif"
+
+
+def load_runs(path: str) -> List[Dict]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema", "")
+    if not schema.endswith("/2"):
+        raise SystemExit(
+            f"{path}: expected a */2 trajectory artifact, got {schema!r}"
+        )
+    return payload.get("runs", [])
+
+
+def series_by_benchmark(
+    runs: Sequence[Dict],
+) -> Dict[str, List[Tuple[str, float, Dict[str, int]]]]:
+    """name -> [(run label, wall seconds, stats)] in run order."""
+    out: Dict[str, List[Tuple[str, float, Dict[str, int]]]] = {}
+    for i, run in enumerate(runs):
+        label = f"#{i + 1} {run.get('sha', '?')}"
+        for bench in run.get("benchmarks", []):
+            out.setdefault(bench["name"], []).append(
+                (label, float(bench.get("wall_s", 0.0)), bench.get("stats", {}))
+            )
+    return out
+
+
+def _ticks(top: float, n: int = 4) -> List[float]:
+    if top <= 0:
+        return [0.0, 1.0]
+    raw = top / n
+    magnitude = 10 ** len(str(int(raw))) / 10 if raw >= 1 else 10 ** -(
+        len(re.match(r"0\.(0*)", f"{raw:.10f}").group(1)) + 1
+    )
+    step = magnitude
+    while top / step > n:
+        step *= 2 if (step / magnitude) in (1, 5) else 2.5
+    ticks = [0.0]
+    while ticks[-1] < top:
+        ticks.append(round(ticks[-1] + step, 10))
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) >= 1:
+        return f"{int(value):,}"
+    if value >= 100:
+        return f"{value:,.0f}"
+    if value >= 1:
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+
+
+def _panel(
+    parts: List[str],
+    y_offset: int,
+    title: str,
+    unit: str,
+    color: str,
+    points: Sequence[Tuple[str, float]],
+) -> None:
+    """Append one line-chart panel (title, grid, axis, series) to parts."""
+    plot_x0 = MARGIN_L
+    plot_w = PANEL_W - MARGIN_L - MARGIN_R
+    plot_y0 = y_offset + 24
+    plot_h = PANEL_H - 24
+    top = max((v for _, v in points), default=0.0)
+    ticks = _ticks(top * 1.05 if top else 1.0)
+    y_max = ticks[-1]
+
+    def sx(i: int) -> float:
+        if len(points) == 1:
+            return plot_x0 + plot_w / 2
+        return plot_x0 + plot_w * i / (len(points) - 1)
+
+    def sy(v: float) -> float:
+        return plot_y0 + plot_h - (plot_h * v / y_max if y_max else 0)
+
+    parts.append(
+        f'<text x="{plot_x0}" y="{y_offset + 14}" fill="{TEXT_PRIMARY}" '
+        f'font-size="13" font-weight="600">{title}</text>'
+    )
+    for tick in ticks:
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{plot_x0}" y1="{y:.1f}" x2="{plot_x0 + plot_w}" '
+            f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{plot_x0 - 8}" y="{y + 4:.1f}" fill="{TEXT_SECONDARY}" '
+            f'font-size="11" text-anchor="end">{_fmt(tick)}</text>'
+        )
+    parts.append(
+        f'<text x="{plot_x0 - 8}" y="{y_offset + 14}" fill="{TEXT_SECONDARY}" '
+        f'font-size="11" text-anchor="end">{unit}</text>'
+    )
+
+    coords = [(sx(i), sy(v)) for i, (_, v) in enumerate(points)]
+    if len(coords) > 1:
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+            for i, (x, y) in enumerate(coords)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round"/>'
+        )
+    for (x, y), (label, value) in zip(coords, points):
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+            f'stroke="{SURFACE}" stroke-width="2">'
+            f"<title>{label}: {_fmt(value)} {unit}</title></circle>"
+        )
+    if points:
+        x, y = coords[-1]
+        anchor = "end" if x > plot_x0 + plot_w - 40 else "start"
+        dx = -8 if anchor == "end" else 8
+        parts.append(
+            f'<text x="{x + dx:.1f}" y="{y - 8:.1f}" fill="{TEXT_PRIMARY}" '
+            f'font-size="11" text-anchor="{anchor}">{_fmt(points[-1][1])}</text>'
+        )
+
+
+def render_benchmark(
+    name: str,
+    points: Sequence[Tuple[str, float, Dict[str, int]]],
+    stats: Sequence[str],
+) -> str:
+    panels: List[Tuple[str, str, str, List[Tuple[str, float]]]] = [
+        (
+            "wall time",
+            "s",
+            SERIES_WALL,
+            [(label, wall) for label, wall, _ in points],
+        )
+    ]
+    for stat in stats:
+        panels.append(
+            (
+                stat,
+                "",
+                SERIES_STAT,
+                [
+                    (label, float(s.get(stat, 0)))
+                    for label, _, s in points
+                ],
+            )
+        )
+    height = (
+        MARGIN_TOP
+        + len(panels) * PANEL_H
+        + (len(panels) - 1) * MARGIN_BETWEEN
+        + MARGIN_BOTTOM
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{PANEL_W}" '
+        f'height="{height}" viewBox="0 0 {PANEL_W} {height}" '
+        f'font-family="{FONT}">',
+        f'<rect width="{PANEL_W}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="{MARGIN_L}" y="20" fill="{TEXT_PRIMARY}" font-size="14" '
+        f'font-weight="700">{name}</text>',
+    ]
+    for i, (title, unit, color, series) in enumerate(panels):
+        _panel(
+            parts,
+            MARGIN_TOP + i * (PANEL_H + MARGIN_BETWEEN),
+            title,
+            unit,
+            color,
+            series,
+        )
+    # Run labels under the last panel: first and last only (the point
+    # tooltips carry the rest — per-run labels collide immediately).
+    labels = [label for label, _, _ in points]
+    axis_y = height - MARGIN_BOTTOM + 18
+    plot_w = PANEL_W - MARGIN_L - MARGIN_R
+    if labels:
+        parts.append(
+            f'<text x="{MARGIN_L}" y="{axis_y}" fill="{TEXT_SECONDARY}" '
+            f'font-size="11">{labels[0]}</text>'
+        )
+    if len(labels) > 1:
+        parts.append(
+            f'<text x="{MARGIN_L + plot_w}" y="{axis_y}" '
+            f'fill="{TEXT_SECONDARY}" font-size="11" '
+            f'text-anchor="end">{labels[-1]}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _safe(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_")
+
+
+def varying_stats(
+    points: Sequence[Tuple[str, float, Dict[str, int]]],
+    gated: Sequence[str],
+    include_all: bool,
+) -> List[str]:
+    out = []
+    for stat in gated:
+        values = {s.get(stat) for _, _, s in points}
+        values.discard(None)
+        if not values:
+            continue
+        if include_all or len(values) > 1:
+            out.append(stat)
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trajectories", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "--out-dir", default="BENCH_plots", help="directory for the SVGs"
+    )
+    parser.add_argument(
+        "--stat",
+        action="append",
+        default=None,
+        help=(
+            "counter(s) to plot beneath the wall-time panel (default: "
+            "the artifact's gated stats that actually vary across runs)"
+        ),
+    )
+    parser.add_argument(
+        "--all-stats",
+        action="store_true",
+        help="plot every gated counter even when it never varies",
+    )
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    written = 0
+    for path in args.trajectories:
+        runs = load_runs(path)
+        if not runs:
+            print(f"{path}: no runs, skipping", file=sys.stderr)
+            continue
+        gated = args.stat or runs[-1].get("gated_stats", [])
+        prefix = _safe(os.path.splitext(os.path.basename(path))[0])
+        for name, points in series_by_benchmark(runs).items():
+            stats = varying_stats(
+                points,
+                gated,
+                include_all=args.all_stats or args.stat is not None,
+            )
+            svg = render_benchmark(name, points, stats)
+            out_path = os.path.join(
+                args.out_dir, f"{prefix}__{_safe(name)}.svg"
+            )
+            with open(out_path, "w") as handle:
+                handle.write(svg)
+            written += 1
+    print(f"wrote {written} plot(s) to {args.out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

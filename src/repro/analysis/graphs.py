@@ -14,7 +14,7 @@ dependency graph used for stratification checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
 
 from ..core.polynomial import PolynomialSystem, VarId
@@ -176,10 +176,28 @@ class Condensation:
     Both lists are deterministic: components are emitted in Kahn order
     with ties broken by the lexicographically least member name, so
     schedules (and their work counters) are reproducible across runs.
+
+    ``dependencies[i]`` holds the indexes (into ``components``) of the
+    components component ``i`` reads from — the readiness edges the
+    parallel stratum scheduler uses to evaluate independent branches
+    of the DAG concurrently.
     """
 
     components: List[Tuple[str, ...]]
     recursive: List[bool]
+    dependencies: List[FrozenSet[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.dependencies:
+            # Two-field construction (the historical signature): default
+            # to the conservative chain — every component depends on all
+            # earlier ones.  That is always sound for the topological
+            # order (it merely serializes the parallel scheduler); an
+            # all-empty default would instead claim total independence,
+            # the one wrong answer.
+            self.dependencies = [
+                frozenset(range(i)) for i in range(len(self.components))
+            ]
 
     def __len__(self) -> int:
         return len(self.components)
@@ -204,17 +222,26 @@ def condensation(program: Program) -> Condensation:
             succs[ca].add(cb)
             indeg[cb] += 1
     self_loops = {a for a, b in graph.edges if a == b}
+    preds: Dict[int, Set[int]] = {i: set() for i in range(len(comps))}
+    for i, targets in succs.items():
+        for j in targets:
+            preds[j].add(i)
     names = {i: min(map(str, comp)) for i, comp in enumerate(comps)}
     ready = sorted(
         (i for i, d in indeg.items() if d == 0), key=names.__getitem__
     )
     ordered: List[Tuple[str, ...]] = []
     recursive: List[bool] = []
+    dependencies: List[FrozenSet[int]] = []
+    emitted_at: Dict[int, int] = {}
     while ready:
         i = ready.pop(0)
         comp = comps[i]
+        emitted_at[i] = len(ordered)
         ordered.append(tuple(sorted(map(str, comp))))
         recursive.append(len(comp) > 1 or bool(comp & self_loops))
+        # Kahn order guarantees every predecessor was emitted already.
+        dependencies.append(frozenset(emitted_at[j] for j in preds[i]))
         freed = []
         for j in succs[i]:
             indeg[j] -= 1
@@ -223,7 +250,9 @@ def condensation(program: Program) -> Condensation:
         if freed:
             ready.extend(freed)
             ready.sort(key=names.__getitem__)
-    return Condensation(components=ordered, recursive=recursive)
+    return Condensation(
+        components=ordered, recursive=recursive, dependencies=dependencies
+    )
 
 
 def strata(program: Program) -> List[Set[str]]:

@@ -48,6 +48,7 @@ def solve(
     stability_p: Optional[int] = None,
     plan: str = "indexed",
     schedule: str = "auto",
+    engine: str = "auto",
 ) -> EvaluationResult:
     """Evaluate a datalog° program to its least fixpoint.
 
@@ -72,30 +73,44 @@ def solve(
         schedule: Fixpoint scheduling for ``naive``/``seminaive`` —
             ``"scc"`` condenses the predicate dependency graph and
             runs one fixpoint per SCC with lower strata frozen (see
-            :mod:`repro.core.scheduler`); ``"monolithic"`` keeps the
-            seed's whole-program iteration; ``"auto"`` (the default)
-            picks ``"scc"`` except when ``capture_trace`` asks for the
-            global iteration chain, which only the monolithic run
-            produces.  Ignored by ``grounded``/``linear`` (grounding
-            is one-shot).  Both schedules compute the same fixpoint;
-            scheduled runs report ``steps`` as the deepest stratum's
-            step count and carry per-stratum reports on
-            ``result.strata``.
+            :mod:`repro.core.scheduler`); ``"parallel"`` does the same
+            but evaluates **independent** components of the
+            condensation concurrently on a thread pool (deterministic
+            merge order — wide condensations overlap their strata);
+            ``"monolithic"`` keeps the seed's whole-program iteration;
+            ``"auto"`` (the default) picks ``"scc"`` except when
+            ``capture_trace`` asks for the global iteration chain,
+            which only the monolithic run produces.  Ignored by
+            ``grounded``/``linear`` (grounding is one-shot).  All
+            schedules compute the same fixpoint; scheduled runs report
+            ``steps`` as the deepest stratum's step count and carry
+            per-stratum reports on ``result.strata``.
+        engine: Evaluation pipeline for the join core — ``"auto"``
+            (the default) lowers each (rule, body) plan into a
+            compiled closure kernel (:mod:`repro.core.kernels`), built
+            once per stratum and cached across fixpoint iterations,
+            and enables delta-driven rule activation
+            (``stats["rules_skipped"]``), whenever the plan is
+            indexed; ``"interpreted"`` keeps the per-application
+            re-planned generator pipeline as the byte-for-byte
+            differential baseline; ``"compiled"`` forces kernels
+            (rejecting ``plan="naive"``).  All engines compute the
+            same fixpoint.
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.
     """
-    if schedule not in ("auto", "scc", "monolithic"):
+    if schedule not in ("auto", "scc", "parallel", "monolithic"):
         raise ValueError(f"unknown schedule {schedule!r}")
     if method in ("naive", "seminaive"):
         resolved = schedule
         if schedule == "auto":
             resolved = "monolithic" if capture_trace else "scc"
-        if resolved == "scc":
+        if resolved in ("scc", "parallel"):
             if capture_trace:
                 raise ValueError(
-                    "schedule='scc' has no global iteration chain to "
-                    "trace; use schedule='monolithic' with capture_trace"
+                    f"schedule={resolved!r} has no global iteration chain "
+                    "to trace; use schedule='monolithic' with capture_trace"
                 )
             return scheduled_fixpoint(
                 program,
@@ -104,6 +119,8 @@ def solve(
                 functions=functions,
                 max_iterations=max_iterations,
                 plan=plan,
+                engine=engine,
+                parallel=resolved == "parallel",
             )
     if method == "naive":
         return naive_fixpoint(
@@ -113,6 +130,7 @@ def solve(
             max_iterations=max_iterations,
             capture_trace=capture_trace,
             plan=plan,
+            engine=engine,
         )
     if method == "seminaive":
         return seminaive_fixpoint(
@@ -122,11 +140,13 @@ def solve(
             max_iterations=max_iterations,
             capture_trace=capture_trace,
             plan=plan,
+            engine=engine,
         )
     if method == "grounded":
         join_stats = JoinStats()
         system = ground_program(
-            program, database, functions=functions, plan=plan, stats=join_stats
+            program, database, functions=functions, plan=plan,
+            stats=join_stats, engine=engine,
         )
         result = system.kleene(
             max_steps=max_iterations, capture_trace=capture_trace
@@ -147,7 +167,8 @@ def solve(
             raise ValueError("method='linear' requires stability_p")
         join_stats = JoinStats()
         system = ground_program(
-            program, database, functions=functions, plan=plan, stats=join_stats
+            program, database, functions=functions, plan=plan,
+            stats=join_stats, engine=engine,
         )
         assignment = linear_lfp(system, stability_p)
         return EvaluationResult(

@@ -25,9 +25,22 @@ from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
 from .ast import Term, eval_term
 from .instance import Database, Instance, Key
+from .kernels import (
+    BodyValue,
+    KernelCache,
+    compile_kernel,
+    compile_key,
+    resolve_engine,
+)
 from .naive import EvaluationResult, NaiveEvaluator
 from .rules import Program, SumProduct
-from .valuations import body_guards, enumerate_matches, is_indexed_plan
+from .valuations import (
+    body_guards,
+    enumerate_matches,
+    is_indexed_plan,
+    plan_ordering,
+    refresh_guard_indexes,
+)
 
 
 @dataclass(frozen=True)
@@ -57,6 +70,7 @@ class HybridEvaluator:
         functions: Optional[FunctionRegistry] = None,
         max_iterations: int = 10_000,
         plan: str = "indexed",
+        engine: str = "auto",
     ):
         self.program = program
         self.threshold_rules = list(threshold_rules)
@@ -64,6 +78,8 @@ class HybridEvaluator:
         self.pops = database.pops
         self.max_iterations = max_iterations
         self.plan = plan
+        self.engine = engine
+        self.compiled = resolve_engine(engine, plan)
         self.bool_idb_names = {r.head_relation for r in self.threshold_rules}
         # Boolean IDB facts are injected into the database's Boolean
         # store so that conditions and indicators see them transparently.
@@ -77,43 +93,138 @@ class HybridEvaluator:
             functions=functions,
             max_iterations=max_iterations,
             plan=plan,
+            engine=engine,
         )
+        # Compiled-engine state: cached per-threshold-rule guards and
+        # kernels (guards are late-bound through the base evaluator's
+        # current instance, so caching them is sound; their indexes are
+        # refreshed per iteration against the base's change counters
+        # instead of being rebuilt from scratch).
+        self._threshold_kernels = KernelCache(stats=self._base.stats.join)
+        self._threshold_guards: Dict[int, list] = {}
 
     # ------------------------------------------------------------------
-    def _threshold_step(self, idb: Instance) -> Set[Tuple[str, Key]]:
-        """Evaluate every threshold rule, returning new Boolean facts."""
-        new_facts: Set[Tuple[str, Key]] = set()
-        for rule in self.threshold_rules:
-            guards = body_guards(
-                rule.body,
-                self.pops,
-                self.database,
-                self.program.idb_names(),
-                self._base._idb_supplier,
-                indexes=(
-                    self._base.indexes if is_indexed_plan(self.plan) else None
-                ),
-            )
-            acc: Dict[Key, Value] = {}
-            self._base._current = idb
-            for valuation, slot_values in enumerate_matches(
-                rule.body.enumeration_order(),
+    def _rule_guards(self, idx: int, rule: ThresholdRule) -> list:
+        """Build (or reuse) the guard list of one threshold body.
+
+        Guards read the base evaluator's *current* instance through the
+        late-bound supplier, so the list itself is iteration-invariant;
+        the compiled path caches it and merely refreshes the indexes —
+        previously every iteration rebuilt guards *and* ephemeral
+        indexes for relations that had not changed at all.
+        """
+        if self.compiled:
+            guards = self._threshold_guards.get(idx)
+            if guards is not None:
+                return guards
+        guards = body_guards(
+            rule.body,
+            self.pops,
+            self.database,
+            self.program.idb_names(),
+            self._base._idb_supplier,
+            indexes=(
+                self._base.indexes if is_indexed_plan(self.plan) else None
+            ),
+        )
+        if self.compiled:
+            self._threshold_guards[idx] = guards
+        return guards
+
+    def _compiled_threshold(self, idx: int, rule: ThresholdRule, guards: list):
+        def build():
+            kernel = compile_kernel(
                 guards,
+                rule.body.enumeration_order(),
                 self._base.domain,
                 rule.body.condition,
                 self.database.bool_holds,
-                plan=self.plan,
+                order=plan_ordering(self.plan),
                 stats=self._base.stats.join,
-            ):
-                value = self._base.evaluator.product_value(
-                    rule.body, valuation, idb, self.program.idb_names(),
-                    slot_values=slot_values,
+                n_slots=len(rule.body.factors),
+            )
+            carried = frozenset(
+                g.slot for g in guards if g.carries_value and g.slot is not None
+            )
+            value_fn = BodyValue(
+                rule.body,
+                self.pops,
+                self.database,
+                self._base.functions,
+                self.program.idb_names(),
+                self.database.bool_holds,
+                carried,
+            )
+            head_key = compile_key(rule.head_args)
+            return kernel, value_fn, head_key
+
+        return self._threshold_kernels.get(idx, build)
+
+    def _threshold_step(self, idb: Instance) -> Set[Tuple[str, Key]]:
+        """Evaluate every threshold rule, returning new Boolean facts."""
+        new_facts: Set[Tuple[str, Key]] = set()
+        if self.compiled:
+            # Threshold bodies read the *freshly derived* instance, one
+            # step ahead of the base ICO's input: advance the change
+            # counters so the shared IDB guard indexes refresh to it
+            # (and so the base's next ICO sees these stores as already
+            # seen, keeping its contribution cache exact).
+            self._base._bump_changed_relations(idb)
+        for idx, rule in enumerate(self.threshold_rules):
+            guards = self._rule_guards(idx, rule)
+            acc: Dict[Key, Value] = {}
+            self._base._current = idb
+            if self.compiled:
+                refresh_guard_indexes(
+                    guards,
+                    self._base.indexes,
+                    self._base._epoch,
+                    versions=self._base._rel_versions,
+                    bool_versions=self._base._bool_versions,
+                    stats=self._base.stats.join,
                 )
-                head_key = tuple(eval_term(t, valuation) for t in rule.head_args)
-                if head_key in acc:
-                    acc[head_key] = self.pops.add(acc[head_key], value)
-                else:
-                    acc[head_key] = value
+                kernel, value_fn, head_getter = self._compiled_threshold(
+                    idx, rule, guards
+                )
+                add = self.pops.add
+
+                def emit(
+                    valu, slots,
+                    _v=value_fn, _h=head_getter, _idb=idb,
+                ):
+                    value = _v(valu, slots, _idb)
+                    head_key = _h(valu)
+                    if head_key in acc:
+                        acc[head_key] = add(acc[head_key], value)
+                    else:
+                        acc[head_key] = value
+
+                # Counter parity: the interpreted threshold loop counts
+                # neither valuations nor products, so the compiled one
+                # doesn't either (flush covers the value-probe split).
+                kernel.execute(guards, emit)
+                value_fn.flush(self._base.stats.join)
+            else:
+                for valuation, slot_values in enumerate_matches(
+                    rule.body.enumeration_order(),
+                    guards,
+                    self._base.domain,
+                    rule.body.condition,
+                    self.database.bool_holds,
+                    plan=self.plan,
+                    stats=self._base.stats.join,
+                ):
+                    value = self._base.evaluator.product_value(
+                        rule.body, valuation, idb, self.program.idb_names(),
+                        slot_values=slot_values,
+                    )
+                    head_key = tuple(
+                        eval_term(t, valuation) for t in rule.head_args
+                    )
+                    if head_key in acc:
+                        acc[head_key] = self.pops.add(acc[head_key], value)
+                    else:
+                        acc[head_key] = value
             store = self.database.bool_relations[rule.head_relation]
             for key, value in acc.items():
                 if key not in store and rule.predicate(value):

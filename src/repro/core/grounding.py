@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..semirings.base import FunctionRegistry, POPS, Value
 from .ast import Valuation, eval_term
-from .indexes import IndexManager, JoinStats
+from .indexes import NO_VALUE, IndexManager, JoinStats
 from .instance import Database, Instance
 from .polynomial import Monomial, Polynomial, PolynomialSystem, VarId
 from .rules import (
@@ -30,11 +30,13 @@ from .rules import (
     SumProduct,
     factor_atoms,
 )
+from .kernels import compile_kernel, resolve_engine
 from .valuations import (
     FactorEvaluator,
     body_guards,
     enumerate_matches,
     is_indexed_plan,
+    plan_ordering,
     refresh_guard_indexes,
 )
 
@@ -99,6 +101,7 @@ def ground_program(
     combine_like_terms: bool = True,
     plan: str = "indexed",
     stats: Optional[JoinStats] = None,
+    engine: str = "auto",
 ) -> PolynomialSystem:
     """Ground a program over an EDB instance into a polynomial system.
 
@@ -122,6 +125,11 @@ def ground_program(
             testing).
         stats: Optional :class:`~repro.core.indexes.JoinStats`
             receiving the enumeration's probe/scan counters.
+        engine: ``"auto"``/``"compiled"`` lower each body's plan into a
+            :mod:`repro.core.kernels` closure pipeline (grounding is
+            one-shot, so the win is the compiled executor rather than
+            cross-iteration caching); ``"interpreted"`` keeps the
+            generator pipeline.
 
     Returns:
         The grounded :class:`PolynomialSystem`.
@@ -165,6 +173,43 @@ def ground_program(
             if indexes is not None:
                 refresh_guard_indexes(guards, indexes, epoch="ground")
             variables = body.enumeration_order()
+
+            def ground_one(valuation, slot_values, rule=rule, body=body):
+                head_key = tuple(
+                    eval_term(t, valuation) for t in rule.head_args
+                )
+                var = (rule.head_relation, head_key)
+                if var not in polynomials:
+                    polynomials[var] = Polynomial()
+                    order.append(var)
+                monomial = _monomial_for_valuation(
+                    body, valuation, pops, evaluator, idb_names, empty_idb,
+                    slot_values=slot_values,
+                )
+                polynomials[var] = polynomials[var].plus(
+                    Polynomial((monomial,))
+                )
+
+            if resolve_engine(engine, plan):
+                kernel = compile_kernel(
+                    guards,
+                    variables,
+                    domain,
+                    body.condition,
+                    database.bool_holds,
+                    order=plan_ordering(plan),
+                    stats=stats,
+                    n_slots=len(body.factors),
+                )
+
+                def emit(valu, slots):
+                    slot_values = {
+                        i: v for i, v in enumerate(slots) if v is not NO_VALUE
+                    }
+                    ground_one(dict(valu), slot_values)
+
+                kernel.execute(guards, emit)
+                continue
             for valuation, slot_values in enumerate_matches(
                 variables,
                 guards,
@@ -174,16 +219,7 @@ def ground_program(
                 plan=plan,
                 stats=stats,
             ):
-                head_key = tuple(eval_term(t, valuation) for t in rule.head_args)
-                var = (rule.head_relation, head_key)
-                if var not in polynomials:
-                    polynomials[var] = Polynomial()
-                    order.append(var)
-                monomial = _monomial_for_valuation(
-                    body, valuation, pops, evaluator, idb_names, empty_idb,
-                    slot_values=slot_values,
-                )
-                polynomials[var] = polynomials[var].plus(Polynomial((monomial,)))
+                ground_one(valuation, slot_values)
 
     if combine_like_terms:
         polynomials = {

@@ -35,6 +35,7 @@ the static ``n / 4^bound`` guess the seed planner used.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as _Mapping
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -115,7 +116,11 @@ class JoinStats:
     * ``rebuild_skips`` — per-iteration index refreshes skipped because
       the relation's store was untouched by the last delta (previously
       every IDB index was re-validated and rebuilt each iteration,
-      whether or not the relation changed).
+      whether or not the relation changed);
+    * ``kernel_cache_hits`` — rule applications served by a compiled
+      join kernel built in an earlier iteration (see
+      :mod:`repro.core.kernels`): the counter that proves kernels are
+      compiled once per stratum and reused, not rebuilt per iteration.
     """
 
     probes: int = 0
@@ -133,6 +138,7 @@ class JoinStats:
     value_probe_hits: int = 0
     factor_lookups: int = 0
     rebuild_skips: int = 0
+    kernel_cache_hits: int = 0
 
     @property
     def keys_examined(self) -> int:
@@ -155,6 +161,7 @@ class JoinStats:
         self.value_probe_hits += other.value_probe_hits
         self.factor_lookups += other.factor_lookups
         self.rebuild_skips += other.rebuild_skips
+        self.kernel_cache_hits += other.kernel_cache_hits
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -173,6 +180,7 @@ class JoinStats:
             "value_probe_hits": self.value_probe_hits,
             "factor_lookups": self.factor_lookups,
             "rebuild_skips": self.rebuild_skips,
+            "kernel_cache_hits": self.kernel_cache_hits,
             "keys_examined": self.keys_examined,
         }
 
@@ -266,7 +274,29 @@ class KeyIndex:
 
     def extend(self, keys: Union[Mapping[Key, Any], Iterable[Key]]) -> int:
         """Insert many keys (a ``Mapping`` carries values); count new ones."""
-        if isinstance(keys, Mapping):
+        if not self._entries and not self._maps:
+            # Bulk load into an empty index: supports are dicts/sets of
+            # already-frozen tuples, so the per-key membership and
+            # mask-maintenance work of :meth:`add` can be skipped; any
+            # non-tuple key or duplicate falls back to the add loop —
+            # over the *materialized* entries, since ``keys`` may be a
+            # one-shot iterable that the bulk attempt just consumed.
+            if isinstance(keys, _Mapping):
+                entries = [[key, value] for key, value in keys.items()]
+            else:
+                entries = [[key, NO_VALUE] for key in keys]
+            if all(type(entry[0]) is tuple for entry in entries):
+                self._keys = [entry[0] for entry in entries]
+                self._pos = {key: i for i, key in enumerate(self._keys)}
+                if len(self._pos) == len(self._keys):
+                    self._entries = entries
+                    self.has_values = isinstance(keys, _Mapping) and bool(entries)
+                    return len(self._keys)
+                self._keys, self._pos = [], {}
+            return sum(
+                1 for key, value in entries if self.add(key, value)
+            )
+        if isinstance(keys, _Mapping):
             return sum(1 for key, value in keys.items() if self.add(key, value))
         return sum(1 for key in keys if self.add(key))
 
@@ -285,6 +315,18 @@ class KeyIndex:
             if self.stats is not None:
                 self.stats.index_builds += 1
         return table
+
+    def mask_table(self, mask: Mask) -> Dict[Tuple[Hashable, ...], List[Entry]]:
+        """The mask's hash table, built on demand.
+
+        Compiled kernels bind its ``dict.get`` directly in their
+        per-invocation prologue — the probe then skips the observation
+        bookkeeping of :meth:`probe_entries`, which only exists to feed
+        adaptive re-planning the frozen kernels never do.  The returned
+        dict object is maintained in place by :meth:`add`, so holding
+        it for the duration of one enumeration is safe.
+        """
+        return self._table(mask)
 
     def probe_entries(
         self, mask: Mask, values: Tuple[Hashable, ...]

@@ -92,6 +92,11 @@ class Instance:
 
     def __init__(self, pops: POPS, data: Mapping[str, Mapping[Key, Value]] | None = None):
         self.pops = pops
+        # ``⊥`` and ``eq`` are bound once: ``get``/``set`` sit on every
+        # engine's hot path and the property/attribute lookups cost
+        # more than the dict access itself.
+        self._bottom = pops.bottom
+        self._eq = pops.eq
         self._data: Dict[str, Dict[Key, Value]] = {}
         if data:
             for rel, entries in data.items():
@@ -101,12 +106,18 @@ class Instance:
     # ------------------------------------------------------------------
     def get(self, relation: str, key: Key) -> Value:
         """Return ``J[T(key)]`` (``⊥`` when absent)."""
-        return self._data.get(relation, {}).get(tuple(key), self.pops.bottom)
+        rel = self._data.get(relation)
+        if rel is None:
+            return self._bottom
+        if type(key) is not tuple:
+            key = tuple(key)
+        return rel.get(key, self._bottom)
 
     def set(self, relation: str, key: Key, value: Value) -> None:
         """Assign a value; ``⊥`` assignments erase the entry."""
-        key = tuple(key)
-        if self.pops.eq(value, self.pops.bottom):
+        if type(key) is not tuple:
+            key = tuple(key)
+        if self._eq(value, self._bottom):
             rel = self._data.get(relation)
             if rel is not None:
                 rel.pop(key, None)

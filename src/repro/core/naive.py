@@ -22,15 +22,30 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
-from .ast import eval_term
+from .ast import And, BoolAtom, Condition, Not, Or, eval_term
 from .indexes import IndexManager, JoinStats
 from .instance import Database, Instance, Key
-from .rules import Program, Rule, SumProduct
+from .kernels import (
+    BodyValue,
+    KernelCache,
+    compile_kernel,
+    compile_key,
+    resolve_engine,
+)
+from .rules import (
+    FuncFactor,
+    Indicator,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+)
 from .valuations import (
     FactorEvaluator,
     body_guards,
     enumerate_matches,
     is_indexed_plan,
+    plan_ordering,
     pushable_indicator_conditions,
     refresh_guard_indexes,
 )
@@ -52,13 +67,31 @@ class EvalStats:
     scheduler's headline metric — SCC scheduling drops it from
     ``#bodies × global-fixpoint depth`` to ``Σ #bodies × per-SCC
     depth``, with non-recursive strata applying exactly once.
+
+    ``rules_skipped`` counts the rule applications the compiled engine
+    avoided outright via delta-driven activation: a body none of whose
+    input relations (IDB atoms *and* Boolean condition stores) were
+    touched by the last delta re-uses its cached contribution instead
+    of re-joining; a semi-naïve differential variant whose
+    delta-occurrence relation received no delta facts is dropped
+    before its guards are even built.
     """
 
     iterations: int = 0
     valuations: int = 0
     products: int = 0
     rule_applications: int = 0
+    rules_skipped: int = 0
     join: JoinStats = field(default_factory=JoinStats)
+
+    def merge(self, other: "EvalStats") -> None:
+        """Fold another counter set into this one (parallel strata)."""
+        self.iterations += other.iterations
+        self.valuations += other.valuations
+        self.products += other.products
+        self.rule_applications += other.rule_applications
+        self.rules_skipped += other.rules_skipped
+        self.join.merge(other.join)
 
     def snapshot(self) -> Dict[str, int]:
         out = {
@@ -66,6 +99,7 @@ class EvalStats:
             "valuations": self.valuations,
             "products": self.products,
             "rule_applications": self.rule_applications,
+            "rules_skipped": self.rules_skipped,
         }
         out.update(self.join.snapshot())
         return out
@@ -113,6 +147,39 @@ def _relation_equal(pops, current, previous) -> bool:
 _ABSENT = object()
 
 
+def _condition_bool_relations(cond: Condition, out: set) -> None:
+    if isinstance(cond, BoolAtom):
+        out.add(cond.relation)
+    elif isinstance(cond, Not):
+        _condition_bool_relations(cond.inner, out)
+    elif isinstance(cond, (And, Or)):
+        for part in cond.parts:
+            _condition_bool_relations(part, out)
+
+
+def body_bool_relations(body: SumProduct, database: Database) -> frozenset:
+    """Boolean stores a body reads: condition atoms, indicator brackets
+    and Boolean relations used as factors.  These are mutable mid-run
+    only under the hybrid evaluator (threshold facts), but delta-driven
+    activation must treat them as inputs everywhere it skips."""
+    out: set = set()
+    _condition_bool_relations(body.condition, out)
+
+    def walk(factor) -> None:
+        if isinstance(factor, Indicator):
+            _condition_bool_relations(factor.condition, out)
+        elif isinstance(factor, FuncFactor):
+            for sub in factor.args:
+                walk(sub)
+        elif isinstance(factor, RelAtom):
+            if factor.relation in database.bool_relations:
+                out.add(factor.relation)
+
+    for factor in body.factors:
+        walk(factor)
+    return frozenset(out)
+
+
 class NaiveEvaluator:
     """Rule-at-a-time naïve evaluation (Algorithm 1)."""
 
@@ -128,12 +195,22 @@ class NaiveEvaluator:
         domain: Optional[Sequence[Any]] = None,
         stats: Optional[EvalStats] = None,
         indexes: Optional[IndexManager] = None,
+        engine: str = "auto",
     ):
         """``domain``, ``stats`` and ``indexes`` exist for the stratum
         scheduler: per-stratum evaluators must enumerate over the
         *whole program's* domain (not the sub-program's, which may be
         smaller) and share one counter set plus one index cache so
         frozen-layer indexes are built once and reused across strata.
+
+        ``engine`` selects the join/evaluation pipeline: ``"auto"``
+        (the default) compiles each (rule, body) plan into a
+        :mod:`repro.core.kernels` closure pipeline — built once, cached
+        across iterations — whenever the plan is indexed, and also
+        enables delta-driven rule activation; ``"interpreted"`` keeps
+        the per-application re-planned generator pipeline byte-for-byte
+        (the differential baseline); ``"compiled"`` forces kernels and
+        rejects non-indexed plans.
         """
         self.program = program
         self.database = database
@@ -141,6 +218,8 @@ class NaiveEvaluator:
         self.functions = functions or FunctionRegistry()
         self.max_iterations = max_iterations
         self.plan = plan
+        self.engine = engine
+        self.compiled = resolve_engine(engine, plan)
         self.idb_names = program.idb_names()
         self.stats = stats if stats is not None else EvalStats()
         self.evaluator = FactorEvaluator(
@@ -167,7 +246,33 @@ class NaiveEvaluator:
         self._current: Instance = Instance(self.pops)
         self._last_seen: Optional[Instance] = None
         self._rel_versions: Dict[str, int] = {}
+        self._bool_versions: Dict[str, int] = {}
+        self._bool_sizes: Dict[str, int] = {}
         self._plans = self._build_plans()
+        # Compiled-engine state: one kernel cache for the evaluator's
+        # lifetime (= one stratum under the SCC scheduler), the static
+        # input-relation sets per plan, and the last contribution of
+        # each plan for delta-driven reuse.
+        self._kernels = KernelCache(stats=self.stats.join)
+        self._plan_deps = [
+            (
+                tuple(
+                    sorted(
+                        {
+                            atom.relation
+                            for atom, _ in body.atoms()
+                            if atom.relation in self.idb_names
+                        }
+                    )
+                ),
+                tuple(sorted(body_bool_relations(body, self.database))),
+            )
+            for _rule, body, _guards, _vars, _extra in self._plans
+        ]
+        #: Per plan: (dep-version vector at computation time, contribution).
+        self._contributions: List[
+            Optional[Tuple[Tuple, Dict[Tuple[str, Key], Value]]]
+        ] = [None] * len(self._plans)
 
     # ------------------------------------------------------------------
     def _build_plans(self) -> List[Tuple[Rule, SumProduct, list, List[str], tuple]]:
@@ -208,6 +313,16 @@ class NaiveEvaluator:
         makes skipping sound for value-carrying entries: "untouched"
         means every carried value is still exactly what the store
         holds, not merely that the key set is unchanged.
+
+        Boolean stores (which only grow — the hybrid evaluator adds
+        threshold facts between iterations) are versioned by size under
+        the same counters, so condition-atom guard indexes stop being
+        re-validated per iteration too.
+
+        The version counters advanced here are what delta-driven
+        activation keys its contribution cache on: a rule body whose
+        dependency versions are unchanged since its last evaluation
+        produces exactly its previous contribution.
         """
         previous = self._last_seen
         for rel in self.program.idbs:
@@ -221,6 +336,82 @@ class NaiveEvaluator:
             else:
                 self._rel_versions[rel] = self._rel_versions.get(rel, 0) + 1
         self._last_seen = instance
+        for rel, store in self.database.bool_relations.items():
+            size = len(store)
+            if self._bool_sizes.get(rel) != size:
+                self._bool_sizes[rel] = size
+                self._bool_versions[rel] = self._bool_versions.get(rel, 0) + 1
+
+    def _dep_versions(self, idx: int) -> Tuple:
+        """The current version vector of one plan's input relations."""
+        idb_deps, bool_deps = self._plan_deps[idx]
+        return (
+            tuple(self._rel_versions.get(rel, 0) for rel in idb_deps),
+            tuple(self._bool_versions.get(rel, 0) for rel in bool_deps),
+        )
+
+    def _compiled_rule(self, idx: int):
+        """The (kernel, value fn, head extractor) triple for one plan."""
+
+        def build():
+            rule, body, guards, variables, extra = self._plans[idx]
+            kernel = compile_kernel(
+                guards,
+                variables,
+                self.domain,
+                body.condition,
+                self.database.bool_holds,
+                extra_conjuncts=extra,
+                order=plan_ordering(self.plan),
+                stats=self.stats.join,
+                n_slots=len(body.factors),
+            )
+            carried = frozenset(
+                g.slot for g in guards if g.carries_value and g.slot is not None
+            )
+            value_fn = BodyValue(
+                body,
+                self.pops,
+                self.database,
+                self.functions,
+                self.idb_names,
+                self.database.bool_holds,
+                carried,
+            )
+            head_key = compile_key(rule.head_args)
+            return kernel, value_fn, head_key, rule.head_relation
+
+        return self._kernels.get(idx, build)
+
+    def _apply_compiled(
+        self, idx: int, instance: Instance
+    ) -> Dict[Key, Value]:
+        """One compiled rule application; returns its contribution map.
+
+        The map is keyed by head key alone (the rule's head relation is
+        fixed), so the per-match accumulation pays no ``(rel, key)``
+        tuple allocation.
+        """
+        _rule, _body, guards, _variables, _extra = self._plans[idx]
+        kernel, value_fn, head_key, _head_rel = self._compiled_rule(idx)
+        contrib: Dict[Key, Value] = {}
+        add = self.pops.add
+        matched = [0]
+
+        def emit(valu, slots):
+            matched[0] += 1
+            value = value_fn(valu, slots, instance)
+            key = head_key(valu)
+            if key in contrib:
+                contrib[key] = add(contrib[key], value)
+            else:
+                contrib[key] = value
+
+        kernel.execute(guards, emit)
+        value_fn.flush(self.stats.join)
+        self.stats.valuations += matched[0]
+        self.stats.products += matched[0]
+        return contrib
 
     def ico(self, instance: Instance) -> Instance:
         """One application of the immediate consequence operator."""
@@ -229,12 +420,51 @@ class NaiveEvaluator:
         indexed = is_indexed_plan(self.plan)
         if indexed:
             self._bump_changed_relations(instance)
-        acc: Dict[Tuple[str, Key], Value] = {}
+        # Per-relation accumulation buckets: every rule's head relation
+        # is fixed, so matches accumulate under their head key alone.
+        acc: Dict[str, Dict[Key, Value]] = {}
         if self.total_heads:
+            zero = self.pops.zero
             for rel, arity in self.program.idbs.items():
+                bucket = acc.setdefault(rel, {})
                 for key in itertools.product(self.domain, repeat=arity):
-                    acc[(rel, key)] = self.pops.zero
-        for rule, body, guards, variables, extra_conjuncts in self._plans:
+                    bucket[key] = zero
+        add = self.pops.add
+        for idx, (rule, body, guards, variables, extra_conjuncts) in enumerate(
+            self._plans
+        ):
+            bucket = acc.setdefault(rule.head_relation, {})
+            if self.compiled:
+                # Delta-driven activation: a body whose input relations
+                # (IDB atoms and Boolean condition stores) were all
+                # untouched since its last evaluation — their version
+                # counters match the ones stamped on the cached
+                # contribution — evaluates to exactly that previous
+                # contribution; reuse it instead of joining.
+                versions_now = self._dep_versions(idx)
+                cached = self._contributions[idx]
+                if cached is not None and cached[0] == versions_now:
+                    self.stats.rules_skipped += 1
+                    contrib = cached[1]
+                else:
+                    self.stats.rule_applications += 1
+                    refresh_guard_indexes(
+                        guards, self.indexes, self._epoch,
+                        versions=self._rel_versions,
+                        bool_versions=self._bool_versions,
+                        stats=self.stats.join,
+                    )
+                    contrib = self._apply_compiled(idx, instance)
+                    self._contributions[idx] = (versions_now, contrib)
+                if bucket:
+                    for key, value in contrib.items():
+                        if key in bucket:
+                            bucket[key] = add(bucket[key], value)
+                        else:
+                            bucket[key] = value
+                else:
+                    bucket.update(contrib)
+                continue
             self.stats.rule_applications += 1
             if indexed:
                 refresh_guard_indexes(
@@ -258,14 +488,15 @@ class NaiveEvaluator:
                 )
                 self.stats.products += 1
                 head_key = tuple(eval_term(t, valuation) for t in rule.head_args)
-                slot = (rule.head_relation, head_key)
-                if slot in acc:
-                    acc[slot] = self.pops.add(acc[slot], value)
+                if head_key in bucket:
+                    bucket[head_key] = add(bucket[head_key], value)
                 else:
-                    acc[slot] = value
+                    bucket[head_key] = value
         out = Instance(self.pops)
-        for (rel, key), value in acc.items():
-            out.set(rel, key, value)
+        out_set = out.set
+        for rel, entries in acc.items():
+            for key, value in entries.items():
+                out_set(rel, key, value)
         return out
 
     def run(self, capture_trace: bool = False) -> EvaluationResult:
@@ -300,6 +531,7 @@ def naive_fixpoint(
     capture_trace: bool = False,
     total_heads: Optional[bool] = None,
     plan: str = "indexed",
+    engine: str = "auto",
 ) -> EvaluationResult:
     """Convenience wrapper: build a :class:`NaiveEvaluator` and run it."""
     evaluator = NaiveEvaluator(
@@ -309,5 +541,6 @@ def naive_fixpoint(
         max_iterations=max_iterations,
         total_heads=total_heads,
         plan=plan,
+        engine=engine,
     )
     return evaluator.run(capture_trace=capture_trace)

@@ -28,9 +28,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
-from .ast import eval_term
+from .ast import Constant, Variable, eval_term
 from .indexes import IndexManager, KeyIndex
 from .instance import Database, Instance, Key
+from .kernels import (
+    KernelCache,
+    VariantValue,
+    compile_kernel,
+    compile_key,
+    resolve_engine,
+)
 from .naive import EvalStats, EvaluationResult, NaiveEvaluator
 from .rules import FuncFactor, Program, RelAtom, Rule, SumProduct, factor_atoms
 from .valuations import (
@@ -38,6 +45,7 @@ from .valuations import (
     Guard,
     enumerate_matches,
     is_indexed_plan,
+    plan_ordering,
     pushable_indicator_conditions,
 )
 from .ast import positive_bool_atoms
@@ -60,12 +68,14 @@ class SemiNaiveEvaluator:
         domain: Optional[Sequence[Any]] = None,
         stats: Optional[EvalStats] = None,
         indexes: Optional[IndexManager] = None,
+        engine: str = "auto",
     ):
         """``domain``, ``stats`` and ``indexes`` serve the stratum
         scheduler exactly as in
         :class:`~repro.core.naive.NaiveEvaluator`: pinned whole-program
         domain, shared counters, shared index cache (so frozen-layer
-        indexes survive across strata).
+        indexes survive across strata).  ``engine`` selects compiled
+        kernels vs the interpreted pipeline, as there.
         """
         self.program = program
         self.database = database
@@ -78,6 +88,8 @@ class SemiNaiveEvaluator:
         self.functions = functions or FunctionRegistry()
         self.max_iterations = max_iterations
         self.plan = plan
+        self.engine = engine
+        self.compiled = resolve_engine(engine, plan)
         self.idb_names = program.idb_names()
         self.stats = stats if stats is not None else EvalStats()
         self.evaluator = FactorEvaluator(
@@ -95,6 +107,25 @@ class SemiNaiveEvaluator:
         self._step = 0
         self._validate()
         self._plans = self._build_plans()
+        #: Linear programs (≤ 1 IDB occurrence per body, §4) never read
+        #: the ``old`` store — Eq. 64 only consults it for occurrence
+        #: ranks after the delta — so the per-iteration ``new.copy()``
+        #: that preserves it can be skipped and ``new`` merged in place.
+        self._linear = program.is_linear()
+        self._kernels = KernelCache(stats=self.stats.join)
+        #: Compiled-engine guard cache: (plan, j) -> (guards, delta
+        #: guards).  Guard lists are structurally iteration-invariant;
+        #: only the delta occurrence's index changes per iteration, so
+        #: the compiled path re-points exactly that index instead of
+        #: rebuilding every Guard (and re-validating every static
+        #: index) per variant per iteration.
+        self._variant_guard_cache: Dict[
+            Tuple[int, int], Tuple[List[Guard], List[Guard]]
+        ] = {}
+        #: Compiled path: relation -> (step, delta KeyIndex) — one
+        #: direct build per relation per iteration, shared by every
+        #: variant whose delta occurrence reads that relation.
+        self._delta_indexes: Dict[str, Tuple[int, KeyIndex]] = {}
 
     # ------------------------------------------------------------------
     def _validate(self) -> None:
@@ -110,8 +141,10 @@ class SemiNaiveEvaluator:
                                     f"breaks affinity: {factor}"
                                 )
 
-    def _build_plans(self) -> List[Tuple[Rule, SumProduct, List[int]]]:
-        """Per body: positions of IDB-atom factors (the occurrences)."""
+    def _build_plans(self) -> List[Tuple[Rule, SumProduct, List[int], Tuple]]:
+        """Per body: IDB-atom factor positions plus the pushable
+        indicator conjuncts (both deterministic per body — computed
+        once here instead of on every fixpoint iteration)."""
         plans = []
         for rule in self.program.rules:
             for body in rule.bodies:
@@ -120,7 +153,10 @@ class SemiNaiveEvaluator:
                     for i, f in enumerate(body.factors)
                     if isinstance(f, RelAtom) and f.relation in self.idb_names
                 ]
-                plans.append((rule, body, idb_positions))
+                extra_conjuncts = pushable_indicator_conditions(
+                    body, self.pops, total_heads=False
+                )
+                plans.append((rule, body, idb_positions, extra_conjuncts))
         return plans
 
     # ------------------------------------------------------------------
@@ -236,6 +272,54 @@ class SemiNaiveEvaluator:
                 )
         return guards
 
+    def _compiled_variant_guards(
+        self,
+        p_idx: int,
+        j: int,
+        body: SumProduct,
+        idb_positions: List[int],
+        delta: Instance,
+        new: Instance,
+        old: Instance,
+    ) -> List[Guard]:
+        """Cached guards for one variant, delta index re-pointed.
+
+        The static guards (EDB supports, Boolean stores, the live
+        ``new`` index that :meth:`run` maintains incrementally) keep
+        their index bindings for the whole run; only the guard reading
+        the delta occurrence needs a fresh index per iteration — the
+        kernel resolves ``guard.index`` in its prologue, so re-pointing
+        it here is all the per-iteration work that remains.
+        """
+        cached = self._variant_guard_cache.get((p_idx, j))
+        if cached is None:
+            guards = self._variant_guards(
+                body, idb_positions, j, delta, new, old
+            )
+            delta_pos = idb_positions[j]
+            delta_guards = [
+                g
+                for g in guards
+                if g.name.startswith("idb:") and g.slot == delta_pos
+            ]
+            self._variant_guard_cache[(p_idx, j)] = (guards, delta_guards)
+            return guards
+        guards, delta_guards = cached
+        for guard in delta_guards:
+            relation = guard.name[4:]
+            # Kernels freeze their join order at compile time, so the
+            # delta index needs no adaptive-observation inheritance —
+            # build it directly instead of paying the IndexManager's
+            # version dance per iteration (deltas are usually tiny).
+            index = self._delta_indexes.get(relation)
+            if index is None or index[0] != self._step:
+                built = KeyIndex(delta.support(relation), stats=self.stats.join)
+                self._delta_indexes[relation] = (self._step, built)
+                guard.index = built
+            else:
+                guard.index = index[1]
+        return guards
+
     def _new_index(self, relation: str, new: Instance) -> KeyIndex:
         """The incrementally-maintained index over ``new``'s support.
 
@@ -305,6 +389,53 @@ class SemiNaiveEvaluator:
         self.stats.products += 1
         return acc
 
+    def _compiled_variant(
+        self,
+        p_idx: int,
+        j: int,
+        guards: List[Guard],
+        rule: Rule,
+        body: SumProduct,
+        idb_positions: List[int],
+        extra_conjuncts,
+    ):
+        """The cached (kernel, value fn, head extractor) of one variant.
+
+        Compiled from the first iteration's guards; later iterations
+        pass structurally identical guard lists (same construction) so
+        only the index bindings differ — resolved per invocation.
+        """
+
+        def build():
+            kernel = compile_kernel(
+                guards,
+                body.enumeration_order(),
+                self.domain,
+                body.condition,
+                self.database.bool_holds,
+                extra_conjuncts=extra_conjuncts,
+                order=plan_ordering(self.plan),
+                stats=self.stats.join,
+                n_slots=len(body.factors),
+            )
+            carried = frozenset(
+                g.slot for g in guards if g.carries_value and g.slot is not None
+            )
+            value_fn = VariantValue(
+                body,
+                idb_positions,
+                j,
+                self.pops,
+                self.database,
+                self.functions,
+                self.database.bool_holds,
+                carried,
+            )
+            head_key = compile_key(rule.head_args)
+            return kernel, value_fn, head_key, rule.head_relation
+
+        return self._kernels.get((p_idx, j), build)
+
     # ------------------------------------------------------------------
     def run(self, capture_trace: bool = False) -> EvaluationResult:
         """Run Algorithm 3 to fixpoint."""
@@ -322,6 +453,7 @@ class SemiNaiveEvaluator:
             domain=self.domain,
             stats=self.stats,
             indexes=self.indexes,
+            engine=self.engine,
         )
         empty = Instance(self.pops)
         new = bootstrap.ico(empty)
@@ -339,18 +471,71 @@ class SemiNaiveEvaluator:
         for step in range(1, self.max_iterations):
             self.stats.iterations += 1
             self._step = step
-            contributions: Dict[Tuple[str, Key], Value] = {}
-            for rule, body, idb_positions in self._plans:
+            # Per-relation buckets: the head relation is fixed per rule,
+            # so matches accumulate under their head key alone (no
+            # (rel, key) tuple allocation per match).
+            contributions: Dict[str, Dict[Key, Value]] = {}
+            add = self.pops.add
+            for p_idx, (
+                rule, body, idb_positions, extra_conjuncts
+            ) in enumerate(self._plans):
                 if not idb_positions:
                     continue  # Eq. 65: EDB-only bodies drop out for t ≥ 1.
-                extra_conjuncts = pushable_indicator_conditions(
-                    body, self.pops, total_heads=False
-                )
                 for j in range(len(idb_positions)):
+                    if self.compiled:
+                        atom = body.factors[idb_positions[j]]
+                        if not delta.support(atom.relation) and all(
+                            isinstance(a, (Variable, Constant))
+                            for a in atom.args
+                        ):
+                            # Delta-driven activation: the occurrence
+                            # reading the delta drives the enumeration
+                            # (its guard is always usable for simple
+                            # args), so an empty delta store means the
+                            # variant cannot match — drop it before
+                            # guards are even built.
+                            self.stats.rules_skipped += 1
+                            continue
                     self.stats.rule_applications += 1
-                    guards = self._variant_guards(
-                        body, idb_positions, j, delta, new, old
-                    )
+                    if self.compiled:
+                        guards = self._compiled_variant_guards(
+                            p_idx, j, body, idb_positions, delta, new, old
+                        )
+                    else:
+                        guards = self._variant_guards(
+                            body, idb_positions, j, delta, new, old
+                        )
+                    if self.compiled:
+                        kernel, value_fn, head_key, head_rel = (
+                            self._compiled_variant(
+                                p_idx, j, guards, rule, body,
+                                idb_positions, extra_conjuncts,
+                            )
+                        )
+                        stores = (new, delta, old)
+                        matched = [0]
+                        bucket = contributions.setdefault(head_rel, {})
+
+                        def emit(
+                            valu, slots,
+                            _value=value_fn, _head=head_key,
+                            _bucket=bucket, _stores=stores,
+                            _n=matched,
+                        ):
+                            _n[0] += 1
+                            value = _value(valu, slots, _stores)
+                            key = _head(valu)
+                            if key in _bucket:
+                                _bucket[key] = add(_bucket[key], value)
+                            else:
+                                _bucket[key] = value
+
+                        kernel.execute(guards, emit)
+                        value_fn.flush(self.stats.join)
+                        self.stats.valuations += matched[0]
+                        self.stats.products += matched[0]
+                        continue
+                    bucket = contributions.setdefault(rule.head_relation, {})
                     for valuation, slot_values in enumerate_matches(
                         body.enumeration_order(),
                         guards,
@@ -369,19 +554,23 @@ class SemiNaiveEvaluator:
                         head_key = tuple(
                             eval_term(t, valuation) for t in rule.head_args
                         )
-                        slot = (rule.head_relation, head_key)
-                        if slot in contributions:
-                            contributions[slot] = self.pops.add(
-                                contributions[slot], value
+                        if head_key in bucket:
+                            bucket[head_key] = self.pops.add(
+                                bucket[head_key], value
                             )
                         else:
-                            contributions[slot] = value
+                            bucket[head_key] = value
 
             next_delta = Instance(self.pops)
-            for (rel, key), value in contributions.items():
-                diff = self.pops.minus(value, new.get(rel, key))
-                if not self.pops.eq(diff, zero):
-                    next_delta.set(rel, key, diff)
+            minus = self.pops.minus
+            eq = self.pops.eq
+            new_get = new.get
+            next_set = next_delta.set
+            for rel, entries in contributions.items():
+                for key, value in entries.items():
+                    diff = minus(value, new_get(rel, key))
+                    if not eq(diff, zero):
+                        next_set(rel, key, diff)
 
             if next_delta.size() == 0:
                 return EvaluationResult(
@@ -391,10 +580,12 @@ class SemiNaiveEvaluator:
                     stats=self.stats.snapshot(),
                 )
             old = new
-            new = new.copy()
+            if not self._linear:
+                new = new.copy()
+            merge = new.merge
             for rel in list(next_delta.relations()):
                 for key, d in next_delta.support(rel).items():
-                    new.merge(rel, key, d)
+                    merge(rel, key, d)
             if is_indexed_plan(self.plan):
                 # Maintain the shared new-store indexes incrementally:
                 # the only keys that can appear (or whose value can
@@ -428,6 +619,7 @@ def seminaive_fixpoint(
     max_iterations: int = 100_000,
     capture_trace: bool = False,
     plan: str = "indexed",
+    engine: str = "auto",
 ) -> EvaluationResult:
     """Convenience wrapper: build a :class:`SemiNaiveEvaluator`, run it."""
     return SemiNaiveEvaluator(
@@ -436,4 +628,5 @@ def seminaive_fixpoint(
         functions=functions,
         max_iterations=max_iterations,
         plan=plan,
+        engine=engine,
     ).run(capture_trace=capture_trace)

@@ -515,6 +515,8 @@ def refresh_guard_indexes(
     indexes: IndexManager,
     epoch: Hashable,
     versions: Optional[Dict[str, Hashable]] = None,
+    bool_versions: Optional[Dict[str, Hashable]] = None,
+    stats: Optional[JoinStats] = None,
 ) -> None:
     """Point dynamic guards at up-to-date indexes before an iteration.
 
@@ -531,7 +533,13 @@ def refresh_guard_indexes(
     ``JoinStats.rebuild_skips``.  Boolean-store guards are versioned by
     store size (the sets only ever grow — the hybrid evaluator adds
     threshold facts mid-run) so they rebuild exactly when a fact
-    appeared.  EDB guards already carry a persistent index.
+    appeared.  When ``bool_versions`` maps the relation to a change
+    counter (maintained by the evaluator's per-iteration store-size
+    check), an unchanged condition-atom store keeps its index without
+    even re-materializing the store — previously these guards were
+    re-validated every iteration whether or not a fact had appeared —
+    and the skip is counted in ``stats.rebuild_skips``.  EDB guards
+    already carry a persistent index.
     """
     for guard in guards:
         if guard.name.startswith("idb:"):
@@ -541,7 +549,24 @@ def refresh_guard_indexes(
                 ("idb", guard.name), guard.keys, version=version
             )
         elif guard.name.startswith("bool:"):
-            store = guard.keys()
-            guard.index = indexes.get(
-                ("bool", guard.name), store, version=len(store)
-            )
+            relation = guard.name[5:]
+            if bool_versions is not None and relation in bool_versions:
+                # The evaluator's change counter stands in for the
+                # store size: an unchanged store returns the cached
+                # index without touching the store at all (guard.keys
+                # is a callable, so IndexManager only materializes it
+                # on a version change).
+                cached = indexes.peek(("bool", guard.name))
+                index = indexes.get(
+                    ("bool", guard.name),
+                    guard.keys,
+                    version=bool_versions[relation],
+                )
+                if stats is not None and index is cached:
+                    stats.rebuild_skips += 1
+                guard.index = index
+            else:
+                store = guard.keys()
+                guard.index = indexes.get(
+                    ("bool", guard.name), store, version=len(store)
+                )
