@@ -23,11 +23,13 @@ baseline:
   ``rule_applications``): an increase beyond the tolerance means the
   planner started examining more candidate keys, or the scheduler
   started re-applying rules the condensation should have frozen;
-* ``rules_skipped`` and ``kernel_cache_hits`` are *higher-is-better*
-  floors: a drop beyond the tolerance means delta-driven rule
-  activation stopped skipping, or compiled kernels stopped being
-  reused across iterations — silent de-optimizations wall time (noisy
-  on CI) might hide.
+* ``rules_skipped``, ``kernel_cache_hits`` and ``codegen_kernels``
+  are *higher-is-better* floors: a drop beyond the tolerance means
+  delta-driven rule activation stopped skipping, compiled kernels
+  stopped being reused across iterations, or (for ``engine="codegen"``
+  benchmark records) the source-generating backend stopped being
+  engaged — silent de-optimizations wall time (noisy on CI) might
+  hide.
 
 ``--wall-tolerance`` additionally gates **wall time** against the
 baseline's ``wall_s`` fields (intended for a pinned runner; off by
@@ -52,7 +54,9 @@ _FAMILIES = ("joincore-bench", "schedule-bench")
 
 #: Gated counters where *more* is better: these gate as floors
 #: (current < baseline × (1 − tolerance) fails).
-_HIGHER_IS_BETTER = frozenset({"rules_skipped", "kernel_cache_hits"})
+_HIGHER_IS_BETTER = frozenset(
+    {"rules_skipped", "kernel_cache_hits", "codegen_kernels"}
+)
 
 
 def load(path: str) -> dict:

@@ -120,10 +120,11 @@ class JoinCoreLog:
     #: ``iterations`` and ``rule_applications`` gate the fixpoint
     #: scheduler: regressions in total iteration or rule-application
     #: counts fail CI exactly like join-core regressions.
-    #: ``rules_skipped`` / ``kernel_cache_hits`` gate the compiled
-    #: engine as *floors* (see ``check_joincore_regression.py``): a
-    #: drop means delta-driven activation or kernel reuse silently
-    #: stopped working.
+    #: ``rules_skipped`` / ``kernel_cache_hits`` / ``codegen_kernels``
+    #: gate the compiled engines as *floors* (see
+    #: ``check_joincore_regression.py``): a drop means delta-driven
+    #: activation, kernel reuse, or source generation (for
+    #: ``engine="codegen"`` records) silently stopped working.
     GATED = (
         "keys_examined",
         "fallback_candidates",
@@ -131,6 +132,7 @@ class JoinCoreLog:
         "rule_applications",
         "rules_skipped",
         "kernel_cache_hits",
+        "codegen_kernels",
     )
 
     def __init__(self, records: List[Dict]):
@@ -155,16 +157,22 @@ class JoinCoreLog:
                 return
         self._records.append(entry)
 
-    def timed(self, name: str, fn, stats_from=None):
+    def timed(self, name: str, fn, stats_from=None, rounds: int = 1):
         """Run ``fn``, record its wall time and stats, return its result.
 
         ``stats_from`` maps the result to a stats dict; by default the
         result's ``stats`` attribute (an ``EvaluationResult``) or the
-        result itself when it is a dict.
+        result itself when it is a dict.  ``rounds > 1`` re-runs ``fn``
+        and records the **best** wall time (single-shot walls on shared
+        runners are noise; counters are deterministic, so the last
+        round's stats stand for all of them).
         """
-        start = time.perf_counter()
-        result = fn()
-        wall = time.perf_counter() - start
+        result = None
+        wall = float("inf")
+        for _ in range(max(1, rounds)):
+            start = time.perf_counter()
+            result = fn()
+            wall = min(wall, time.perf_counter() - start)
         if stats_from is not None:
             stats = stats_from(result)
         elif hasattr(result, "stats"):

@@ -23,6 +23,15 @@ magnitudes); single series per panel, so the panel title carries the
 identity and there is no legend; the last point is direct-labeled;
 every point carries a ``<title>`` so browsers show run metadata on
 hover.
+
+Benchmarks recorded as engine/plan variants of one workload — names
+differing only in their final path segment, e.g.
+``e22/apsp(20)-naive/{interpreted,compiled,codegen}`` — additionally
+get one **combined** chart (``…__engines.svg``): all variants' wall
+series in a single panel, one categorical color per variant with the
+variant name direct-labeled at its last point, so the per-engine story
+("codegen sits under closures sits under interpreted") is readable at
+a glance instead of spread across files.
 """
 
 from __future__ import annotations
@@ -42,6 +51,16 @@ TEXT_SECONDARY = "#52514e"
 GRID = "#e4e3df"
 SERIES_WALL = "#2a78d6"  # slot 1 (blue)
 SERIES_STAT = "#eb6834"  # slot 2 (orange)
+#: Categorical slots for the combined per-engine charts (one color per
+#: variant series sharing a panel).
+SERIES_SLOTS = ("#2a78d6", "#eb6834", "#1e9e64", "#8a56c9", "#c2403f")
+
+#: Final path segments treated as engine/plan variants of one
+#: workload: benchmarks differing only in this segment share a
+#: combined wall-time chart.
+VARIANT_SEGMENTS = frozenset(
+    {"interpreted", "compiled", "codegen", "indexed", "naive", "scc"}
+)
 
 PANEL_W = 640
 PANEL_H = 170
@@ -174,6 +193,161 @@ def _panel(
         )
 
 
+def variant_groups(
+    by_name: Dict[str, List[Tuple[str, float, Dict[str, int]]]],
+) -> Dict[str, List[Tuple[str, List[Tuple[str, float, Dict[str, int]]]]]]:
+    """Group benchmarks that are engine/plan variants of one workload.
+
+    ``e22/apsp(10)-naive/{interpreted,compiled,codegen}`` → one group
+    keyed by the shared base name, holding ``(variant, points)`` pairs
+    in recorded order.  Only bases with at least two variants group —
+    a lone ``…/indexed`` benchmark keeps only its per-benchmark chart.
+    """
+    groups: Dict[str, List[Tuple[str, List]]] = {}
+    for name, points in by_name.items():
+        base, _, tail = name.rpartition("/")
+        if base and tail in VARIANT_SEGMENTS:
+            groups.setdefault(base, []).append((tail, points))
+    return {
+        base: variants
+        for base, variants in groups.items()
+        if len(variants) > 1
+    }
+
+
+def _multi_panel(
+    parts: List[str],
+    y_offset: int,
+    title: str,
+    unit: str,
+    run_labels: Sequence[str],
+    series: Sequence[Tuple[str, str, Dict[str, float]]],
+) -> None:
+    """One panel carrying several series (the per-engine comparison).
+
+    ``series`` is ``(variant name, color, {run label: value})``; the x
+    axis is the union of run labels in run order, so variants recorded
+    from different runs still align.  Each series is direct-labeled at
+    its last point with its variant name (marks carry color, text does
+    not — no legend needed).
+    """
+    plot_x0 = MARGIN_L
+    plot_w = PANEL_W - MARGIN_L - MARGIN_R - 70  # room for series labels
+    plot_y0 = y_offset + 24
+    plot_h = PANEL_H - 24
+    top = max(
+        (v for _, _, values in series for v in values.values()), default=0.0
+    )
+    ticks = _ticks(top * 1.05 if top else 1.0)
+    y_max = ticks[-1]
+    positions = {label: i for i, label in enumerate(run_labels)}
+
+    def sx(i: int) -> float:
+        if len(run_labels) == 1:
+            return plot_x0 + plot_w / 2
+        return plot_x0 + plot_w * i / (len(run_labels) - 1)
+
+    def sy(v: float) -> float:
+        return plot_y0 + plot_h - (plot_h * v / y_max if y_max else 0)
+
+    parts.append(
+        f'<text x="{plot_x0}" y="{y_offset + 14}" fill="{TEXT_PRIMARY}" '
+        f'font-size="13" font-weight="600">{title}</text>'
+    )
+    for tick in ticks:
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{plot_x0}" y1="{y:.1f}" x2="{plot_x0 + plot_w}" '
+            f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{plot_x0 - 8}" y="{y + 4:.1f}" fill="{TEXT_SECONDARY}" '
+            f'font-size="11" text-anchor="end">{_fmt(tick)}</text>'
+        )
+    parts.append(
+        f'<text x="{plot_x0 - 8}" y="{y_offset + 14}" fill="{TEXT_SECONDARY}" '
+        f'font-size="11" text-anchor="end">{unit}</text>'
+    )
+
+    for variant, color, values in series:
+        coords = [
+            (sx(positions[label]), sy(values[label]), label)
+            for label in run_labels
+            if label in values
+        ]
+        if not coords:
+            continue
+        if len(coords) > 1:
+            path = " ".join(
+                f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+                for i, (x, y, _) in enumerate(coords)
+            )
+            parts.append(
+                f'<path d="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for x, y, label in coords:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                f'stroke="{SURFACE}" stroke-width="2">'
+                f"<title>{variant} — {label}: "
+                f"{_fmt(values[label])} {unit}</title></circle>"
+            )
+        x, y, last_label = coords[-1]
+        parts.append(
+            f'<text x="{x + 8:.1f}" y="{y + 4:.1f}" fill="{color}" '
+            f'font-size="11">{variant} {_fmt(values[last_label])}</text>'
+        )
+
+
+def render_variant_group(
+    base: str,
+    variants: Sequence[Tuple[str, List[Tuple[str, float, Dict[str, int]]]]],
+) -> str:
+    """One combined wall-time chart for a workload's engine variants."""
+    run_labels: List[str] = []
+    for _variant, points in variants:
+        for label, _, _ in points:
+            if label not in run_labels:
+                run_labels.append(label)
+    series = [
+        (
+            variant,
+            SERIES_SLOTS[i % len(SERIES_SLOTS)],
+            {label: wall for label, wall, _ in points},
+        )
+        for i, (variant, points) in enumerate(variants)
+    ]
+    height = MARGIN_TOP + PANEL_H + MARGIN_BOTTOM
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{PANEL_W}" '
+        f'height="{height}" viewBox="0 0 {PANEL_W} {height}" '
+        f'font-family="{FONT}">',
+        f'<rect width="{PANEL_W}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="{MARGIN_L}" y="20" fill="{TEXT_PRIMARY}" font-size="14" '
+        f'font-weight="700">{base} — engines</text>',
+    ]
+    _multi_panel(
+        parts, MARGIN_TOP, "wall time by engine", "s", run_labels, series
+    )
+    labels = run_labels
+    axis_y = height - MARGIN_BOTTOM + 18
+    plot_w = PANEL_W - MARGIN_L - MARGIN_R - 70
+    if labels:
+        parts.append(
+            f'<text x="{MARGIN_L}" y="{axis_y}" fill="{TEXT_SECONDARY}" '
+            f'font-size="11">{labels[0]}</text>'
+        )
+    if len(labels) > 1:
+        parts.append(
+            f'<text x="{MARGIN_L + plot_w}" y="{axis_y}" '
+            f'fill="{TEXT_SECONDARY}" font-size="11" '
+            f'text-anchor="end">{labels[-1]}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
 def render_benchmark(
     name: str,
     points: Sequence[Tuple[str, float, Dict[str, int]]],
@@ -293,7 +467,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             continue
         gated = args.stat or runs[-1].get("gated_stats", [])
         prefix = _safe(os.path.splitext(os.path.basename(path))[0])
-        for name, points in series_by_benchmark(runs).items():
+        by_name = series_by_benchmark(runs)
+        for name, points in by_name.items():
             stats = varying_stats(
                 points,
                 gated,
@@ -302,6 +477,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             svg = render_benchmark(name, points, stats)
             out_path = os.path.join(
                 args.out_dir, f"{prefix}__{_safe(name)}.svg"
+            )
+            with open(out_path, "w") as handle:
+                handle.write(svg)
+            written += 1
+        # Engine/plan variants of one workload additionally render as
+        # one combined chart: their wall-time series side by side.
+        for base, variants in variant_groups(by_name).items():
+            svg = render_variant_group(base, variants)
+            out_path = os.path.join(
+                args.out_dir, f"{prefix}__{_safe(base)}__engines.svg"
             )
             with open(out_path, "w") as handle:
                 handle.write(svg)

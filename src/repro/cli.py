@@ -113,12 +113,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     with open(args.program) as f:
         program = parse_program(f.read())
     database = load_database(args.edb, pops)
-    result = solve(
-        program,
-        database,
-        method=args.method,
-        max_iterations=args.max_iterations,
-    )
+    try:
+        result = solve(
+            program,
+            database,
+            method=args.method,
+            max_iterations=args.max_iterations,
+            plan=args.plan,
+            schedule=args.schedule,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        # Knob conflicts (e.g. --plan naive --engine codegen) surface
+        # as engine-layer ValueErrors; report them CLI-style.
+        raise SystemExit(f"error: {exc}") from exc
     if args.output == "json":
         from .core.io import instance_to_dict
 
@@ -180,6 +188,34 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("naive", "seminaive", "grounded"),
     )
     run.add_argument("--max-iterations", type=int, default=100_000)
+    run.add_argument(
+        "--plan",
+        default="indexed",
+        choices=("indexed", "indexed-greedy", "naive"),
+        help=(
+            "join strategy: cost-ordered hash-index probes (default), "
+            "greedy-ordered probes, or the seed scan join"
+        ),
+    )
+    run.add_argument(
+        "--schedule",
+        default="auto",
+        choices=("auto", "scc", "parallel", "monolithic"),
+        help=(
+            "fixpoint scheduling: per-SCC strata (auto/scc), parallel "
+            "independent strata, or the whole-program iteration"
+        ),
+    )
+    run.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto", "compiled", "codegen", "interpreted"),
+        help=(
+            "join/evaluation pipeline: closure kernels (auto/compiled), "
+            "generated-source kernels (codegen), or the re-planned "
+            "generator pipeline (interpreted)"
+        ),
+    )
     run.add_argument(
         "--output", default="text", choices=("text", "json"),
         help="result format (text facts or a JSON document)",

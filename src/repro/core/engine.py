@@ -91,11 +91,15 @@ def solve(
             once per stratum and cached across fixpoint iterations,
             and enables delta-driven rule activation
             (``stats["rules_skipped"]``), whenever the plan is
-            indexed; ``"interpreted"`` keeps the per-application
+            indexed; ``"codegen"`` lowers each plan to generated
+            Python source instead (:mod:`repro.core.codegen` — one
+            flat ``compile()``-d function per body, cached the same
+            way, with the source retained on the kernel for
+            debugging); ``"interpreted"`` keeps the per-application
             re-planned generator pipeline as the byte-for-byte
-            differential baseline; ``"compiled"`` forces kernels
-            (rejecting ``plan="naive"``).  All engines compute the
-            same fixpoint.
+            differential baseline; ``"compiled"`` forces closure
+            kernels (and, like ``"codegen"``, rejects
+            ``plan="naive"``).  All engines compute the same fixpoint.
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.

@@ -30,7 +30,7 @@ from .kernels import (
     KernelCache,
     compile_kernel,
     compile_key,
-    resolve_engine,
+    resolve_engine_mode,
 )
 from .naive import EvaluationResult, NaiveEvaluator
 from .rules import Program, SumProduct
@@ -79,7 +79,8 @@ class HybridEvaluator:
         self.max_iterations = max_iterations
         self.plan = plan
         self.engine = engine
-        self.compiled = resolve_engine(engine, plan)
+        self.mode = resolve_engine_mode(engine, plan)
+        self.compiled = self.mode != "interpreted"
         self.bool_idb_names = {r.head_relation for r in self.threshold_rules}
         # Boolean IDB facts are injected into the database's Boolean
         # store so that conditions and indicators see them transparently.
@@ -133,6 +134,35 @@ class HybridEvaluator:
 
     def _compiled_threshold(self, idx: int, rule: ThresholdRule, guards: list):
         def build():
+            carried = frozenset(
+                g.slot for g in guards if g.carries_value and g.slot is not None
+            )
+            if self.mode == "codegen":
+                from .codegen import generate_rule_kernel
+                from .plan_ir import build_body_plan
+
+                ir, _indexes = build_body_plan(
+                    guards,
+                    variables=rule.body.enumeration_order(),
+                    condition=rule.body.condition,
+                    order=plan_ordering(self.plan),
+                    stats=self._base.stats.join,
+                    n_slots=len(rule.body.factors),
+                )
+                return generate_rule_kernel(
+                    ir,
+                    rule.body,
+                    rule.head_args,
+                    self.pops,
+                    self.database,
+                    self._base.functions,
+                    self.program.idb_names(),
+                    self.database.bool_holds,
+                    carried,
+                    self._base.domain,
+                    stats=self._base.stats.join,
+                    label=f"threshold.{rule.head_relation}.{idx}",
+                )
             kernel = compile_kernel(
                 guards,
                 rule.body.enumeration_order(),
@@ -142,9 +172,6 @@ class HybridEvaluator:
                 order=plan_ordering(self.plan),
                 stats=self._base.stats.join,
                 n_slots=len(rule.body.factors),
-            )
-            carried = frozenset(
-                g.slot for g in guards if g.carries_value and g.slot is not None
             )
             value_fn = BodyValue(
                 rule.body,
@@ -183,27 +210,33 @@ class HybridEvaluator:
                     bool_versions=self._base._bool_versions,
                     stats=self._base.stats.join,
                 )
-                kernel, value_fn, head_getter = self._compiled_threshold(
-                    idx, rule, guards
-                )
-                add = self.pops.add
+                entry = self._compiled_threshold(idx, rule, guards)
+                if self.mode == "codegen":
+                    # The generated function accumulates straight into
+                    # ``acc``; its match count is dropped for counter
+                    # parity with the interpreted threshold loop.
+                    entry.run(guards, idb, acc)
+                else:
+                    kernel, value_fn, head_getter = entry
+                    add = self.pops.add
 
-                def emit(
-                    valu, slots,
-                    _v=value_fn, _h=head_getter, _idb=idb,
-                ):
-                    value = _v(valu, slots, _idb)
-                    head_key = _h(valu)
-                    if head_key in acc:
-                        acc[head_key] = add(acc[head_key], value)
-                    else:
-                        acc[head_key] = value
+                    def emit(
+                        valu, slots,
+                        _v=value_fn, _h=head_getter, _idb=idb,
+                    ):
+                        value = _v(valu, slots, _idb)
+                        head_key = _h(valu)
+                        if head_key in acc:
+                            acc[head_key] = add(acc[head_key], value)
+                        else:
+                            acc[head_key] = value
 
-                # Counter parity: the interpreted threshold loop counts
-                # neither valuations nor products, so the compiled one
-                # doesn't either (flush covers the value-probe split).
-                kernel.execute(guards, emit)
-                value_fn.flush(self._base.stats.join)
+                    # Counter parity: the interpreted threshold loop
+                    # counts neither valuations nor products, so the
+                    # compiled one doesn't either (flush covers the
+                    # value-probe split).
+                    kernel.execute(guards, emit)
+                    value_fn.flush(self._base.stats.join)
             else:
                 for valuation, slot_values in enumerate_matches(
                     rule.body.enumeration_order(),

@@ -30,7 +30,7 @@ from .rules import (
     SumProduct,
     factor_atoms,
 )
-from .kernels import compile_kernel, resolve_engine
+from .kernels import compile_kernel, resolve_engine_mode
 from .valuations import (
     FactorEvaluator,
     body_guards,
@@ -128,8 +128,12 @@ def ground_program(
         engine: ``"auto"``/``"compiled"`` lower each body's plan into a
             :mod:`repro.core.kernels` closure pipeline (grounding is
             one-shot, so the win is the compiled executor rather than
-            cross-iteration caching); ``"interpreted"`` keeps the
-            generator pipeline.
+            cross-iteration caching); ``"codegen"`` generates one flat
+            source function per body instead
+            (:mod:`repro.core.codegen`, emit mode — the leaf builds
+            provenance monomials, so the join streams matches into the
+            same callback); ``"interpreted"`` keeps the generator
+            pipeline.
 
     Returns:
         The grounded :class:`PolynomialSystem`.
@@ -190,17 +194,38 @@ def ground_program(
                     Polynomial((monomial,))
                 )
 
-            if resolve_engine(engine, plan):
-                kernel = compile_kernel(
-                    guards,
-                    variables,
-                    domain,
-                    body.condition,
-                    database.bool_holds,
-                    order=plan_ordering(plan),
-                    stats=stats,
-                    n_slots=len(body.factors),
-                )
+            mode = resolve_engine_mode(engine, plan)
+            if mode != "interpreted":
+                if mode == "codegen":
+                    from .codegen import generate_join_kernel
+                    from .plan_ir import build_body_plan
+
+                    ir, _indexes = build_body_plan(
+                        guards,
+                        variables=variables,
+                        condition=body.condition,
+                        order=plan_ordering(plan),
+                        stats=stats,
+                        n_slots=len(body.factors),
+                    )
+                    kernel = generate_join_kernel(
+                        ir,
+                        database.bool_holds,
+                        domain,
+                        stats=stats,
+                        label=f"ground.{rule.head_relation}",
+                    )
+                else:
+                    kernel = compile_kernel(
+                        guards,
+                        variables,
+                        domain,
+                        body.condition,
+                        database.bool_holds,
+                        order=plan_ordering(plan),
+                        stats=stats,
+                        n_slots=len(body.factors),
+                    )
 
                 def emit(valu, slots):
                     slot_values = {

@@ -120,7 +120,12 @@ class JoinStats:
     * ``kernel_cache_hits`` — rule applications served by a compiled
       join kernel built in an earlier iteration (see
       :mod:`repro.core.kernels`): the counter that proves kernels are
-      compiled once per stratum and reused, not rebuilt per iteration.
+      compiled once per stratum and reused, not rebuilt per iteration;
+    * ``codegen_kernels`` — bodies lowered to generated Python source
+      and ``compile()``-d (see :mod:`repro.core.codegen`).  Under
+      ``engine="codegen"`` this stays equal to the number of distinct
+      (rule, body[, variant]) plans — a growing count across
+      iterations would mean the source cache stopped working.
     """
 
     probes: int = 0
@@ -139,6 +144,7 @@ class JoinStats:
     factor_lookups: int = 0
     rebuild_skips: int = 0
     kernel_cache_hits: int = 0
+    codegen_kernels: int = 0
 
     @property
     def keys_examined(self) -> int:
@@ -162,6 +168,7 @@ class JoinStats:
         self.factor_lookups += other.factor_lookups
         self.rebuild_skips += other.rebuild_skips
         self.kernel_cache_hits += other.kernel_cache_hits
+        self.codegen_kernels += other.codegen_kernels
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -181,6 +188,7 @@ class JoinStats:
             "factor_lookups": self.factor_lookups,
             "rebuild_skips": self.rebuild_skips,
             "kernel_cache_hits": self.kernel_cache_hits,
+            "codegen_kernels": self.codegen_kernels,
             "keys_examined": self.keys_examined,
         }
 

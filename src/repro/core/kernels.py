@@ -774,6 +774,66 @@ class CompiledKernel:
         return out
 
 
+def compile_kernel_ir(
+    ir,
+    fallback_domain: Sequence[Any],
+    bool_lookup: Callable[[str, Tuple], bool],
+    stats: Optional[JoinStats] = None,
+) -> CompiledKernel:
+    """Compile a :class:`~repro.core.plan_ir.BodyPlanIR` into closures.
+
+    The closure backend of the Plan IR: every IR node becomes its
+    pre-resolved closure shape — probe keys via :func:`compile_key`,
+    filters/residual via :func:`compile_condition`, the fresh-bind /
+    dup-check positions taken from the IR verbatim.  Index objects are
+    *not* baked in; :meth:`CompiledKernel.execute` re-resolves
+    ``guards[step.guard_pos].index`` per invocation.
+    """
+    if any(step.checks for step in ir.steps):
+        raise ValueError(
+            "plans carrying runtime base-valuation checks (legacy "
+            "JoinPlan lowering) have no compiled pipeline"
+        )
+    step_specs: List[_StepSpec] = [
+        _StepSpec(
+            guard_pos=step.guard_pos,
+            mask=step.mask,
+            probe_key=compile_key(step.probe_args),
+            arity=step.arity,
+            binds=step.binds,
+            dups=step.dups,
+            filters=_compile_filters(step.filters, bool_lookup),
+            slot=step.slot,
+        )
+        for step in ir.steps
+    ]
+    fallback_specs = [
+        _FallbackSpec(
+            var=fb.var,
+            binding=None if fb.binding is None else compile_term(fb.binding),
+            filters=_compile_filters(fb.filters, bool_lookup),
+        )
+        for fb in ir.fallback
+    ]
+    needs_domain_set = ir.needs_domain_set or any(
+        fb.binding is not None for fb in ir.fallback
+    )
+    return CompiledKernel(
+        steps=step_specs,
+        fallback=fallback_specs,
+        residual=_compile_filters(ir.residual, bool_lookup),
+        prefix_filters=_compile_filters(ir.prefix_filters, bool_lookup),
+        initial_bindings=tuple(
+            (var, compile_term(term), check)
+            for var, term, check in ir.initial_bindings
+        ),
+        domain=tuple(fallback_domain),
+        domain_set=frozenset(fallback_domain) if needs_domain_set else None,
+        n_slots=ir.n_slots,
+        stats=stats,
+    )
+
+
 def compile_kernel(
     guards: Sequence[Guard],
     variables: Sequence[str],
@@ -785,91 +845,30 @@ def compile_kernel(
     stats: Optional[JoinStats] = None,
     n_slots: int = 0,
 ) -> CompiledKernel:
-    """Lower one body's ordered plan into a :class:`CompiledKernel`.
+    """Plan one body and compile the resulting IR into closures.
 
     Planning (join order, probe masks, pushdown schedule) is delegated
-    to :func:`repro.core.planner.build_plan` — the kernel layer changes
-    *when* that work happens (once per evaluator instead of once per
-    rule application), not *what* is planned.  The chosen order is
-    therefore the one the first iteration's selectivity estimates
-    produce, frozen for the run; later guard lists passed to
+    to :func:`repro.core.plan_ir.build_body_plan` — the kernel layer
+    changes *when* that work happens (once per evaluator instead of
+    once per rule application), not *what* is planned.  The chosen
+    order is therefore the one the first iteration's selectivity
+    estimates produce, frozen for the run; later guard lists passed to
     :meth:`CompiledKernel.execute` must be structurally identical
     (same relations in the same positions), which every evaluator's
     per-body guard construction guarantees.
     """
-    from .planner import build_plan
+    from .plan_ir import build_body_plan
 
-    usable = [g for g in guards if g.simple_args()]
-    positions = {id(g): i for i, g in enumerate(guards)}
-    plan = build_plan(
-        usable,
-        bound=set(),
-        stats=stats,
-        condition=condition,
+    ir, _indexes = build_body_plan(
+        guards,
         variables=variables,
+        condition=condition,
         extra_conjuncts=extra_conjuncts,
         order=order,
-    )
-    schedule = plan.schedule
-
-    step_specs: List[_StepSpec] = []
-    for step in plan.steps:
-        guard = step.guard
-        args = guard.args
-        mask_set = set(step.mask)
-        binds: List[Tuple[int, str]] = []
-        dups: List[Tuple[int, int]] = []
-        seen: Dict[str, int] = {}
-        for pos, arg in enumerate(args):
-            if pos in mask_set:
-                # Masked positions (constants and variables bound by
-                # earlier steps or initial bindings) are guaranteed
-                # equal by the probe key itself; nothing to re-check.
-                continue
-            name = arg.name  # non-masked args are unbound Variables
-            if name in seen:
-                dups.append((pos, seen[name]))
-            else:
-                seen[name] = pos
-                binds.append((pos, name))
-        step_specs.append(
-            _StepSpec(
-                guard_pos=positions[id(guard)],
-                mask=step.mask,
-                probe_key=compile_key(step.probe_args),
-                arity=len(args),
-                binds=tuple(binds),
-                dups=tuple(dups),
-                filters=_compile_filters(step.filters, bool_lookup),
-                slot=step.slot,
-            )
-        )
-
-    fallback_specs = [
-        _FallbackSpec(
-            var=fb.var,
-            binding=None if fb.binding is None else compile_term(fb.binding),
-            filters=_compile_filters(fb.filters, bool_lookup),
-        )
-        for fb in schedule.fallback
-    ]
-    needs_domain_set = schedule.needs_domain_set or any(
-        fb.binding is not None for fb in schedule.fallback
-    )
-    return CompiledKernel(
-        steps=step_specs,
-        fallback=fallback_specs,
-        residual=_compile_filters(schedule.residual, bool_lookup),
-        prefix_filters=_compile_filters(schedule.prefix_filters, bool_lookup),
-        initial_bindings=tuple(
-            (var, compile_term(term), check)
-            for var, term, check in schedule.initial_bindings
-        ),
-        domain=tuple(fallback_domain),
-        domain_set=frozenset(fallback_domain) if needs_domain_set else None,
-        n_slots=n_slots,
         stats=stats,
+        n_slots=n_slots,
     )
+    return compile_kernel_ir(ir, fallback_domain, bool_lookup, stats=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -903,22 +902,28 @@ class KernelCache:
         return len(self._kernels)
 
 
-def resolve_engine(engine: str, plan: str) -> bool:
-    """Whether an ``engine=`` knob selects the compiled pipeline.
+def resolve_engine_mode(engine: str, plan: str) -> str:
+    """Resolve an ``engine=`` knob to a pipeline mode.
 
-    ``"auto"`` compiles exactly when the plan is indexed — the
-    ``plan="naive"`` seed baseline stays interpreted byte-for-byte, and
-    ``engine="interpreted"`` forces the PR-3 path for differentials.
+    Returns one of ``"interpreted"`` (the per-application re-planned
+    generator pipeline, the differential baseline), ``"closures"``
+    (this module's nested-closure kernels) or ``"codegen"`` (the
+    source-generating backend of :mod:`repro.core.codegen`).  ``"auto"``
+    picks closures exactly when the plan is indexed — the
+    ``plan="naive"`` seed baseline stays interpreted byte-for-byte;
+    ``"compiled"`` and ``"codegen"`` reject non-indexed plans outright.
     """
     from .valuations import is_indexed_plan
 
-    if engine not in ("auto", "compiled", "interpreted"):
+    if engine not in ("auto", "compiled", "interpreted", "codegen"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "interpreted":
-        return False
-    if engine == "compiled" and not is_indexed_plan(plan):
+        return "interpreted"
+    if engine in ("compiled", "codegen") and not is_indexed_plan(plan):
         raise ValueError(
-            "engine='compiled' requires an indexed plan; "
+            f"engine={engine!r} requires an indexed plan; "
             f"plan={plan!r} has no compiled pipeline"
         )
-    return is_indexed_plan(plan)
+    if not is_indexed_plan(plan):
+        return "interpreted"
+    return "codegen" if engine == "codegen" else "closures"

@@ -30,7 +30,7 @@ from .kernels import (
     KernelCache,
     compile_kernel,
     compile_key,
-    resolve_engine,
+    resolve_engine_mode,
 )
 from .rules import (
     FuncFactor,
@@ -207,10 +207,13 @@ class NaiveEvaluator:
         (the default) compiles each (rule, body) plan into a
         :mod:`repro.core.kernels` closure pipeline — built once, cached
         across iterations — whenever the plan is indexed, and also
-        enables delta-driven rule activation; ``"interpreted"`` keeps
-        the per-application re-planned generator pipeline byte-for-byte
-        (the differential baseline); ``"compiled"`` forces kernels and
-        rejects non-indexed plans.
+        enables delta-driven rule activation; ``"codegen"`` lowers each
+        plan to generated Python source instead
+        (:mod:`repro.core.codegen` — one flat function per body,
+        cached the same way); ``"interpreted"`` keeps the
+        per-application re-planned generator pipeline byte-for-byte
+        (the differential baseline); ``"compiled"`` forces closure
+        kernels and rejects non-indexed plans.
         """
         self.program = program
         self.database = database
@@ -219,7 +222,8 @@ class NaiveEvaluator:
         self.max_iterations = max_iterations
         self.plan = plan
         self.engine = engine
-        self.compiled = resolve_engine(engine, plan)
+        self.mode = resolve_engine_mode(engine, plan)
+        self.compiled = self.mode != "interpreted"
         self.idb_names = program.idb_names()
         self.stats = stats if stats is not None else EvalStats()
         self.evaluator = FactorEvaluator(
@@ -351,10 +355,48 @@ class NaiveEvaluator:
         )
 
     def _compiled_rule(self, idx: int):
-        """The (kernel, value fn, head extractor) triple for one plan."""
+        """The cached compiled form of one plan.
+
+        Under ``mode="closures"`` this is the (kernel, value fn, head
+        extractor, head relation) tuple; under ``mode="codegen"`` it is
+        one :class:`~repro.core.codegen.CodegenKernel` whose generated
+        function joins, evaluates and accumulates in one flat pass.
+        Both live in the same :class:`~repro.core.kernels.KernelCache`,
+        so ``kernel_cache_hits`` counts reuse identically.
+        """
 
         def build():
             rule, body, guards, variables, extra = self._plans[idx]
+            carried = frozenset(
+                g.slot for g in guards if g.carries_value and g.slot is not None
+            )
+            if self.mode == "codegen":
+                from .codegen import generate_rule_kernel
+                from .plan_ir import build_body_plan
+
+                ir, _indexes = build_body_plan(
+                    guards,
+                    variables=variables,
+                    condition=body.condition,
+                    extra_conjuncts=extra,
+                    order=plan_ordering(self.plan),
+                    stats=self.stats.join,
+                    n_slots=len(body.factors),
+                )
+                return generate_rule_kernel(
+                    ir,
+                    body,
+                    rule.head_args,
+                    self.pops,
+                    self.database,
+                    self.functions,
+                    self.idb_names,
+                    self.database.bool_holds,
+                    carried,
+                    self.domain,
+                    stats=self.stats.join,
+                    label=f"{rule.head_relation}.{idx}",
+                )
             kernel = compile_kernel(
                 guards,
                 variables,
@@ -365,9 +407,6 @@ class NaiveEvaluator:
                 order=plan_ordering(self.plan),
                 stats=self.stats.join,
                 n_slots=len(body.factors),
-            )
-            carried = frozenset(
-                g.slot for g in guards if g.carries_value and g.slot is not None
             )
             value_fn = BodyValue(
                 body,
@@ -393,8 +432,14 @@ class NaiveEvaluator:
         tuple allocation.
         """
         _rule, _body, guards, _variables, _extra = self._plans[idx]
-        kernel, value_fn, head_key, _head_rel = self._compiled_rule(idx)
+        entry = self._compiled_rule(idx)
         contrib: Dict[Key, Value] = {}
+        if self.mode == "codegen":
+            matched = entry.run(guards, instance, contrib)
+            self.stats.valuations += matched
+            self.stats.products += matched
+            return contrib
+        kernel, value_fn, head_key, _head_rel = entry
         add = self.pops.add
         matched = [0]
 

@@ -66,10 +66,9 @@ from .pushdown import (
     PushdownSchedule,
     apply_initial_bindings,
     compile_schedule,
-    naive_schedule,
     run_fallback,
 )
-from .valuations import Guard, SlotValues, _NO_SLOTS, _unify
+from .valuations import Guard, SlotValues, _NO_SLOTS
 
 
 @dataclass
@@ -392,59 +391,58 @@ def build_plan(
     )
 
 
-def execute_plan(
-    plan: JoinPlan,
-    variables: Sequence[str],
+def execute_ir(
+    ir,
+    guards: Sequence[Guard],
+    indexes: Optional[Sequence[Optional[KeyIndex]]],
     fallback_domain: Sequence[Any],
-    condition: Condition,
     bool_lookup: Callable[[str, Key], bool],
     base: Optional[Valuation] = None,
     stats: Optional[JoinStats] = None,
 ) -> Iterator[Tuple[Valuation, SlotValues]]:
-    """Run a join plan, yielding ``(valuation, slot_values)`` pairs.
+    """Interpret a :class:`~repro.core.plan_ir.BodyPlanIR`.
 
-    Every satisfying valuation is yielded exactly once, with the POPS
-    values that rode the probes keyed by body-factor slot (empty when
-    no guard carries values).  Semantically the valuation stream is
-    identical to the seed's guard-nested-loop enumeration (see
-    :func:`repro.core.valuations.enumerate_valuations`): variables not
-    covered by any guard range over ``fallback_domain`` and every
-    candidate passes ``condition`` — just checked piecewise at the
-    earliest sound position when the plan carries a pushdown schedule.
+    The interpreted backend of the Plan IR: walks the IR's probe steps
+    with generator semantics, yielding ``(valuation, slot_values)``
+    pairs exactly like the pre-IR pipeline — per-candidate dict copies,
+    the same probe/scan/pushdown counters, the shared fallback loop.
+    ``indexes`` (aligned with ``guards``) supplies each step's index;
+    entries of ``None`` — and a ``None`` sequence — fall back to the
+    step guard's own ``index`` attribute, or an ephemeral index over
+    its keys (the same resolution the compiled backends perform per
+    invocation).
     """
-    steps = plan.steps
+    steps = ir.steps
     counters = stats if stats is not None else JoinStats()
     base_valuation = dict(base) if base else {}
 
-    schedule = plan.schedule
-    if schedule is None:
-        # Legacy call path (plan built without a condition): seed-style
-        # single leaf check, with the loop-invariant ``remaining`` list
-        # still hoisted out of the per-prefix ``finish``.
-        remaining = [
-            v
-            for v in variables
-            if v not in plan.bound_after_steps and v not in base_valuation
-        ]
-        schedule = naive_schedule(condition, remaining)
-
-    domain_set = frozenset(fallback_domain) if schedule.needs_domain_set else None
+    domain_set = frozenset(fallback_domain) if ir.needs_domain_set else None
 
     # Bindings first: prefix filters may mention variables they define.
-    if schedule.initial_bindings:
+    if ir.initial_bindings:
         extended = apply_initial_bindings(
-            schedule, base_valuation, domain_set, counters
+            ir, base_valuation, domain_set, counters
         )
         if extended is None:
             return
         base_valuation = extended
-    for cond in schedule.prefix_filters:
+    for cond in ir.prefix_filters:
         if not condition_holds(cond, base_valuation, bool_lookup):
             counters.pushdown_prunes += 1
             return
 
-    fallback_steps = schedule.fallback
-    residual = schedule.residual
+    fallback_steps = ir.fallback
+    residual = ir.residual
+
+    step_indexes: List[KeyIndex] = []
+    for step in steps:
+        index = indexes[step.guard_pos] if indexes is not None else None
+        if index is None:
+            guard = guards[step.guard_pos]
+            index = guard.index
+            if index is None:
+                index = KeyIndex(guard.keys(), stats=stats)
+        step_indexes.append(index)
 
     def finish(valuation: Valuation, carried: Tuple) -> Iterator[Tuple[Valuation, SlotValues]]:
         slot_values: SlotValues = dict(carried) if carried else _NO_SLOTS
@@ -466,18 +464,22 @@ def execute_plan(
             yield from finish(valuation, carried)
             return
         step = steps[i]
-        args = step.guard.args
         if step.mask:
-            candidates = step.index.probe_entries(
-                step.mask, step.probe_values(valuation)
+            probe = tuple(
+                arg.value if isinstance(arg, Constant) else valuation[arg.name]
+                for arg in step.probe_args
             )
+            candidates = step_indexes[i].probe_entries(step.mask, probe)
             counters.probes += 1
             counters.probed_keys += len(candidates)
         else:
-            candidates = step.index.entries()
+            candidates = step_indexes[i].entries()
             counters.scans += 1
             counters.scanned_keys += len(candidates)
-        arity = len(args)
+        arity = step.arity
+        binds = step.binds
+        dups = step.dups
+        checks = step.checks
         filters = step.filters
         slot = step.slot
         for entry in candidates:
@@ -485,9 +487,31 @@ def execute_plan(
             if len(key) != arity:
                 counters.arity_skips += 1
                 continue
-            extended = _unify(args, key, valuation)
-            if extended is None:
-                continue
+            if dups:
+                bad = False
+                for pos, first in dups:
+                    if key[pos] != key[first]:
+                        bad = True
+                        break
+                if bad:
+                    continue
+            if checks:
+                # Legacy plans only: the runtime base bound a variable
+                # the plan-time mask does not cover — the key must
+                # agree with it (the old ``_unify`` clash rejection).
+                bad = False
+                for pos, name in checks:
+                    if key[pos] != valuation[name]:
+                        bad = True
+                        break
+                if bad:
+                    continue
+            if binds:
+                extended = dict(valuation)
+                for pos, name in binds:
+                    extended[name] = key[pos]
+            else:
+                extended = valuation
             if filters:
                 pruned = False
                 for cond in filters:
@@ -504,3 +528,46 @@ def execute_plan(
                 yield from recurse(i + 1, extended, carried)
 
     yield from recurse(0, base_valuation, ())
+
+
+def execute_plan(
+    plan: JoinPlan,
+    variables: Sequence[str],
+    fallback_domain: Sequence[Any],
+    condition: Condition,
+    bool_lookup: Callable[[str, Key], bool],
+    base: Optional[Valuation] = None,
+    stats: Optional[JoinStats] = None,
+) -> Iterator[Tuple[Valuation, SlotValues]]:
+    """Run a join plan, yielding ``(valuation, slot_values)`` pairs.
+
+    Every satisfying valuation is yielded exactly once, with the POPS
+    values that rode the probes keyed by body-factor slot (empty when
+    no guard carries values).  Semantically the valuation stream is
+    identical to the seed's guard-nested-loop enumeration (see
+    :func:`repro.core.valuations.enumerate_valuations`): variables not
+    covered by any guard range over ``fallback_domain`` and every
+    candidate passes ``condition`` — just checked piecewise at the
+    earliest sound position when the plan carries a pushdown schedule.
+
+    Compatibility shim over the Plan IR: the ``JoinPlan`` is lowered
+    via :func:`repro.core.plan_ir.lower_join_plan` (plans built without
+    a condition get the seed-style leaf-check schedule) and executed by
+    :func:`execute_ir` — one interpreted executor, whatever the caller
+    holds.
+    """
+    from .plan_ir import lower_join_plan
+
+    base_bound = set(base) if base else set()
+    ir, indexes = lower_join_plan(
+        plan, variables, condition, base_bound=base_bound
+    )
+    yield from execute_ir(
+        ir,
+        [step.guard for step in plan.steps],
+        indexes,
+        fallback_domain,
+        bool_lookup,
+        base=base,
+        stats=stats,
+    )

@@ -36,7 +36,7 @@ from .kernels import (
     VariantValue,
     compile_kernel,
     compile_key,
-    resolve_engine,
+    resolve_engine_mode,
 )
 from .naive import EvalStats, EvaluationResult, NaiveEvaluator
 from .rules import FuncFactor, Program, RelAtom, Rule, SumProduct, factor_atoms
@@ -89,7 +89,8 @@ class SemiNaiveEvaluator:
         self.max_iterations = max_iterations
         self.plan = plan
         self.engine = engine
-        self.compiled = resolve_engine(engine, plan)
+        self.mode = resolve_engine_mode(engine, plan)
+        self.compiled = self.mode != "interpreted"
         self.idb_names = program.idb_names()
         self.stats = stats if stats is not None else EvalStats()
         self.evaluator = FactorEvaluator(
@@ -399,14 +400,49 @@ class SemiNaiveEvaluator:
         idb_positions: List[int],
         extra_conjuncts,
     ):
-        """The cached (kernel, value fn, head extractor) of one variant.
+        """The cached compiled form of one differential variant.
 
         Compiled from the first iteration's guards; later iterations
         pass structurally identical guard lists (same construction) so
         only the index bindings differ — resolved per invocation.
+        ``mode="closures"`` caches the (kernel, value fn, head
+        extractor) tuple; ``mode="codegen"`` caches one generated flat
+        function with the Eq. 64 store routing compiled into its factor
+        expressions.
         """
 
         def build():
+            carried = frozenset(
+                g.slot for g in guards if g.carries_value and g.slot is not None
+            )
+            if self.mode == "codegen":
+                from .codegen import generate_rule_kernel
+                from .plan_ir import build_body_plan
+
+                ir, _indexes = build_body_plan(
+                    guards,
+                    variables=body.enumeration_order(),
+                    condition=body.condition,
+                    extra_conjuncts=extra_conjuncts,
+                    order=plan_ordering(self.plan),
+                    stats=self.stats.join,
+                    n_slots=len(body.factors),
+                )
+                return generate_rule_kernel(
+                    ir,
+                    body,
+                    rule.head_args,
+                    self.pops,
+                    self.database,
+                    self.functions,
+                    self.idb_names,
+                    self.database.bool_holds,
+                    carried,
+                    self.domain,
+                    stats=self.stats.join,
+                    variant=(tuple(idb_positions), j),
+                    label=f"{rule.head_relation}.{p_idx}.d{j}",
+                )
             kernel = compile_kernel(
                 guards,
                 body.enumeration_order(),
@@ -417,9 +453,6 @@ class SemiNaiveEvaluator:
                 order=plan_ordering(self.plan),
                 stats=self.stats.join,
                 n_slots=len(body.factors),
-            )
-            carried = frozenset(
-                g.slot for g in guards if g.carries_value and g.slot is not None
             )
             value_fn = VariantValue(
                 body,
@@ -506,12 +539,21 @@ class SemiNaiveEvaluator:
                             body, idb_positions, j, delta, new, old
                         )
                     if self.compiled:
-                        kernel, value_fn, head_key, head_rel = (
-                            self._compiled_variant(
-                                p_idx, j, guards, rule, body,
-                                idb_positions, extra_conjuncts,
-                            )
+                        entry = self._compiled_variant(
+                            p_idx, j, guards, rule, body,
+                            idb_positions, extra_conjuncts,
                         )
+                        if self.mode == "codegen":
+                            bucket = contributions.setdefault(
+                                rule.head_relation, {}
+                            )
+                            matched_n = entry.run(
+                                guards, (new, delta, old), bucket
+                            )
+                            self.stats.valuations += matched_n
+                            self.stats.products += matched_n
+                            continue
+                        kernel, value_fn, head_key, head_rel = entry
                         stores = (new, delta, old)
                         matched = [0]
                         bucket = contributions.setdefault(head_rel, {})

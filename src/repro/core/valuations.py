@@ -185,22 +185,26 @@ def enumerate_matches(
     base_valuation = dict(base) if base else {}
 
     if is_indexed_plan(plan):
-        from .planner import build_plan, execute_plan
+        # Plan once into the backend-neutral IR, then interpret it —
+        # the same IR the closure kernels and the codegen backend
+        # compile (see :mod:`repro.core.plan_ir`).
+        from .plan_ir import build_body_plan
+        from .planner import execute_ir
 
-        compiled = build_plan(
+        ir, indexes = build_body_plan(
             usable,
-            bound=set(base_valuation),
-            stats=stats,
-            condition=condition,
             variables=variables,
+            condition=condition,
+            bound=set(base_valuation),
             extra_conjuncts=extra_conjuncts,
             order=plan_ordering(plan),
+            stats=stats,
         )
-        yield from execute_plan(
-            compiled,
-            variables,
+        yield from execute_ir(
+            ir,
+            usable,
+            indexes,
             fallback_domain,
-            condition,
             bool_lookup,
             base=base_valuation,
             stats=stats,

@@ -119,6 +119,54 @@ class TestCli:
         assert code == 0
         assert "T(a, c) = 4.0" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("engine", ["compiled", "codegen", "interpreted"])
+    def test_run_engine_flag(self, tc_files, capsys, engine):
+        program, edb = tc_files
+        code = main([
+            "run", program, "--pops", "trop", "--edb", edb,
+            "--engine", engine,
+        ])
+        assert code == 0
+        assert "T(a, c) = 4.0" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("schedule", ["scc", "parallel", "monolithic"])
+    def test_run_schedule_flag(self, tc_files, capsys, schedule):
+        program, edb = tc_files
+        code = main([
+            "run", program, "--pops", "trop", "--edb", edb,
+            "--schedule", schedule,
+        ])
+        assert code == 0
+        assert "T(a, c) = 4.0" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("plan", ["indexed", "indexed-greedy", "naive"])
+    def test_run_plan_flag(self, tc_files, capsys, plan):
+        program, edb = tc_files
+        code = main([
+            "run", program, "--pops", "trop", "--edb", edb,
+            "--plan", plan, "--method", "seminaive",
+        ])
+        assert code == 0
+        assert "T(a, c) = 4.0" in capsys.readouterr().out
+
+    def test_run_engine_plan_conflict_rejected(self, tc_files):
+        # engine=codegen needs an indexed plan; the engine layer's
+        # validation surfaces as a clean CLI error, not a traceback.
+        program, edb = tc_files
+        with pytest.raises(SystemExit, match="indexed plan"):
+            main([
+                "run", program, "--pops", "trop", "--edb", edb,
+                "--plan", "naive", "--engine", "codegen",
+            ])
+
+    def test_run_rejects_unknown_engine(self, tc_files):
+        program, edb = tc_files
+        with pytest.raises(SystemExit):
+            main([
+                "run", program, "--pops", "trop", "--edb", edb,
+                "--engine", "mystery",
+            ])
+
     def test_classify_command(self, tc_files, capsys):
         program, edb = tc_files
         code = main(["classify", program, "--pops", "trop", "--edb", edb])

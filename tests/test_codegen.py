@@ -1,0 +1,388 @@
+"""The source-codegen kernel backend (``engine="codegen"``).
+
+Covers the codegen pipeline end to end:
+
+* codegen == compiled == interpreted fixpoints on the paper's
+  workloads and on hypothesis-generated programs with cyclic, mutually
+  recursive and conditional bodies, across classic-Boolean / tropical /
+  THREE / lifted-reals value spaces, for both fixpoint engines and all
+  schedules;
+* join-counter parity: the generated kernels count every probe, scan,
+  prune and fallback event exactly like the closure kernels (same Plan
+  IR, same event order);
+* source caching: one generation + ``compile()`` per (rule, body[,
+  variant]) per evaluator (``JoinStats.codegen_kernels``), every later
+  fixpoint iteration a ``kernel_cache_hits`` reuse — no recompiles
+  across iterations;
+* the debugging hook: generated source is retained on the kernel and
+  registered with :mod:`linecache`;
+* grounded/hybrid wiring and the ``engine=`` knob's validation.
+"""
+
+from __future__ import annotations
+
+import linecache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import programs, workloads
+from repro.core import Database, HybridEvaluator, ThresholdRule, solve
+from repro.core.ast import Compare, Constant, terms, var
+from repro.core.grounding import ground_program
+from repro.core.naive import NaiveEvaluator
+from repro.core.rules import (
+    Indicator,
+    Program,
+    RelAtom,
+    Rule,
+    SumProduct,
+)
+from repro.semirings import BOOL, LIFTED_REAL, REAL_PLUS, THREE, TROP
+
+ENGINES = ("codegen", "compiled", "interpreted")
+
+
+def _line_db(n=10, pops=TROP):
+    return Database(pops=pops, relations={"E": dict(workloads.line_edges(n))})
+
+
+# ---------------------------------------------------------------------------
+# codegen == compiled == interpreted on the paper's workloads.
+# ---------------------------------------------------------------------------
+
+
+class TestCodegenDifferentials:
+    @pytest.mark.parametrize("method", ["naive", "seminaive"])
+    @pytest.mark.parametrize("schedule", ["monolithic", "scc", "parallel"])
+    def test_sssp_line(self, method, schedule):
+        db = _line_db(12)
+        results = {
+            engine: solve(
+                programs.sssp(0), db, method=method, schedule=schedule,
+                engine=engine,
+            )
+            for engine in ENGINES
+        }
+        assert results["codegen"].instance.equals(
+            results["interpreted"].instance
+        )
+        assert results["codegen"].instance.equals(
+            results["compiled"].instance
+        )
+
+    @pytest.mark.parametrize("method", ["naive", "seminaive"])
+    def test_layered_sssp(self, method):
+        db = _line_db(10)
+        prog = programs.layered_sssp(0)
+        codegen = solve(prog, db, method=method, engine="codegen")
+        interpreted = solve(prog, db, method=method, engine="interpreted")
+        assert codegen.instance.equals(interpreted.instance)
+
+    def test_quadratic_tc_nonlinear_variants(self):
+        # Two IDB occurrences per body: every delta-variant store
+        # assignment (new / delta / old) is compiled into source.
+        dag = workloads.random_dag(10, 0.25, seed=8)
+        db = Database(pops=BOOL, relations={"E": {e: True for e in dag}})
+        prog = programs.quadratic_transitive_closure()
+        codegen = solve(prog, db, method="seminaive", engine="codegen")
+        interpreted = solve(prog, db, method="seminaive", engine="interpreted")
+        assert codegen.instance.equals(interpreted.instance)
+
+    def test_join_counter_parity_with_closures(self):
+        # Same Plan IR, same event order: every join counter agrees
+        # with the closure backend, not just the fixpoint.
+        db = _line_db(12)
+        codegen = solve(
+            programs.sssp(0), db, schedule="monolithic", engine="codegen"
+        )
+        closures = solve(
+            programs.sssp(0), db, schedule="monolithic", engine="compiled"
+        )
+        assert codegen.instance.equals(closures.instance)
+        for counter in (
+            "probes", "probed_keys", "scans", "scanned_keys",
+            "arity_skips", "pushdown_prunes", "fallback_candidates",
+            "fallback_extensions", "equality_bindings", "keys_examined",
+            "value_probe_hits", "factor_lookups", "valuations",
+            "products", "rule_applications", "rules_skipped",
+            "kernel_cache_hits",
+        ):
+            assert codegen.stats[counter] == closures.stats[counter], counter
+
+    def test_grounded_engine_knob(self):
+        db = _line_db(6)
+        codegen = ground_program(programs.sssp(0), db, engine="codegen")
+        interpreted = ground_program(
+            programs.sssp(0), db, engine="interpreted"
+        )
+        a = codegen.kleene().value
+        b = interpreted.kleene().value
+        assert set(a) == set(b)
+        for key in a:
+            assert TROP.eq(a[key], b[key])
+
+    def test_hybrid_engine_knob(self):
+        def build(engine):
+            rules = [
+                Rule(
+                    "T",
+                    terms(["X"]),
+                    (
+                        SumProduct((RelAtom("W", terms(["X"])),)),
+                        SumProduct(
+                            (RelAtom("T", terms(["Z"])),
+                             RelAtom("E", terms(["Z", "X"]))),
+                        ),
+                    ),
+                ),
+            ]
+            prog = Program(rules=rules, edbs={"W": 1, "E": 2})
+            db = Database(
+                pops=REAL_PLUS,
+                relations={
+                    "W": {(0,): 0.4, (1,): 0.2},
+                    "E": {(0, 1): 0.5, (1, 2): 0.5, (2, 3): 0.5},
+                },
+            )
+            threshold = ThresholdRule(
+                head_relation="Big",
+                head_args=terms(["X"]),
+                body=SumProduct((RelAtom("T", terms(["X"])),)),
+                predicate=lambda v: v > 0.3,
+            )
+            hybrid = HybridEvaluator(
+                prog, [threshold], db, engine=engine, max_iterations=50
+            )
+            result = hybrid.run()
+            return result.instance, hybrid.bool_facts("Big")
+
+        inst_c, facts_c = build("codegen")
+        inst_i, facts_i = build("interpreted")
+        assert inst_c.equals(inst_i)
+        assert facts_c == facts_i
+
+    def test_total_heads_three(self):
+        # THREE is not naturally ordered: heads totalize over the whole
+        # ground-atom space; the generated accumulation must interact
+        # with the pre-seeded zeros exactly like the closure path.
+        rules = [
+            Rule(
+                "R",
+                terms(["X"]),
+                (
+                    SumProduct((RelAtom("A", terms(["X"])),)),
+                    SumProduct(
+                        (RelAtom("R", terms(["Z"])),
+                         RelAtom("E", terms(["Z", "X"]))),
+                    ),
+                ),
+            ),
+        ]
+        prog = Program(rules=rules, edbs={"A": 1, "E": 2})
+        db = Database(
+            pops=THREE,
+            relations={
+                "A": {(0,): 1, (1,): 0},
+                "E": {(0, 1): 1, (1, 2): 1, (2, 3): 0},
+            },
+        )
+        codegen = NaiveEvaluator(prog, db, engine="codegen").run()
+        interpreted = NaiveEvaluator(prog, db, engine="interpreted").run()
+        assert codegen.instance.equals(interpreted.instance)
+        assert codegen.steps == interpreted.steps
+
+    def test_engine_validation(self):
+        db = _line_db(4)
+        with pytest.raises(ValueError):
+            solve(programs.sssp(0), db, plan="naive", engine="codegen")
+        with pytest.raises(ValueError):
+            solve(programs.sssp(0), db, engine="sourcery")
+
+
+# ---------------------------------------------------------------------------
+# Source caching and the debugging hook.
+# ---------------------------------------------------------------------------
+
+
+class TestCodegenCaching:
+    def test_one_compile_per_body_across_iterations(self):
+        # SSSP has two (rule, body) plans; the fixpoint runs ~n
+        # iterations.  Generated kernels must be built exactly once per
+        # plan and *reused* (cache hits), never regenerated mid-run.
+        db = _line_db(10)
+        result = solve(programs.sssp(0), db, schedule="monolithic",
+                       engine="codegen")
+        assert result.stats["iterations"] > 3
+        assert result.stats["codegen_kernels"] == 2
+        assert result.stats["kernel_cache_hits"] > 0
+        assert (
+            result.stats["kernel_cache_hits"]
+            + result.stats["rules_skipped"]
+            >= result.stats["iterations"] - 1
+        )
+
+    def test_seminaive_one_compile_per_variant(self):
+        # Quadratic TC: one EDB body + one body with two IDB
+        # occurrences = two delta variants, plus the naive bootstrap's
+        # two body kernels.  Counted once each, reused every iteration.
+        dag = workloads.random_dag(10, 0.25, seed=8)
+        db = Database(pops=BOOL, relations={"E": {e: True for e in dag}})
+        prog = programs.quadratic_transitive_closure()
+        result = solve(prog, db, method="seminaive", schedule="monolithic",
+                       engine="codegen")
+        assert result.stats["iterations"] > 2
+        assert result.stats["codegen_kernels"] == 4
+        assert result.stats["kernel_cache_hits"] > 0
+
+    def test_other_engines_never_generate_source(self):
+        db = _line_db(8)
+        for engine in ("compiled", "interpreted"):
+            result = solve(programs.sssp(0), db, engine=engine)
+            assert result.stats["codegen_kernels"] == 0
+
+    def test_source_retained_and_in_linecache(self):
+        db = _line_db(8)
+        evaluator = NaiveEvaluator(programs.sssp(0), db, engine="codegen")
+        kernel = evaluator._compiled_rule(1)
+        assert "def _kernel(" in kernel.source
+        assert "for " in kernel.source  # the flat join loop
+        # The debugging hook: linecache resolves the generated file, so
+        # tracebacks through generated kernels show real source lines.
+        first_line = linecache.getline(kernel.filename, 1)
+        assert first_line.startswith("def _kernel(")
+        # And the cache serves the same object back (no regeneration).
+        assert evaluator._compiled_rule(1) is kernel
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: codegen == compiled == interpreted over random programs.
+# ---------------------------------------------------------------------------
+
+_PREDS = ["P0", "P1", "P2", "P3"]
+
+#: Body spec: ("edb",) | ("ind", c) | ("cond", c) | ("copy", j) | ("step", j).
+_body_spec = st.one_of(
+    st.just(("edb",)),
+    st.tuples(st.just("ind"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("cond"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("copy"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("step"), st.integers(min_value=0, max_value=3)),
+)
+
+_program_spec = st.lists(
+    st.lists(_body_spec, min_size=1, max_size=2),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _build_program(spec, acyclic: bool) -> Program:
+    rules = []
+    for i, bodies in enumerate(spec):
+        head = _PREDS[i]
+        sum_products = []
+        for body in bodies:
+            kind = body[0]
+            if kind == "edb":
+                sum_products.append(SumProduct((RelAtom("A", terms(["X"])),)))
+            elif kind == "ind":
+                sum_products.append(
+                    SumProduct(
+                        (Indicator(Compare("==", var("X"), Constant(body[1]))),)
+                    )
+                )
+            elif kind == "cond":
+                # A conditional body: the filter is inlined into the
+                # generated source as a native comparison.
+                sum_products.append(
+                    SumProduct(
+                        (RelAtom("A", terms(["X"])),),
+                        condition=Compare("!=", var("X"), Constant(body[1])),
+                    )
+                )
+            else:
+                j = body[1] % len(spec)
+                if acyclic and j >= i:
+                    sum_products.append(
+                        SumProduct((RelAtom("A", terms(["X"])),))
+                    )
+                elif kind == "copy":
+                    sum_products.append(
+                        SumProduct((RelAtom(_PREDS[j], terms(["X"])),))
+                    )
+                else:
+                    sum_products.append(
+                        SumProduct(
+                            (
+                                RelAtom(_PREDS[j], terms(["Z"])),
+                                RelAtom("E", terms(["Z", "X"])),
+                            )
+                        )
+                    )
+        rules.append(Rule(head, terms(["X"]), tuple(sum_products)))
+    return Program(rules=rules, edbs={"A": 1, "E": 2})
+
+
+def _database(pops, values):
+    keys = [(0,), (1,), (2,)]
+    return Database(
+        pops=pops,
+        relations={
+            "A": dict(zip(keys, values)),
+            "E": {(0, 1): values[0], (1, 2): values[1], (2, 3): values[2]},
+        },
+    )
+
+
+class TestCodegenInvariance:
+    @settings(max_examples=50, deadline=None)
+    @given(_program_spec)
+    def test_idempotent_semirings_with_cycles(self, spec):
+        for pops, values in (
+            (BOOL, [True, True, True]),
+            (TROP, [1.0, 2.0, 4.0]),
+            (THREE, [1, 0, 1]),
+        ):
+            prog = _build_program(spec, acyclic=False)
+            db = _database(pops, values)
+            interpreted = solve(
+                prog, db, engine="interpreted", max_iterations=400
+            )
+            codegen = solve(prog, db, engine="codegen", max_iterations=400)
+            assert codegen.instance.equals(interpreted.instance), pops.name
+            compiled = solve(prog, db, engine="compiled", max_iterations=400)
+            assert codegen.instance.equals(compiled.instance), pops.name
+            if getattr(pops, "supports_minus", False):
+                semi = solve(
+                    prog,
+                    db,
+                    method="seminaive",
+                    engine="codegen",
+                    max_iterations=400,
+                )
+                assert semi.instance.equals(interpreted.instance), pops.name
+
+    @settings(max_examples=30, deadline=None)
+    @given(_program_spec)
+    def test_lifted_reals_acyclic(self, spec):
+        prog = _build_program(spec, acyclic=True)
+        db = _database(LIFTED_REAL, [1.0, 2.0, 4.0])
+        interpreted = solve(prog, db, engine="interpreted", max_iterations=400)
+        codegen = solve(prog, db, engine="codegen", max_iterations=400)
+        assert codegen.instance.equals(interpreted.instance)
+
+    @settings(max_examples=20, deadline=None)
+    @given(_program_spec)
+    def test_parallel_schedule_invariance(self, spec):
+        prog = _build_program(spec, acyclic=False)
+        db = _database(TROP, [1.0, 2.0, 4.0])
+        mono = solve(
+            prog, db, schedule="monolithic", engine="codegen",
+            max_iterations=400,
+        )
+        par = solve(
+            prog, db, schedule="parallel", engine="codegen",
+            max_iterations=400,
+        )
+        assert par.instance.equals(mono.instance)
