@@ -55,7 +55,7 @@ _FAMILIES = ("joincore-bench", "schedule-bench")
 #: Gated counters where *more* is better: these gate as floors
 #: (current < baseline × (1 − tolerance) fails).
 _HIGHER_IS_BETTER = frozenset(
-    {"rules_skipped", "kernel_cache_hits", "codegen_kernels"}
+    {"rules_skipped", "kernel_cache_hits", "codegen_kernels", "batch_joins"}
 )
 
 

@@ -121,10 +121,11 @@ class JoinCoreLog:
     #: scheduler: regressions in total iteration or rule-application
     #: counts fail CI exactly like join-core regressions.
     #: ``rules_skipped`` / ``kernel_cache_hits`` / ``codegen_kernels``
-    #: gate the compiled engines as *floors* (see
+    #: / ``batch_joins`` gate the compiled engines as *floors* (see
     #: ``check_joincore_regression.py``): a drop means delta-driven
-    #: activation, kernel reuse, or source generation (for
-    #: ``engine="codegen"`` records) silently stopped working.
+    #: activation, kernel reuse, source generation (for
+    #: ``engine="codegen"`` records), or whole-batch execution (for
+    #: ``engine="batched"`` records) silently stopped working.
     GATED = (
         "keys_examined",
         "fallback_candidates",
@@ -133,6 +134,7 @@ class JoinCoreLog:
         "rules_skipped",
         "kernel_cache_hits",
         "codegen_kernels",
+        "batch_joins",
     )
 
     def __init__(self, records: List[Dict]):

@@ -59,7 +59,8 @@ SERIES_SLOTS = ("#2a78d6", "#eb6834", "#1e9e64", "#8a56c9", "#c2403f")
 #: workload: benchmarks differing only in this segment share a
 #: combined wall-time chart.
 VARIANT_SEGMENTS = frozenset(
-    {"interpreted", "compiled", "codegen", "indexed", "naive", "scc"}
+    {"interpreted", "compiled", "codegen", "batched", "indexed", "naive",
+     "scc"}
 )
 
 PANEL_W = 640

@@ -27,7 +27,7 @@ import sys
 from typing import Any, Callable, Dict, Optional
 
 from . import analysis, semirings
-from .core import Database, parse_program, solve
+from .core import VALID_ENGINES, Database, parse_program, solve
 from .semirings import POPS
 
 
@@ -209,11 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--engine",
         default="auto",
-        choices=("auto", "compiled", "codegen", "interpreted"),
+        choices=VALID_ENGINES,
         help=(
             "join/evaluation pipeline: closure kernels (auto/compiled), "
-            "generated-source kernels (codegen), or the re-planned "
-            "generator pipeline (interpreted)"
+            "generated-source kernels (codegen), columnar whole-batch "
+            "kernels (batched), or the re-planned generator pipeline "
+            "(interpreted)"
         ),
     )
     run.add_argument(

@@ -31,6 +31,7 @@ from ..semirings.base import FunctionRegistry
 from .grounding import assignment_to_instance, ground_program
 from .indexes import JoinStats
 from .instance import Database
+from .kernels import VALID_ENGINES
 from .linear import linear_lfp
 from .naive import EvaluationResult, naive_fixpoint
 from .rules import Program
@@ -95,15 +96,25 @@ def solve(
             Python source instead (:mod:`repro.core.codegen` — one
             flat ``compile()``-d function per body, cached the same
             way, with the source retained on the kernel for
-            debugging); ``"interpreted"`` keeps the per-application
-            re-planned generator pipeline as the byte-for-byte
-            differential baseline; ``"compiled"`` forces closure
-            kernels (and, like ``"codegen"``, rejects
-            ``plan="naive"``).  All engines compute the same fixpoint.
+            debugging); ``"batched"`` executes each plan over whole
+            delta batches at once as columnar hash-joins with
+            vectorized filter masks and a grouped ⊕-reduction
+            (:mod:`repro.core.batched` — stdlib columns with an
+            automatic numpy fast path for numeric semirings);
+            ``"interpreted"`` keeps the per-application re-planned
+            generator pipeline as the byte-for-byte differential
+            baseline; ``"compiled"`` forces closure kernels (and, like
+            ``"codegen"``/``"batched"``, rejects ``plan="naive"``).
+            All engines compute the same fixpoint.
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.
     """
+    if engine not in VALID_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; valid choices: "
+            + ", ".join(VALID_ENGINES)
+        )
     if schedule not in ("auto", "scc", "parallel", "monolithic"):
         raise ValueError(f"unknown schedule {schedule!r}")
     if method in ("naive", "seminaive"):

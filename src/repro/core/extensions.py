@@ -137,8 +137,13 @@ class HybridEvaluator:
             carried = frozenset(
                 g.slot for g in guards if g.carries_value and g.slot is not None
             )
-            if self.mode == "codegen":
-                from .codegen import generate_rule_kernel
+            if self.mode in ("codegen", "batched"):
+                if self.mode == "batched":
+                    from .batched import (
+                        build_batched_rule_kernel as generate_rule_kernel,
+                    )
+                else:
+                    from .codegen import generate_rule_kernel
                 from .plan_ir import build_body_plan
 
                 ir, _indexes = build_body_plan(
@@ -211,10 +216,10 @@ class HybridEvaluator:
                     stats=self._base.stats.join,
                 )
                 entry = self._compiled_threshold(idx, rule, guards)
-                if self.mode == "codegen":
-                    # The generated function accumulates straight into
-                    # ``acc``; its match count is dropped for counter
-                    # parity with the interpreted threshold loop.
+                if self.mode in ("codegen", "batched"):
+                    # The kernel accumulates straight into ``acc``; its
+                    # match count is dropped for counter parity with
+                    # the interpreted threshold loop.
                     entry.run(guards, idb, acc)
                 else:
                     kernel, value_fn, head_getter = entry

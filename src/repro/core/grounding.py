@@ -132,8 +132,10 @@ def ground_program(
             source function per body instead
             (:mod:`repro.core.codegen`, emit mode — the leaf builds
             provenance monomials, so the join streams matches into the
-            same callback); ``"interpreted"`` keeps the generator
-            pipeline.
+            same callback); ``"batched"`` runs the same emit contract
+            off the columnar whole-batch pipeline
+            (:mod:`repro.core.batched`); ``"interpreted"`` keeps the
+            generator pipeline.
 
     Returns:
         The grounded :class:`PolynomialSystem`.
@@ -196,8 +198,13 @@ def ground_program(
 
             mode = resolve_engine_mode(engine, plan)
             if mode != "interpreted":
-                if mode == "codegen":
-                    from .codegen import generate_join_kernel
+                if mode in ("codegen", "batched"):
+                    if mode == "batched":
+                        from .batched import (
+                            build_batched_join_kernel as generate_join_kernel,
+                        )
+                    else:
+                        from .codegen import generate_join_kernel
                     from .plan_ir import build_body_plan
 
                     ir, _indexes = build_body_plan(

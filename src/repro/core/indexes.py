@@ -126,6 +126,20 @@ class JoinStats:
       ``engine="codegen"`` this stays equal to the number of distinct
       (rule, body[, variant]) plans — a growing count across
       iterations would mean the source cache stopped working.
+
+    The batched-engine counters (see :mod:`repro.core.batched`):
+
+    * ``batch_joins`` — probe/scan steps executed over a whole
+      (non-empty) batch at once instead of candidate-at-a-time.  Under
+      ``engine="batched"`` this is a *floor* in the regression gate: a
+      drop means the columnar executor silently stopped being engaged;
+    * ``batch_rows`` — rows that flowed out of batched join steps (the
+      columnar analogue of candidates entering the next plan step);
+    * ``vector_filter_prunes`` — rows removed by a vectorized filter
+      mask (pushdown filters, residual ``Φ``-conjuncts).  Counted at
+      the same events as ``pushdown_prunes`` — which the batched
+      engine also increments, keeping cross-engine parity — but only
+      by the mask-based executor, so the split is observable.
     """
 
     probes: int = 0
@@ -145,6 +159,9 @@ class JoinStats:
     rebuild_skips: int = 0
     kernel_cache_hits: int = 0
     codegen_kernels: int = 0
+    batch_joins: int = 0
+    batch_rows: int = 0
+    vector_filter_prunes: int = 0
 
     @property
     def keys_examined(self) -> int:
@@ -169,6 +186,9 @@ class JoinStats:
         self.rebuild_skips += other.rebuild_skips
         self.kernel_cache_hits += other.kernel_cache_hits
         self.codegen_kernels += other.codegen_kernels
+        self.batch_joins += other.batch_joins
+        self.batch_rows += other.batch_rows
+        self.vector_filter_prunes += other.vector_filter_prunes
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -189,6 +209,9 @@ class JoinStats:
             "rebuild_skips": self.rebuild_skips,
             "kernel_cache_hits": self.kernel_cache_hits,
             "codegen_kernels": self.codegen_kernels,
+            "batch_joins": self.batch_joins,
+            "batch_rows": self.batch_rows,
+            "vector_filter_prunes": self.vector_filter_prunes,
             "keys_examined": self.keys_examined,
         }
 

@@ -902,28 +902,49 @@ class KernelCache:
         return len(self._kernels)
 
 
+#: The single source of truth for the ``engine=`` knob — shared by
+#: :func:`repro.core.engine.solve` and the ``--engine`` CLI choice so
+#: the two can never drift apart.
+VALID_ENGINES: Tuple[str, ...] = (
+    "auto",
+    "interpreted",
+    "compiled",
+    "codegen",
+    "batched",
+)
+
+
 def resolve_engine_mode(engine: str, plan: str) -> str:
     """Resolve an ``engine=`` knob to a pipeline mode.
 
     Returns one of ``"interpreted"`` (the per-application re-planned
     generator pipeline, the differential baseline), ``"closures"``
-    (this module's nested-closure kernels) or ``"codegen"`` (the
-    source-generating backend of :mod:`repro.core.codegen`).  ``"auto"``
-    picks closures exactly when the plan is indexed — the
-    ``plan="naive"`` seed baseline stays interpreted byte-for-byte;
-    ``"compiled"`` and ``"codegen"`` reject non-indexed plans outright.
+    (this module's nested-closure kernels), ``"codegen"`` (the
+    source-generating backend of :mod:`repro.core.codegen`) or
+    ``"batched"`` (the columnar whole-batch backend of
+    :mod:`repro.core.batched`).  ``"auto"`` picks closures exactly when
+    the plan is indexed — the ``plan="naive"`` seed baseline stays
+    interpreted byte-for-byte; ``"compiled"``, ``"codegen"`` and
+    ``"batched"`` reject non-indexed plans outright.
     """
     from .valuations import is_indexed_plan
 
-    if engine not in ("auto", "compiled", "interpreted", "codegen"):
-        raise ValueError(f"unknown engine {engine!r}")
+    if engine not in VALID_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; valid choices: "
+            + ", ".join(VALID_ENGINES)
+        )
     if engine == "interpreted":
         return "interpreted"
-    if engine in ("compiled", "codegen") and not is_indexed_plan(plan):
+    if engine in ("compiled", "codegen", "batched") and not is_indexed_plan(
+        plan
+    ):
         raise ValueError(
             f"engine={engine!r} requires an indexed plan; "
             f"plan={plan!r} has no compiled pipeline"
         )
     if not is_indexed_plan(plan):
         return "interpreted"
-    return "codegen" if engine == "codegen" else "closures"
+    if engine in ("codegen", "batched"):
+        return engine
+    return "closures"

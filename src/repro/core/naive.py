@@ -210,7 +210,10 @@ class NaiveEvaluator:
         enables delta-driven rule activation; ``"codegen"`` lowers each
         plan to generated Python source instead
         (:mod:`repro.core.codegen` — one flat function per body,
-        cached the same way); ``"interpreted"`` keeps the
+        cached the same way); ``"batched"`` executes each plan over
+        the whole candidate batch at once as columnar hash-joins with
+        vectorized filter masks (:mod:`repro.core.batched`);
+        ``"interpreted"`` keeps the
         per-application re-planned generator pipeline byte-for-byte
         (the differential baseline); ``"compiled"`` forces closure
         kernels and rejects non-indexed plans.
@@ -370,8 +373,13 @@ class NaiveEvaluator:
             carried = frozenset(
                 g.slot for g in guards if g.carries_value and g.slot is not None
             )
-            if self.mode == "codegen":
-                from .codegen import generate_rule_kernel
+            if self.mode in ("codegen", "batched"):
+                if self.mode == "batched":
+                    from .batched import (
+                        build_batched_rule_kernel as generate_rule_kernel,
+                    )
+                else:
+                    from .codegen import generate_rule_kernel
                 from .plan_ir import build_body_plan
 
                 ir, _indexes = build_body_plan(
@@ -434,7 +442,7 @@ class NaiveEvaluator:
         _rule, _body, guards, _variables, _extra = self._plans[idx]
         entry = self._compiled_rule(idx)
         contrib: Dict[Key, Value] = {}
-        if self.mode == "codegen":
+        if self.mode in ("codegen", "batched"):
             matched = entry.run(guards, instance, contrib)
             self.stats.valuations += matched
             self.stats.products += matched

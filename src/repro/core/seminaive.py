@@ -415,8 +415,13 @@ class SemiNaiveEvaluator:
             carried = frozenset(
                 g.slot for g in guards if g.carries_value and g.slot is not None
             )
-            if self.mode == "codegen":
-                from .codegen import generate_rule_kernel
+            if self.mode in ("codegen", "batched"):
+                if self.mode == "batched":
+                    from .batched import (
+                        build_batched_rule_kernel as generate_rule_kernel,
+                    )
+                else:
+                    from .codegen import generate_rule_kernel
                 from .plan_ir import build_body_plan
 
                 ir, _indexes = build_body_plan(
@@ -543,7 +548,7 @@ class SemiNaiveEvaluator:
                             p_idx, j, guards, rule, body,
                             idb_positions, extra_conjuncts,
                         )
-                        if self.mode == "codegen":
+                        if self.mode in ("codegen", "batched"):
                             bucket = contributions.setdefault(
                                 rule.head_relation, {}
                             )
