@@ -10,6 +10,9 @@ Usage::
     python benchmarks/check_joincore_regression.py \
         BENCH_schedule.json benchmarks/baselines/schedule_quick.json
 
+    python benchmarks/check_joincore_regression.py \
+        BENCH_sharded.json benchmarks/baselines/sharded_quick.json
+
 Both files are artifacts of the benchmark suite (see
 ``benchmarks/conftest.py``): either a legacy single-snapshot
 (``*/1`` schema) or a longitudinal trajectory (``*/2`` schema, one run
@@ -23,13 +26,15 @@ baseline:
   ``rule_applications``): an increase beyond the tolerance means the
   planner started examining more candidate keys, or the scheduler
   started re-applying rules the condensation should have frozen;
-* ``rules_skipped``, ``kernel_cache_hits`` and ``codegen_kernels``
-  are *higher-is-better* floors: a drop beyond the tolerance means
+* ``rules_skipped``, ``kernel_cache_hits``, ``codegen_kernels``,
+  ``batch_joins``, ``exchange_rounds`` and ``exchange_tuples`` are
+  *higher-is-better* floors: a drop beyond the tolerance means
   delta-driven rule activation stopped skipping, compiled kernels
-  stopped being reused across iterations, or (for ``engine="codegen"``
+  stopped being reused across iterations, (for ``engine="codegen"``
   benchmark records) the source-generating backend stopped being
-  engaged — silent de-optimizations wall time (noisy on CI) might
-  hide.
+  engaged, or (for sharded records) the delta-shipping exchange
+  silently stopped running — silent de-optimizations wall time (noisy
+  on CI) might hide.
 
 ``--wall-tolerance`` additionally gates **wall time** against the
 baseline's ``wall_s`` fields (intended for a pinned runner; off by
@@ -50,12 +55,19 @@ import argparse
 import json
 import sys
 
-_FAMILIES = ("joincore-bench", "schedule-bench")
+_FAMILIES = ("joincore-bench", "schedule-bench", "sharded-bench")
 
 #: Gated counters where *more* is better: these gate as floors
 #: (current < baseline × (1 − tolerance) fails).
 _HIGHER_IS_BETTER = frozenset(
-    {"rules_skipped", "kernel_cache_hits", "codegen_kernels", "batch_joins"}
+    {
+        "rules_skipped",
+        "kernel_cache_hits",
+        "codegen_kernels",
+        "batch_joins",
+        "exchange_rounds",
+        "exchange_tuples",
+    }
 )
 
 

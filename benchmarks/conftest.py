@@ -77,6 +77,17 @@ def pytest_addoption(parser) -> None:
         ),
     )
     parser.addoption(
+        "--sharded-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the sharded engine's scaling walls and exchange "
+            "counters to the trajectory at PATH "
+            "(e.g. BENCH_sharded.json)"
+        ),
+    )
+    parser.addoption(
         "--json-sha",
         action="store",
         default=None,
@@ -207,6 +218,33 @@ class ScheduleLog(JoinCoreLog):
                 return
 
 
+class ShardedLog(JoinCoreLog):
+    """Collects the sharded engine's measurements for ``--sharded-json``.
+
+    ``exchange_tuples`` / ``exchange_rounds`` gate as *floors*: a drop
+    to zero means the delta-shipping exchange silently stopped running
+    (e.g. the pool fell back to single-process); ``valuations`` gates
+    the usual way, catching work blow-ups.
+    """
+
+    GATED = (
+        "iterations",
+        "valuations",
+        "exchange_rounds",
+        "exchange_tuples",
+    )
+
+
+@pytest.fixture
+def sharded_log(request) -> ShardedLog:
+    """Session-wide recorder behind the ``--sharded-json`` knob."""
+    records = getattr(request.config, "_sharded_records", None)
+    if records is None:
+        records = []
+        request.config._sharded_records = records
+    return ShardedLog(records)
+
+
 @pytest.fixture
 def joincore_log(request) -> JoinCoreLog:
     """Session-wide recorder behind the ``--json`` knob."""
@@ -300,6 +338,12 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             "_schedule_records",
             "schedule-bench",
             ScheduleLog.GATED,
+        ),
+        (
+            "--sharded-json",
+            "_sharded_records",
+            "sharded-bench",
+            ShardedLog.GATED,
         ),
     ):
         path = config.getoption(option, default=None)

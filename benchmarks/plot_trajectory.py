@@ -60,7 +60,7 @@ SERIES_SLOTS = ("#2a78d6", "#eb6834", "#1e9e64", "#8a56c9", "#c2403f")
 #: combined wall-time chart.
 VARIANT_SEGMENTS = frozenset(
     {"interpreted", "compiled", "codegen", "batched", "indexed", "naive",
-     "scc"}
+     "scc", "sharded-w2", "sharded-w4"}
 )
 
 PANEL_W = 640

@@ -122,6 +122,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             plan=args.plan,
             schedule=args.schedule,
             engine=args.engine,
+            engine_workers=args.workers,
         )
     except ValueError as exc:
         # Knob conflicts (e.g. --plan naive --engine codegen) surface
@@ -215,6 +216,17 @@ def build_parser() -> argparse.ArgumentParser:
             "generated-source kernels (codegen), columnar whole-batch "
             "kernels (batched), or the re-planned generator pipeline "
             "(interpreted)"
+        ),
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "shard the semi-naïve delta across N worker processes "
+            "(partition-local joins + delta-shipping exchange; "
+            "requires --method seminaive; default 1 = in-process)"
         ),
     )
     run.add_argument(

@@ -635,18 +635,55 @@ class BatchedKernel:
         if fb.binding is None:
             var = fb.var
             bound.add(var)
-            filter_fns = self._compile_filters(fb.filters, bound)
+            # Hoist the leading run of filters that read only the
+            # fallback variable: they evaluate once over the d-length
+            # domain column and shrink it *before* the n×d expansion,
+            # instead of once per expanded row.  Only a prefix can
+            # hoist — a later filter's prune count is defined on the
+            # rows surviving the earlier ones, so reordering would
+            # break exact counter parity with the per-candidate
+            # executors.  The counters still report the full n×d
+            # candidate total and per-filter prunes scaled by n, so
+            # the hoist is invisible to the regression gates.
+            unary_fns: List[Callable] = []
+            expanded_fns: List[Callable] = []
+            for cond in fb.filters:
+                fn = self._compile_cond_mask(cond, bound)
+                if fn is None:
+                    continue  # trivially true: prunes nothing anywhere
+                if not expanded_fns and _cond_vars(cond) <= {var}:
+                    unary_fns.append(fn)
+                else:
+                    expanded_fns.append(fn)
+            filter_fns = expanded_fns
             domain = self._domain
 
             def run_domain(guards, cols, slots, n, ctr):
                 d = len(domain)
+                dom: Sequence[Any] = domain
+                hoisted: List[int] = []
+                if unary_fns and n and d:
+                    dcols = {var: list(domain)}
+                    dn = d
+                    for ffn in unary_fns:
+                        dn2 = _compress(dcols, {}, ffn(dcols, dn), dn)
+                        hoisted.append(dn - dn2)
+                        dn = dn2
+                        if dn == 0:
+                            break
+                    dom = dcols[var]
+                counts = [len(dom)] * n
                 for name, col in cols.items():
-                    cols[name] = _replicate(col, [d] * n)
+                    cols[name] = _replicate(col, counts)
                 for s, col in slots.items():
-                    slots[s] = _replicate(col, [d] * n)
-                cols[var] = list(domain) * n
-                n *= d
-                ctr[counter] += n
+                    slots[s] = _replicate(col, counts)
+                cols[var] = list(dom) * n
+                ctr[counter] += n * d
+                for pruned in hoisted:
+                    if pruned:
+                        ctr[_C_PRUNES] += pruned * n
+                        ctr[_C_VEC_PRUNES] += pruned * n
+                n *= len(dom)
                 if n == 0:
                     return 0
                 for ffn in filter_fns:

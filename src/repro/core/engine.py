@@ -50,6 +50,7 @@ def solve(
     plan: str = "indexed",
     schedule: str = "auto",
     engine: str = "auto",
+    engine_workers: int = 1,
 ) -> EvaluationResult:
     """Evaluate a datalog° program to its least fixpoint.
 
@@ -106,6 +107,21 @@ def solve(
             baseline; ``"compiled"`` forces closure kernels (and, like
             ``"codegen"``/``"batched"``, rejects ``plan="naive"``).
             All engines compute the same fixpoint.
+        engine_workers: Shard count for semi-naïve evaluation.  ``> 1``
+            hash-partitions every recursive delta across that many
+            persistent worker processes (threads on free-threaded
+            builds) and runs each iteration as partition-local joins
+            plus a delta-shipping repartition exchange
+            (:mod:`repro.core.sharded`); the coordinator's
+            deterministic merge keeps the fixpoint byte-identical to
+            the single-process engines.  Requires
+            ``method="seminaive"`` (only semi-naïve has a per-iteration
+            delta to shard) and is incompatible with ``capture_trace``.
+            Composes with ``engine`` (each worker runs that pipeline)
+            and ``schedule`` (each recursive stratum's fixpoint is
+            sharded).  A worker crash or stall falls back to
+            single-process evaluation with a warning
+            (``stats["shard_fallbacks"]``).
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.
@@ -117,6 +133,19 @@ def solve(
         )
     if schedule not in ("auto", "scc", "parallel", "monolithic"):
         raise ValueError(f"unknown schedule {schedule!r}")
+    if engine_workers < 1:
+        raise ValueError(f"engine_workers must be ≥ 1, got {engine_workers}")
+    if engine_workers > 1:
+        if method != "seminaive":
+            raise ValueError(
+                "engine_workers > 1 shards the semi-naïve delta; "
+                f"method={method!r} has none — use method='seminaive'"
+            )
+        if capture_trace:
+            raise ValueError(
+                "sharded evaluation keeps no global iteration chain; "
+                "use engine_workers=1 with capture_trace"
+            )
     if method in ("naive", "seminaive"):
         resolved = schedule
         if schedule == "auto":
@@ -136,6 +165,7 @@ def solve(
                 plan=plan,
                 engine=engine,
                 parallel=resolved == "parallel",
+                workers=engine_workers,
             )
     if method == "naive":
         return naive_fixpoint(
@@ -148,6 +178,18 @@ def solve(
             engine=engine,
         )
     if method == "seminaive":
+        if engine_workers > 1:
+            from .sharded import ShardedSemiNaiveEvaluator
+
+            return ShardedSemiNaiveEvaluator(
+                program,
+                database,
+                functions=functions,
+                max_iterations=max_iterations,
+                plan=plan,
+                engine=engine,
+                workers=engine_workers,
+            ).run()
         return seminaive_fixpoint(
             program,
             database,

@@ -140,6 +140,19 @@ class JoinStats:
       the same events as ``pushdown_prunes`` — which the batched
       engine also increments, keeping cross-engine parity — but only
       by the mask-based executor, so the split is observable.
+
+    The sharded-engine counters (see :mod:`repro.core.sharded`):
+
+    * ``exchange_rounds`` — repartition exchanges the coordinator ran
+      (one per semi-naïve iteration while the worker pool is live);
+    * ``exchange_tuples`` — delta tuples shipped coordinator → workers
+      across all exchanges (broadcast relations count once per
+      receiving shard, routed relations once total).  Under
+      ``engine_workers > 1`` this is a regression-gate *floor*: a drop
+      means the exchange stopped shipping deltas — i.e. sharded
+      evaluation silently stopped being engaged;
+    * ``shard_fallbacks`` — sharded runs that tore the worker pool
+      down (crash/deadline) and finished single-process.
     """
 
     probes: int = 0
@@ -162,6 +175,9 @@ class JoinStats:
     batch_joins: int = 0
     batch_rows: int = 0
     vector_filter_prunes: int = 0
+    exchange_rounds: int = 0
+    exchange_tuples: int = 0
+    shard_fallbacks: int = 0
 
     @property
     def keys_examined(self) -> int:
@@ -189,6 +205,9 @@ class JoinStats:
         self.batch_joins += other.batch_joins
         self.batch_rows += other.batch_rows
         self.vector_filter_prunes += other.vector_filter_prunes
+        self.exchange_rounds += other.exchange_rounds
+        self.exchange_tuples += other.exchange_tuples
+        self.shard_fallbacks += other.shard_fallbacks
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -212,6 +231,9 @@ class JoinStats:
             "batch_joins": self.batch_joins,
             "batch_rows": self.batch_rows,
             "vector_filter_prunes": self.vector_filter_prunes,
+            "exchange_rounds": self.exchange_rounds,
+            "exchange_tuples": self.exchange_tuples,
+            "shard_fallbacks": self.shard_fallbacks,
             "keys_examined": self.keys_examined,
         }
 

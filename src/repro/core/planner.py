@@ -48,12 +48,16 @@ business of :func:`repro.core.valuations.body_guards`.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    Dict,
+    FrozenSet,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -388,6 +392,244 @@ def build_plan(
         steps=tuple(steps),
         schedule=schedule,
         bound_after_steps=frozenset(bound_now),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sharding analysis (the planner half of the multi-process engine —
+# the runtime half is :mod:`repro.core.sharded`)
+# ---------------------------------------------------------------------------
+#
+# The sharded engine partitions each semi-naïve iteration by hashing
+# the *driving delta*: worker ``i`` runs the identical differential
+# iteration with the delta store restricted to the tuples it owns.
+# Every full-iteration match contains exactly one delta tuple (at its
+# variant's occurrence ``j``), so the owner partition of the delta
+# induces a disjoint partition of the match set — correctness never
+# depends on the analysis below.  What the analysis decides is the
+# *exchange volume*: a recursive relation is **routed** (each worker
+# receives only its owned slice of the relation's delta) exactly when
+# every occurrence of it, in every body the differential loop re-runs,
+# provably agrees with every possible delta driver on the sharding
+# key — otherwise it **broadcasts** (the full delta ships to every
+# worker, which still drives only its owned subset).
+
+
+def shard_of(value: Any, workers: int) -> int:
+    """Deterministic shard owner of a key component.
+
+    ``hash()`` is salted per interpreter (and therefore differs across
+    ``spawn``-mode workers), so ownership uses a ``repr``-based CRC —
+    stable across processes, runs and platforms for the repr-faithful
+    key types the engine stores (ints, strings, floats, tuples).
+    """
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace")) % workers
+
+
+def _aligned(a: Any, b: Any) -> bool:
+    """True when two occurrence args provably carry the same key value
+    in every match: the same variable, or equal constants."""
+    if isinstance(a, Variable) and isinstance(b, Variable):
+        return a.name == b.name
+    if isinstance(a, Constant) and isinstance(b, Constant):
+        return a.value == b.value
+    return False
+
+
+def _shardable_occurrence(atom, column: int) -> bool:
+    """An occurrence the alignment model covers: simple args and the
+    shard column in range."""
+    return 0 <= column < len(atom.args) and all(
+        isinstance(arg, (Constant, Variable)) for arg in atom.args
+    )
+
+
+def _recursive_bodies(program, recursive: FrozenSet[str]):
+    """Bodies with ≥ 1 direct recursive occurrence — the only bodies
+    the differential loop re-runs after bootstrap (Eq. 65) — paired
+    with those occurrences (the potential delta drivers)."""
+    from .rules import RelAtom
+
+    out = []
+    for rule in program.rules:
+        for body in rule.bodies:
+            occs = [
+                f
+                for f in body.factors
+                if isinstance(f, RelAtom) and f.relation in recursive
+            ]
+            if occs:
+                out.append((rule, body, occs))
+    return out
+
+
+def _alignment_score(
+    columns: Mapping[str, int], bodies: Sequence[Tuple]
+) -> int:
+    """Number of co-occurring recursive-atom pairs whose args agree at
+    the current shard columns — the quantity column selection maximizes
+    (each aligned pair is one occurrence that can stay routed)."""
+    score = 0
+    for _rule, _body, occs in bodies:
+        for i, a in enumerate(occs):
+            ca = columns.get(a.relation, -1)
+            if not _shardable_occurrence(a, ca):
+                continue
+            for b in occs[i + 1 :]:
+                cb = columns.get(b.relation, -1)
+                if not _shardable_occurrence(b, cb):
+                    continue
+                if _aligned(a.args[ca], b.args[cb]):
+                    score += 1
+    return score
+
+
+def select_shard_columns(
+    program, recursive: Optional[FrozenSet[str]] = None
+) -> Dict[str, int]:
+    """Pick each recursive relation's shard column.
+
+    Greedy coordinate ascent on :func:`_alignment_score`: starting from
+    column 0 everywhere, repeatedly re-pick one relation's column to
+    maximize the number of aligned co-occurrence pairs given the
+    others' current columns, until a full pass changes nothing.  Ties
+    always break toward the smaller column and relations are visited in
+    sorted order, so the result is deterministic.  E.g. for the mutual
+    recursion ``T ⊕= A(X,Z) ⊗ B(Z,Y)`` this lands on ``A→1, B→0``
+    (both sharded on ``Z``), letting both deltas route.
+    """
+    if recursive is None:
+        recursive = program.idb_names()
+    bodies = _recursive_bodies(program, recursive)
+    arity: Dict[str, int] = {}
+    for rule in program.rules:
+        if rule.head_relation in recursive:
+            n = len(rule.head_args)
+            arity[rule.head_relation] = min(
+                arity.get(rule.head_relation, n), n
+            )
+    for _rule, _body, occs in bodies:
+        for atom in occs:
+            n = len(atom.args)
+            arity[atom.relation] = min(arity.get(atom.relation, n), n)
+    columns = {name: 0 for name in sorted(recursive)}
+    for _ in range(len(columns) + 1):
+        changed = False
+        for name in sorted(columns):
+            best = (-_alignment_score(columns, bodies), columns[name])
+            for c in range(arity.get(name, 1)):
+                if c == columns[name]:
+                    continue
+                trial = dict(columns)
+                trial[name] = c
+                cand = (-_alignment_score(trial, bodies), c)
+                if cand < best:
+                    best = cand
+            if best[1] != columns[name]:
+                columns[name] = best[1]
+                changed = True
+        if not changed:
+            break
+    return columns
+
+
+def broadcast_relations(
+    program,
+    columns: Mapping[str, int],
+    recursive: Optional[FrozenSet[str]] = None,
+) -> FrozenSet[str]:
+    """Recursive relations whose deltas must ship to *every* shard.
+
+    ``R`` may route (each worker receives only its owned slice, so its
+    local ``new``/``old``/``delta`` stores for ``R`` are partial) only
+    when every match a worker can drive touches exclusively on-shard
+    ``R`` tuples.  Since worker ``i`` drives only delta tuples it owns,
+    that holds when, in every body the differential loop re-runs, every
+    occurrence ``O`` of ``R`` carries the same variable at
+    ``columns[R]`` as every potential driver occurrence ``D`` carries
+    at ``columns[D.relation]`` — then ``O``'s key hashes to the
+    driver's shard in every match, independent of join order.
+    Anything the model cannot certify — non-simple args, atoms under
+    interpreted functions, arity/column mismatches (including head
+    arities, which mint the delta keys) — broadcasts conservatively.
+    """
+    from .rules import RelAtom, factor_atoms
+
+    if recursive is None:
+        recursive = program.idb_names()
+    broadcast: Set[str] = set()
+    for rule in program.rules:
+        head = rule.head_relation
+        if head in recursive and not (
+            0 <= columns.get(head, -1) < len(rule.head_args)
+        ):
+            broadcast.add(head)
+        for body in rule.bodies:
+            for factor in body.factors:
+                if isinstance(factor, RelAtom):
+                    continue
+                for atom, _ in factor_atoms(factor):
+                    if atom.relation in recursive:
+                        broadcast.add(atom.relation)
+    for _rule, _body, occs in _recursive_bodies(program, recursive):
+        for oi, occ in enumerate(occs):
+            if occ.relation in broadcast:
+                continue
+            co = columns.get(occ.relation, -1)
+            if not _shardable_occurrence(occ, co):
+                broadcast.add(occ.relation)
+                continue
+            for di, drv in enumerate(occs):
+                if di == oi:
+                    continue  # the driver tuple itself is owned
+                cd = columns.get(drv.relation, -1)
+                if not _shardable_occurrence(drv, cd) or not _aligned(
+                    occ.args[co], drv.args[cd]
+                ):
+                    broadcast.add(occ.relation)
+                    break
+    return frozenset(broadcast)
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """How the sharded engine partitions one (sub-)program's deltas.
+
+    Picklable by construction — it ships to every worker once at pool
+    start.  ``columns`` maps each recursive relation to the key
+    position whose hash owns its tuples; ``broadcast`` names the
+    relations whose deltas ship whole (see
+    :func:`broadcast_relations`); ``workers`` is the shard count.
+    """
+
+    workers: int
+    columns: Mapping[str, int]
+    broadcast: FrozenSet[str]
+
+    def owner(self, relation: str, key: Tuple) -> int:
+        """The shard that drives this delta tuple."""
+        if self.workers <= 1:
+            return 0
+        column = self.columns.get(relation)
+        if column is None or not (0 <= column < len(key)):
+            return shard_of(key, self.workers)
+        return shard_of(key[column], self.workers)
+
+    def routed(self, relation: str) -> bool:
+        """True when only the owner shard needs this relation's delta."""
+        return (
+            relation in self.columns and relation not in self.broadcast
+        )
+
+
+def build_sharding_plan(
+    program, workers: int, recursive: Optional[FrozenSet[str]] = None
+) -> ShardingPlan:
+    """Column selection + cross-shard analysis, packaged for shipping."""
+    columns = select_shard_columns(program, recursive)
+    broadcast = broadcast_relations(program, columns, recursive)
+    return ShardingPlan(
+        workers=workers, columns=columns, broadcast=broadcast
     )
 
 

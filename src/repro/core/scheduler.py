@@ -124,6 +124,7 @@ def _evaluate_component(
     stats: EvalStats,
     indexes: Optional[IndexManager],
     engine: str,
+    workers: int = 1,
 ) -> Tuple[Instance, int]:
     """Run one component to its least fixpoint against frozen inputs."""
     pops = working.pops
@@ -147,6 +148,24 @@ def _evaluate_component(
         instance = evaluator.ico(Instance(pops))
         return instance, (0 if instance.size() == 0 else 1)
     if method == "seminaive":
+        if workers > 1:
+            # Only recursive semi-naïve strata have a per-iteration
+            # delta to shard; everything else stays single-process.
+            from .sharded import ShardedSemiNaiveEvaluator
+
+            result = ShardedSemiNaiveEvaluator(
+                sub,
+                working,
+                functions=functions,
+                max_iterations=max_iterations,
+                plan=plan,
+                domain=domain,
+                stats=stats,
+                indexes=indexes,
+                engine=engine,
+                workers=workers,
+            ).run()
+            return result.instance, result.steps
         result = SemiNaiveEvaluator(
             sub,
             working,
@@ -185,6 +204,7 @@ def scheduled_fixpoint(
     engine: str = "auto",
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    workers: int = 1,
 ) -> EvaluationResult:
     """Evaluate a program stratum-by-stratum over its SCC condensation.
 
@@ -207,6 +227,12 @@ def scheduled_fixpoint(
             results and reports keep the deterministic schedule order.
         max_workers: Thread-pool width for ``parallel`` (defaults to
             the CPU count).
+        workers: Shard count for recursive semi-naïve strata — ``> 1``
+            runs each such stratum's fixpoint on the sharded
+            multi-process engine (:mod:`repro.core.sharded`) with its
+            delta hash-partitioned across persistent workers.
+            Orthogonal to ``parallel`` (which overlaps *independent*
+            strata; sharding splits the work *inside* one stratum).
 
     Returns:
         An :class:`~repro.core.naive.EvaluationResult` whose ``steps``
@@ -243,6 +269,7 @@ def scheduled_fixpoint(
             total_heads=total_heads,
             engine=engine,
             max_workers=max_workers,
+            workers=workers,
         )
     stats = EvalStats()
     indexes = IndexManager(stats=stats.join) if is_indexed_plan(plan) else None
@@ -276,6 +303,7 @@ def scheduled_fixpoint(
             stats,
             indexes,
             engine,
+            workers,
         )
         reports.append(
             StratumReport(
@@ -299,6 +327,8 @@ def scheduled_fixpoint(
     snapshot = stats.snapshot()
     snapshot["strata"] = len(reports)
     snapshot["recursive_strata"] = sum(1 for r in reports if r.recursive)
+    if workers > 1:
+        snapshot["shard_workers"] = workers
     return EvaluationResult(
         instance=combined,
         steps=max((r.steps for r in reports), default=0),
@@ -361,6 +391,7 @@ def _parallel_schedule(
     total_heads: Optional[bool],
     engine: str,
     max_workers: Optional[int],
+    workers: int = 1,
 ) -> EvaluationResult:
     """Evaluate independent condensation branches concurrently.
 
@@ -436,12 +467,13 @@ def _parallel_schedule(
             stats,
             indexes,
             engine,
+            workers,
         )
         return i, instance, steps, stats
 
-    workers = max_workers or os.cpu_count() or 1
+    pool_width = max_workers or os.cpu_count() or 1
     submitted: set = set()
-    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+    with concurrent.futures.ThreadPoolExecutor(max_workers=pool_width) as pool:
         futures: Dict[concurrent.futures.Future, int] = {}
 
         def submit_ready() -> None:
@@ -489,7 +521,9 @@ def _parallel_schedule(
     snapshot = totals.snapshot()
     snapshot["strata"] = len(reports)
     snapshot["recursive_strata"] = sum(1 for r in reports if r.recursive)
-    snapshot["parallel_workers"] = workers
+    snapshot["parallel_workers"] = pool_width
+    if workers > 1:
+        snapshot["shard_workers"] = workers
     return EvaluationResult(
         instance=combined,
         steps=max((r.steps for r in reports), default=0),

@@ -475,13 +475,169 @@ class SemiNaiveEvaluator:
         return self._kernels.get((p_idx, j), build)
 
     # ------------------------------------------------------------------
-    def run(self, capture_trace: bool = False) -> EvaluationResult:
-        """Run Algorithm 3 to fixpoint."""
+    def _iteration_contributions(
+        self, delta: Instance, new: Instance, old: Instance, step: int
+    ) -> Dict[str, Dict[Key, Value]]:
+        """One differential iteration's head contributions (Eq. 64/65).
+
+        Returns per-head-relation buckets of ⊕-accumulated match
+        values.  Factored out of :meth:`run` so the sharded runtime
+        (:mod:`repro.core.sharded`) can drive the *same* code with a
+        partition of the delta: every full-iteration match contains
+        exactly one delta tuple at its variant's occurrence ``j``, so
+        restricting the delta store to one shard yields exactly that
+        shard's slice of the match set — disjoint across shards, and
+        bucket accumulation order within a shard matches the
+        single-process enumeration order.
+        """
+        self._step = step
+        contributions: Dict[str, Dict[Key, Value]] = {}
+        add = self.pops.add
+        for p_idx, (
+            rule, body, idb_positions, extra_conjuncts
+        ) in enumerate(self._plans):
+            if not idb_positions:
+                continue  # Eq. 65: EDB-only bodies drop out for t ≥ 1.
+            for j in range(len(idb_positions)):
+                if self.compiled:
+                    atom = body.factors[idb_positions[j]]
+                    if not delta.support(atom.relation) and all(
+                        isinstance(a, (Variable, Constant))
+                        for a in atom.args
+                    ):
+                        # Delta-driven activation: the occurrence
+                        # reading the delta drives the enumeration
+                        # (its guard is always usable for simple
+                        # args), so an empty delta store means the
+                        # variant cannot match — drop it before
+                        # guards are even built.
+                        self.stats.rules_skipped += 1
+                        continue
+                self.stats.rule_applications += 1
+                if self.compiled:
+                    guards = self._compiled_variant_guards(
+                        p_idx, j, body, idb_positions, delta, new, old
+                    )
+                else:
+                    guards = self._variant_guards(
+                        body, idb_positions, j, delta, new, old
+                    )
+                if self.compiled:
+                    entry = self._compiled_variant(
+                        p_idx, j, guards, rule, body,
+                        idb_positions, extra_conjuncts,
+                    )
+                    if self.mode in ("codegen", "batched"):
+                        bucket = contributions.setdefault(
+                            rule.head_relation, {}
+                        )
+                        matched_n = entry.run(
+                            guards, (new, delta, old), bucket
+                        )
+                        self.stats.valuations += matched_n
+                        self.stats.products += matched_n
+                        continue
+                    kernel, value_fn, head_key, head_rel = entry
+                    stores = (new, delta, old)
+                    matched = [0]
+                    bucket = contributions.setdefault(head_rel, {})
+
+                    def emit(
+                        valu, slots,
+                        _value=value_fn, _head=head_key,
+                        _bucket=bucket, _stores=stores,
+                        _n=matched,
+                    ):
+                        _n[0] += 1
+                        value = _value(valu, slots, _stores)
+                        key = _head(valu)
+                        if key in _bucket:
+                            _bucket[key] = add(_bucket[key], value)
+                        else:
+                            _bucket[key] = value
+
+                    kernel.execute(guards, emit)
+                    value_fn.flush(self.stats.join)
+                    self.stats.valuations += matched[0]
+                    self.stats.products += matched[0]
+                    continue
+                bucket = contributions.setdefault(rule.head_relation, {})
+                for valuation, slot_values in enumerate_matches(
+                    body.enumeration_order(),
+                    guards,
+                    self.domain,
+                    body.condition,
+                    self.database.bool_holds,
+                    plan=self.plan,
+                    stats=self.stats.join,
+                    extra_conjuncts=extra_conjuncts,
+                ):
+                    self.stats.valuations += 1
+                    value = self._variant_value(
+                        body, idb_positions, j, valuation, delta, new, old,
+                        slot_values=slot_values,
+                    )
+                    head_key = tuple(
+                        eval_term(t, valuation) for t in rule.head_args
+                    )
+                    if head_key in bucket:
+                        bucket[head_key] = self.pops.add(
+                            bucket[head_key], value
+                        )
+                    else:
+                        bucket[head_key] = value
+        return contributions
+
+    def _next_delta(
+        self, contributions: Dict[str, Dict[Key, Value]], new: Instance
+    ) -> Instance:
+        """``δ = contributions ⊖ new`` with ⊥/0 entries dropped."""
+        next_delta = Instance(self.pops)
         zero = self.pops.zero
-        # J⁽¹⁾ = F(0̄) and δ⁽⁰⁾ = J⁽¹⁾ ⊖ 0̄ = J⁽¹⁾ (b ⊖ 0 = b).  The
-        # bootstrap shares this evaluator's counters, domain and index
-        # cache, so its EDB indexes are the ones the differential loop
-        # keeps probing (built once for the whole run).
+        minus = self.pops.minus
+        eq = self.pops.eq
+        new_get = new.get
+        next_set = next_delta.set
+        for rel, entries in contributions.items():
+            for key, value in entries.items():
+                diff = minus(value, new_get(rel, key))
+                if not eq(diff, zero):
+                    next_set(rel, key, diff)
+        return next_delta
+
+    def _apply_delta(self, new: Instance, next_delta: Instance) -> None:
+        """⊕-merge an applied delta into ``new``, refreshing indexes.
+
+        The live ``("sn-new", rel)`` indexes are maintained
+        incrementally: the only keys that can appear (or whose value
+        can change) are the delta's, and their fresh ⊕-merged values
+        must replace the carried ones so probes keep reading exactly
+        what ``new`` stores.
+        """
+        merge = new.merge
+        for rel in list(next_delta.relations()):
+            for key, d in next_delta.support(rel).items():
+                merge(rel, key, d)
+        if is_indexed_plan(self.plan):
+            for rel in next_delta.relations():
+                index = self.indexes.peek(("sn-new", rel))
+                if index is None:
+                    self.indexes.get(
+                        ("sn-new", rel),
+                        lambda n=new, r=rel: n.support(r),
+                        version="live",
+                    )
+                else:
+                    for key in next_delta.support_keys(rel):
+                        index.add(key, new.get(rel, key))
+
+    def bootstrap(self) -> Instance:
+        """``J⁽¹⁾ = F(0̄)``: the shared first naïve application.
+
+        The bootstrap shares this evaluator's counters, domain and
+        index cache, so its EDB indexes are the ones the differential
+        loop keeps probing (built once for the whole run).
+        """
         bootstrap = NaiveEvaluator(
             self.program,
             self.database,
@@ -493,9 +649,16 @@ class SemiNaiveEvaluator:
             indexes=self.indexes,
             engine=self.engine,
         )
-        empty = Instance(self.pops)
-        new = bootstrap.ico(empty)
+        new = bootstrap.ico(Instance(self.pops))
         self.stats.iterations += 1
+        return new
+
+    # ------------------------------------------------------------------
+    def run(self, capture_trace: bool = False) -> EvaluationResult:
+        """Run Algorithm 3 to fixpoint."""
+        # J⁽¹⁾ = F(0̄) and δ⁽⁰⁾ = J⁽¹⁾ ⊖ 0̄ = J⁽¹⁾ (b ⊖ 0 = b).
+        empty = Instance(self.pops)
+        new = self.bootstrap()
         delta = new.copy()
         old = empty
         trace: List[Instance] = []
@@ -508,117 +671,13 @@ class SemiNaiveEvaluator:
 
         for step in range(1, self.max_iterations):
             self.stats.iterations += 1
-            self._step = step
             # Per-relation buckets: the head relation is fixed per rule,
             # so matches accumulate under their head key alone (no
             # (rel, key) tuple allocation per match).
-            contributions: Dict[str, Dict[Key, Value]] = {}
-            add = self.pops.add
-            for p_idx, (
-                rule, body, idb_positions, extra_conjuncts
-            ) in enumerate(self._plans):
-                if not idb_positions:
-                    continue  # Eq. 65: EDB-only bodies drop out for t ≥ 1.
-                for j in range(len(idb_positions)):
-                    if self.compiled:
-                        atom = body.factors[idb_positions[j]]
-                        if not delta.support(atom.relation) and all(
-                            isinstance(a, (Variable, Constant))
-                            for a in atom.args
-                        ):
-                            # Delta-driven activation: the occurrence
-                            # reading the delta drives the enumeration
-                            # (its guard is always usable for simple
-                            # args), so an empty delta store means the
-                            # variant cannot match — drop it before
-                            # guards are even built.
-                            self.stats.rules_skipped += 1
-                            continue
-                    self.stats.rule_applications += 1
-                    if self.compiled:
-                        guards = self._compiled_variant_guards(
-                            p_idx, j, body, idb_positions, delta, new, old
-                        )
-                    else:
-                        guards = self._variant_guards(
-                            body, idb_positions, j, delta, new, old
-                        )
-                    if self.compiled:
-                        entry = self._compiled_variant(
-                            p_idx, j, guards, rule, body,
-                            idb_positions, extra_conjuncts,
-                        )
-                        if self.mode in ("codegen", "batched"):
-                            bucket = contributions.setdefault(
-                                rule.head_relation, {}
-                            )
-                            matched_n = entry.run(
-                                guards, (new, delta, old), bucket
-                            )
-                            self.stats.valuations += matched_n
-                            self.stats.products += matched_n
-                            continue
-                        kernel, value_fn, head_key, head_rel = entry
-                        stores = (new, delta, old)
-                        matched = [0]
-                        bucket = contributions.setdefault(head_rel, {})
-
-                        def emit(
-                            valu, slots,
-                            _value=value_fn, _head=head_key,
-                            _bucket=bucket, _stores=stores,
-                            _n=matched,
-                        ):
-                            _n[0] += 1
-                            value = _value(valu, slots, _stores)
-                            key = _head(valu)
-                            if key in _bucket:
-                                _bucket[key] = add(_bucket[key], value)
-                            else:
-                                _bucket[key] = value
-
-                        kernel.execute(guards, emit)
-                        value_fn.flush(self.stats.join)
-                        self.stats.valuations += matched[0]
-                        self.stats.products += matched[0]
-                        continue
-                    bucket = contributions.setdefault(rule.head_relation, {})
-                    for valuation, slot_values in enumerate_matches(
-                        body.enumeration_order(),
-                        guards,
-                        self.domain,
-                        body.condition,
-                        self.database.bool_holds,
-                        plan=self.plan,
-                        stats=self.stats.join,
-                        extra_conjuncts=extra_conjuncts,
-                    ):
-                        self.stats.valuations += 1
-                        value = self._variant_value(
-                            body, idb_positions, j, valuation, delta, new, old,
-                            slot_values=slot_values,
-                        )
-                        head_key = tuple(
-                            eval_term(t, valuation) for t in rule.head_args
-                        )
-                        if head_key in bucket:
-                            bucket[head_key] = self.pops.add(
-                                bucket[head_key], value
-                            )
-                        else:
-                            bucket[head_key] = value
-
-            next_delta = Instance(self.pops)
-            minus = self.pops.minus
-            eq = self.pops.eq
-            new_get = new.get
-            next_set = next_delta.set
-            for rel, entries in contributions.items():
-                for key, value in entries.items():
-                    diff = minus(value, new_get(rel, key))
-                    if not eq(diff, zero):
-                        next_set(rel, key, diff)
-
+            contributions = self._iteration_contributions(
+                delta, new, old, step
+            )
+            next_delta = self._next_delta(contributions, new)
             if next_delta.size() == 0:
                 return EvaluationResult(
                     instance=new,
@@ -629,27 +688,7 @@ class SemiNaiveEvaluator:
             old = new
             if not self._linear:
                 new = new.copy()
-            merge = new.merge
-            for rel in list(next_delta.relations()):
-                for key, d in next_delta.support(rel).items():
-                    merge(rel, key, d)
-            if is_indexed_plan(self.plan):
-                # Maintain the shared new-store indexes incrementally:
-                # the only keys that can appear (or whose value can
-                # change) are the delta's, and their fresh ⊕-merged
-                # values must replace the carried ones so probes keep
-                # reading exactly what ``new`` stores.
-                for rel in next_delta.relations():
-                    index = self.indexes.peek(("sn-new", rel))
-                    if index is None:
-                        self.indexes.get(
-                            ("sn-new", rel),
-                            lambda n=new, r=rel: n.support(r),
-                            version="live",
-                        )
-                    else:
-                        for key in next_delta.support_keys(rel):
-                            index.add(key, new.get(rel, key))
+            self._apply_delta(new, next_delta)
             if capture_trace:
                 trace.append(new.copy())
             delta = next_delta

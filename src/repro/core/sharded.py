@@ -1,0 +1,541 @@
+"""Sharded multi-process semi-naïve evaluation (delta-shipping exchange).
+
+True multicore for GIL builds, BigDatalog-style: the coordinator runs
+Algorithm 3's outer loop while ``N`` persistent workers each run the
+**identical** differential iteration
+(:meth:`~repro.core.seminaive.SemiNaiveEvaluator._iteration_contributions`)
+with the driving delta restricted to the hash partition they own.
+
+Why this is byte-identical to the single-process engines: every match
+of a differential variant contains exactly one delta tuple (at the
+variant's occurrence ``j`` — Theorem 6.5), so the owner partition of
+the delta induces a *disjoint* partition of the match set.  Worker
+``i``'s bucket is the single-process bucket restricted to its matches,
+accumulated in the single-process enumeration order; the coordinator
+⊕-merges the buckets in shard order 0‥N-1 (the same deterministic
+order the parallel-strata scheduler uses), subtracts against the
+master ``new`` store, and applies the resulting delta exactly as
+:meth:`~repro.core.seminaive.SemiNaiveEvaluator.run` would.  The
+per-iteration ``valuations``/``products`` counters partition with the
+matches, so their shard sums are asserted equal to the single-process
+counts by the differential tests.  (Scan-shaped counters —
+``scanned_keys``, ``probes`` — do *not* partition: each worker probes
+its own full replica.)
+
+What moves over the wire: **delta tuples only**, never store pickles
+or closures.  Workers are forked (or, on free-threaded builds where
+the GIL is off, plain threads — no pickling at all), bootstrap
+``J⁽¹⁾ = F(0̄)`` locally from the database they inherited, and compile
+their own kernels; each exchange round ships each relation's fresh
+delta either **routed** (only the owner shard receives its slice — the
+planner proved every probe of the relation agrees with the driver on
+the sharding key, see :func:`repro.core.planner.broadcast_relations`)
+or **broadcast** (every shard receives the full delta and still drives
+only the subset it owns).  Exchange volume is counted in
+``stats["exchange_rounds"]`` / ``stats["exchange_tuples"]``.
+
+Robustness: a worker that dies, errors, or blows the per-iteration
+deadline tears the whole pool down; the coordinator warns, bumps
+``shard_fallbacks``, and finishes the remaining fixpoint single-process
+from its own master state — it never hangs and never publishes a
+partial iteration (worker results are only merged once all N arrive).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import sys
+import threading
+import time
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..fixpoint.iteration import DivergenceError
+from ..semirings.base import FunctionRegistry, Value
+from .instance import Database, Instance, Key
+from .naive import EvalStats, EvaluationResult
+from .planner import ShardingPlan, build_sharding_plan
+from .rules import Program
+from .seminaive import SemiNaiveEvaluator
+
+#: Test hooks: make worker ``DATALOGO_SHARD_CRASH_WORKER`` (default 0)
+#: die (process mode) or raise (thread mode) at the given step, or
+#: stall there until the deadline reaps it.  Unset/0 disables.
+_CRASH_STEP_ENV = "DATALOGO_SHARD_CRASH_STEP"
+_CRASH_WORKER_ENV = "DATALOGO_SHARD_CRASH_WORKER"
+_STALL_STEP_ENV = "DATALOGO_SHARD_STALL_STEP"
+_STALL_WORKER_ENV = "DATALOGO_SHARD_STALL_WORKER"
+#: Force the thread pool even on GIL builds (protocol tests).
+_THREADS_ENV = "DATALOGO_SHARD_THREADS"
+
+#: How often blocking receives wake up to check worker liveness (s).
+_POLL_INTERVAL = 0.05
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died, errored, or missed its deadline."""
+
+
+def _env_step(name: str) -> int:
+    try:
+        return int(os.environ.get(name, "0") or "0")
+    except ValueError:
+        return 0
+
+
+def _use_threads() -> bool:
+    """Threads instead of processes: free-threaded builds (no GIL to
+    serialize the workers, no exchange pickling needed), platforms
+    without ``fork``, or the explicit test override."""
+    if os.environ.get(_THREADS_ENV):
+        return True
+    gil_check = getattr(sys, "_is_gil_enabled", None)
+    if gil_check is not None and not gil_check():
+        return True
+    return "fork" not in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Wire encoding: plain (relation, [(key, value), …]) lists, preserving
+# store iteration order so worker-side insertion order — and therefore
+# enumeration order — matches the single-process run restricted to the
+# shard.
+# ---------------------------------------------------------------------------
+
+
+def _decode_instance(payload, pops) -> Instance:
+    instance = Instance(pops)
+    set_ = instance.set
+    for rel, entries in payload:
+        for key, value in entries:
+            set_(rel, key, value)
+    return instance
+
+
+def _payload_tuples(payload) -> int:
+    return sum(len(entries) for _rel, entries in payload)
+
+
+def _owned_slice(
+    delta: Instance, plan: ShardingPlan, worker: int, pops
+) -> Instance:
+    """The delta tuples worker ``worker`` drives this iteration.
+
+    Routed slices arrive pre-restricted, so re-filtering is a no-op for
+    them; broadcast relations (and the locally bootstrapped first
+    delta) are cut down here.  Iteration order is preserved, keeping
+    the worker's enumeration order the single-process order restricted
+    to the shard.
+    """
+    owned = Instance(pops)
+    set_ = owned.set
+    for rel in delta.relations():
+        for key, value in delta.support(rel).items():
+            if plan.owner(rel, key) == worker:
+                set_(rel, key, value)
+    return owned
+
+
+# ---------------------------------------------------------------------------
+# Worker loop (runs in a forked process or a thread)
+# ---------------------------------------------------------------------------
+
+
+def _worker_loop(
+    conn,
+    worker: int,
+    program: Program,
+    database: Database,
+    functions: Optional[FunctionRegistry],
+    max_iterations: int,
+    plan: str,
+    domain: Optional[Sequence[Any]],
+    engine: str,
+    shard_plan: ShardingPlan,
+    in_process: bool,
+) -> None:
+    """One shard's half of the protocol.
+
+    Bootstraps locally (the first application is deterministic from the
+    inherited program + database — nothing to ship), compiles its own
+    kernels on first use, then serves ``("step", t, slice|None)``
+    requests with ``("contrib", t, buckets, valuations, products)``
+    replies until ``("stop",)`` or EOF.
+    """
+    crash_step = _env_step(_CRASH_STEP_ENV)
+    crash_worker = _env_step(_CRASH_WORKER_ENV)
+    stall_step = _env_step(_STALL_STEP_ENV)
+    stall_worker = _env_step(_STALL_WORKER_ENV)
+    try:
+        evaluator = SemiNaiveEvaluator(
+            program,
+            database,
+            functions=functions,
+            max_iterations=max_iterations,
+            plan=plan,
+            domain=domain,
+            engine=engine,
+        )
+        new = evaluator.bootstrap()
+        delta = new.copy()
+        old = Instance(evaluator.pops)
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                return
+            if msg[0] == "stop":
+                return
+            _cmd, step, shipped = msg
+            if shipped is not None:
+                # Mirror run()'s store rotation exactly — including on
+                # empty slices, so old/new stay one iteration apart.
+                next_delta = _decode_instance(shipped, evaluator.pops)
+                old = new
+                if not evaluator._linear:
+                    new = new.copy()
+                evaluator._apply_delta(new, next_delta)
+                delta = next_delta
+            if crash_step and step == crash_step and worker == crash_worker:
+                if in_process:
+                    os._exit(1)
+                raise RuntimeError("crash hook fired")
+            if stall_step and step == stall_step and worker == stall_worker:
+                time.sleep(3600.0)
+            driving = _owned_slice(delta, shard_plan, worker, evaluator.pops)
+            stats = evaluator.stats
+            valuations = stats.valuations
+            products = stats.products
+            contributions = evaluator._iteration_contributions(
+                driving, new, old, step
+            )
+            conn.send(
+                (
+                    "contrib",
+                    step,
+                    [
+                        (rel, list(bucket.items()))
+                        for rel, bucket in contributions.items()
+                    ],
+                    stats.valuations - valuations,
+                    stats.products - products,
+                )
+            )
+    except (KeyboardInterrupt, BrokenPipeError):
+        pass
+    except BaseException as exc:  # surfaced as a coordinator fallback
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Worker handles (process / thread) with a uniform protocol surface
+# ---------------------------------------------------------------------------
+
+
+class _ProcessWorker:
+    """A forked worker on a duplex pipe — the GIL-build default."""
+
+    def __init__(self, index: int, args: Tuple):
+        ctx = multiprocessing.get_context("fork")
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_loop,
+            args=(child, index) + args + (True,),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def send(self, msg) -> None:
+        self.conn.send(msg)
+
+    def recv(self, deadline_at: Optional[float]):
+        while True:
+            if self.conn.poll(_POLL_INTERVAL):
+                try:
+                    return self.conn.recv()
+                except EOFError:
+                    raise ShardWorkerError("worker pipe closed")
+            if deadline_at is not None and time.monotonic() > deadline_at:
+                raise ShardWorkerError("worker missed iteration deadline")
+            if not self.process.is_alive():
+                # One drain after death: the worker may have replied
+                # and exited before we polled.
+                if self.conn.poll(0):
+                    continue
+                raise ShardWorkerError("worker process died")
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except Exception:
+            pass
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+
+
+class _QueueConn:
+    """Queue-backed stand-in for a pipe connection (thread workers)."""
+
+    def __init__(self, inbox: "queue.Queue", outbox: "queue.Queue"):
+        self.inbox = inbox
+        self.outbox = outbox
+
+    def recv(self):
+        return self.inbox.get()
+
+    def send(self, msg) -> None:
+        self.outbox.put(msg)
+
+
+class _ThreadWorker:
+    """A thread worker — the free-threaded (nogil) fast path, where the
+    'exchange' passes references and ships nothing."""
+
+    def __init__(self, index: int, args: Tuple):
+        self.inbox: "queue.Queue" = queue.Queue()
+        self.outbox: "queue.Queue" = queue.Queue()
+        conn = _QueueConn(self.inbox, self.outbox)
+        self.thread = threading.Thread(
+            target=_worker_loop,
+            args=(conn, index) + args + (False,),
+            daemon=True,
+        )
+        self.thread.start()
+
+    def send(self, msg) -> None:
+        self.inbox.put(msg)
+
+    def recv(self, deadline_at: Optional[float]):
+        while True:
+            try:
+                return self.outbox.get(timeout=_POLL_INTERVAL)
+            except queue.Empty:
+                pass
+            if deadline_at is not None and time.monotonic() > deadline_at:
+                raise ShardWorkerError("worker missed iteration deadline")
+            if not self.thread.is_alive():
+                raise ShardWorkerError("worker thread died")
+
+    def stop(self) -> None:
+        self.inbox.put(("stop",))
+        self.thread.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class ShardedSemiNaiveEvaluator:
+    """Algorithm 3 with the per-iteration match set sharded over ``N``
+    workers (see the module docstring for the parity argument).
+
+    Accepts the same scheduler-facing knobs as
+    :class:`~repro.core.seminaive.SemiNaiveEvaluator` plus ``workers``
+    and an optional per-iteration ``deadline`` (seconds; ``None`` never
+    times out but still detects dead workers).  The coordinator keeps
+    the master stores, so the published fixpoint never depends on
+    worker-local state; ``stats`` valuations/products aggregate the
+    workers' exactly, while per-worker bookkeeping counters
+    (rule applications, probe counts) stay worker-local by design.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        functions: Optional[FunctionRegistry] = None,
+        max_iterations: int = 100_000,
+        plan: str = "indexed",
+        domain: Optional[Sequence[Any]] = None,
+        stats: Optional[EvalStats] = None,
+        indexes=None,
+        engine: str = "auto",
+        workers: int = 2,
+        deadline: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be ≥ 1, got {workers}")
+        self.workers = workers
+        self.deadline = deadline
+        self.master = SemiNaiveEvaluator(
+            program,
+            database,
+            functions=functions,
+            max_iterations=max_iterations,
+            plan=plan,
+            domain=domain,
+            stats=stats,
+            indexes=indexes,
+            engine=engine,
+        )
+        self.shard_plan = build_sharding_plan(program, workers)
+        # Everything a worker needs to rebuild the evaluator locally;
+        # under fork this is inherited, never pickled.
+        self._worker_args = (
+            program,
+            database,
+            functions,
+            max_iterations,
+            plan,
+            tuple(self.master.domain),
+            engine,
+            self.shard_plan,
+        )
+
+    # -- pool lifecycle -------------------------------------------------
+    def _start_pool(self) -> Optional[List]:
+        handle = _ThreadWorker if _use_threads() else _ProcessWorker
+        pool: List = []
+        try:
+            for i in range(self.workers):
+                pool.append(handle(i, self._worker_args))
+            return pool
+        except Exception as exc:
+            self._teardown(pool)
+            self._warn_fallback(exc)
+            return None
+
+    def _teardown(self, pool: Optional[List]) -> None:
+        for worker in pool or ():
+            try:
+                worker.stop()
+            except Exception:
+                pass
+
+    def _warn_fallback(self, reason) -> None:
+        self.master.stats.join.shard_fallbacks += 1
+        warnings.warn(
+            f"sharded evaluation fell back to single-process: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # -- exchange -------------------------------------------------------
+    def _slices(self, delta: Instance) -> List[List]:
+        """Per-worker exchange payloads for one fresh delta: routed
+        relations go only to their owner shard, broadcast relations to
+        every shard, both preserving store iteration order."""
+        plan = self.shard_plan
+        per_worker: List[Dict[str, List]] = [{} for _ in range(self.workers)]
+        for rel in delta.relations():
+            routed = plan.routed(rel)
+            for key, value in delta.support(rel).items():
+                if routed:
+                    targets: Tuple[int, ...] = (plan.owner(rel, key),)
+                else:
+                    targets = tuple(range(self.workers))
+                for t in targets:
+                    per_worker[t].setdefault(rel, []).append((key, value))
+        return [list(slots.items()) for slots in per_worker]
+
+    def _pool_step(
+        self, pool: List, step: int, delta: Instance
+    ) -> Optional[Dict[str, Dict[Key, Value]]]:
+        """One exchanged iteration; ``None`` means the pool failed and
+        was torn down (the caller recomputes locally — nothing from the
+        broken round was merged)."""
+        stats = self.master.stats
+        join = stats.join
+        add = self.master.pops.add
+        deadline_at = (
+            time.monotonic() + self.deadline
+            if self.deadline is not None
+            else None
+        )
+        try:
+            if step == 1:
+                # Workers hold the full bootstrap delta already.
+                for worker in pool:
+                    worker.send(("step", step, None))
+            else:
+                slices = self._slices(delta)
+                for i, worker in enumerate(pool):
+                    join.exchange_tuples += _payload_tuples(slices[i])
+                    worker.send(("step", step, slices[i]))
+            merged: Dict[str, Dict[Key, Value]] = {}
+            for worker in pool:
+                msg = worker.recv(deadline_at)
+                if msg[0] != "contrib":
+                    detail = msg[1] if len(msg) > 1 else msg[0]
+                    raise ShardWorkerError(f"worker failed: {detail}")
+                _cmd, _step, payload, valuations, products = msg
+                stats.valuations += valuations
+                stats.products += products
+                join.exchange_tuples += _payload_tuples(payload)
+                for rel, entries in payload:
+                    bucket = merged.setdefault(rel, {})
+                    for key, value in entries:
+                        if key in bucket:
+                            bucket[key] = add(bucket[key], value)
+                        else:
+                            bucket[key] = value
+            join.exchange_rounds += 1
+            return merged
+        except Exception as exc:
+            self._teardown(pool)
+            self._warn_fallback(exc)
+            return None
+
+    # -- the fixpoint ---------------------------------------------------
+    def run(self, capture_trace: bool = False) -> EvaluationResult:
+        """Run Algorithm 3 to fixpoint across the shard pool."""
+        if capture_trace:
+            raise ValueError(
+                "sharded evaluation keeps no global iteration chain; "
+                "use engine_workers=1 with capture_trace"
+            )
+        master = self.master
+        stats = master.stats
+        new = master.bootstrap()
+        delta = new.copy()
+        old = Instance(master.pops)
+        if delta.size() == 0:
+            return self._result(new, steps=1)
+        pool = self._start_pool()
+        try:
+            for step in range(1, master.max_iterations):
+                stats.iterations += 1
+                contributions = None
+                if pool is not None:
+                    contributions = self._pool_step(pool, step, delta)
+                    if contributions is None:
+                        pool = None
+                if contributions is None:
+                    contributions = master._iteration_contributions(
+                        delta, new, old, step
+                    )
+                next_delta = master._next_delta(contributions, new)
+                if next_delta.size() == 0:
+                    return self._result(new, steps=step)
+                old = new
+                if not master._linear:
+                    new = new.copy()
+                master._apply_delta(new, next_delta)
+                delta = next_delta
+            raise DivergenceError(
+                f"semi-naïve evaluation did not converge within "
+                f"{master.max_iterations} iterations"
+            )
+        finally:
+            self._teardown(pool)
+
+    def _result(self, instance: Instance, steps: int) -> EvaluationResult:
+        snapshot = self.master.stats.snapshot()
+        snapshot["shard_workers"] = self.workers
+        snapshot["shard_broadcast"] = sorted(self.shard_plan.broadcast)
+        return EvaluationResult(
+            instance=instance, steps=steps, trace=[], stats=snapshot
+        )
