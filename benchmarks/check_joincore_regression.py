@@ -13,6 +13,9 @@ Usage::
     python benchmarks/check_joincore_regression.py \
         BENCH_sharded.json benchmarks/baselines/sharded_quick.json
 
+    python benchmarks/check_joincore_regression.py \
+        BENCH_robust.json benchmarks/baselines/robust_quick.json
+
 Both files are artifacts of the benchmark suite (see
 ``benchmarks/conftest.py``): either a legacy single-snapshot
 (``*/1`` schema) or a longitudinal trajectory (``*/2`` schema, one run
@@ -34,7 +37,12 @@ baseline:
   benchmark records) the source-generating backend stopped being
   engaged, or (for sharded records) the delta-shipping exchange
   silently stopped running — silent de-optimizations wall time (noisy
-  on CI) might hide.
+  on CI) might hide.  The robustness counters (``shard_restarts``,
+  ``crc_retransmits``, ``shard_demotions``, ``shard_fallbacks``,
+  ``shard_stall_fallbacks``, ``budget_trips``, ``partial_tuples``) are
+  floors for the same reason: each robust-bench scenario injects a
+  deterministic fault to drive exactly one recovery path, so a drop
+  means the path stopped being exercised.
 
 ``--wall-tolerance`` additionally gates **wall time** against the
 baseline's ``wall_s`` fields (intended for a pinned runner; off by
@@ -55,7 +63,12 @@ import argparse
 import json
 import sys
 
-_FAMILIES = ("joincore-bench", "schedule-bench", "sharded-bench")
+_FAMILIES = (
+    "joincore-bench",
+    "schedule-bench",
+    "sharded-bench",
+    "robust-bench",
+)
 
 #: Gated counters where *more* is better: these gate as floors
 #: (current < baseline × (1 − tolerance) fails).
@@ -67,6 +80,16 @@ _HIGHER_IS_BETTER = frozenset(
         "batch_joins",
         "exchange_rounds",
         "exchange_tuples",
+        # Robustness scenarios (robust-bench): each injects a fault or
+        # arms a budget expressly to drive one recovery path, so its
+        # counter dropping means the path stopped being exercised.
+        "shard_restarts",
+        "crc_retransmits",
+        "shard_demotions",
+        "shard_fallbacks",
+        "shard_stall_fallbacks",
+        "budget_trips",
+        "partial_tuples",
     }
 )
 

@@ -88,6 +88,17 @@ def pytest_addoption(parser) -> None:
         ),
     )
     parser.addoption(
+        "--robust-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the robustness scenarios' recovery walls and "
+            "self-healing counters to the trajectory at PATH "
+            "(e.g. BENCH_robust.json)"
+        ),
+    )
+    parser.addoption(
         "--json-sha",
         action="store",
         default=None,
@@ -235,6 +246,42 @@ class ShardedLog(JoinCoreLog):
     )
 
 
+class RobustLog(JoinCoreLog):
+    """Collects the robustness scenarios' counters for ``--robust-json``.
+
+    The self-healing counters (``shard_restarts``, ``crc_retransmits``,
+    ``shard_demotions``, ``shard_fallbacks``, ``shard_stall_fallbacks``)
+    and the budget scenario's ``budget_trips`` / ``partial_tuples``
+    gate as *floors*: each scenario injects a deterministic fault (or
+    arms a budget) expressly to drive one recovery path, so a counter
+    dropping to zero means that path silently stopped being exercised
+    — the recovery machinery could rot without any test noticing.
+    ``iterations`` gates the usual way (the happy-path fixpoint must
+    not grow).
+    """
+
+    GATED = (
+        "iterations",
+        "shard_restarts",
+        "crc_retransmits",
+        "shard_demotions",
+        "shard_fallbacks",
+        "shard_stall_fallbacks",
+        "budget_trips",
+        "partial_tuples",
+    )
+
+
+@pytest.fixture
+def robust_log(request) -> RobustLog:
+    """Session-wide recorder behind the ``--robust-json`` knob."""
+    records = getattr(request.config, "_robust_records", None)
+    if records is None:
+        records = []
+        request.config._robust_records = records
+    return RobustLog(records)
+
+
 @pytest.fixture
 def sharded_log(request) -> ShardedLog:
     """Session-wide recorder behind the ``--sharded-json`` knob."""
@@ -344,6 +391,12 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             "_sharded_records",
             "sharded-bench",
             ShardedLog.GATED,
+        ),
+        (
+            "--robust-json",
+            "_robust_records",
+            "robust-bench",
+            RobustLog.GATED,
         ),
     ):
         path = config.getoption(option, default=None)

@@ -60,7 +60,11 @@ SERIES_SLOTS = ("#2a78d6", "#eb6834", "#1e9e64", "#8a56c9", "#c2403f")
 #: combined wall-time chart.
 VARIANT_SEGMENTS = frozenset(
     {"interpreted", "compiled", "codegen", "batched", "indexed", "naive",
-     "scc", "sharded-w2", "sharded-w4"}
+     "scc", "sharded-w2", "sharded-w4",
+     # Robustness scenarios (bench_e25): recovery walls side by side
+     # with the fault-free baseline.
+     "clean", "crash-restart", "stall-restart", "corrupt-retransmit",
+     "ladder-fallback"}
 )
 
 PANEL_W = 640

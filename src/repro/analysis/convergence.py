@@ -30,9 +30,9 @@ from ..fixpoint.clone import (
 )
 from ..semirings.base import POPS
 from ..semirings.stability import (
+    cached_stability_probe,
     core_is_trivial,
     is_zero_stable,
-    semiring_stability_index,
 )
 
 
@@ -82,8 +82,13 @@ def classify(
             stability_p = 0
         elif is_zero_stable(core):
             stability_p = 0
+        elif stable is False:
+            pass  # caller already established instability — skip the probe
         else:
-            probe = semiring_stability_index(core, budget=probe_budget)
+            # Memoized per structure: the solve-time pre-flight check
+            # (repro.core.guardrails) classifies on every solve, so the
+            # probe must not be repaid per call.
+            probe = cached_stability_probe(core, budget=probe_budget)
             stability_p = probe.index if probe.stable else None
             if stable is None:
                 stable = probe.stable

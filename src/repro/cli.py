@@ -27,7 +27,7 @@ import sys
 from typing import Any, Callable, Dict, Optional
 
 from . import analysis, semirings
-from .core import VALID_ENGINES, Database, parse_program, solve
+from .core import BudgetExceeded, Database, VALID_ENGINES, parse_program, solve
 from .semirings import POPS
 
 
@@ -108,22 +108,66 @@ def _format_value(value: Any) -> str:
     return repr(value)
 
 
+def _print_facts(instance) -> None:
+    for rel in sorted(instance.relations()):
+        for key in sorted(instance.support(rel), key=repr):
+            value = instance.get(rel, key)
+            key_text = ", ".join(str(k) for k in key)
+            print(f"{rel}({key_text}) = {_format_value(value)}")
+
+
+def _print_stats(stats: Dict[str, Any]) -> None:
+    for name in sorted(stats):
+        print(f"# stat {name} = {stats[name]!r}")
+
+
+def _report_budget_exceeded(args: argparse.Namespace, exc: BudgetExceeded) -> int:
+    """Structured degradation: verdict + the partial fixpoint prefix,
+    exit code 3 (distinct from knob errors)."""
+    print(
+        f"# budget exceeded: {exc.resource} "
+        f"(limit {exc.limit!r}, spent {exc.spent!r})"
+    )
+    if exc.verdict is not None:
+        print(f"# pre-flight verdict: {exc.verdict.describe()}")
+    partial = exc.partial
+    if partial is None:
+        print("# no consistent iterate completed before the budget tripped")
+        return 3
+    print(
+        f"# partial result: last consistent prefix after "
+        f"{partial.steps} steps"
+    )
+    _print_facts(partial.instance)
+    if args.stats:
+        _print_stats(partial.stats)
+    return 3
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     pops = resolve_pops(args.pops)
     with open(args.program) as f:
         program = parse_program(f.read())
     database = load_database(args.edb, pops)
+    max_iterations = args.max_iterations
+    if args.budget_iterations is not None:
+        max_iterations = args.budget_iterations
     try:
         result = solve(
             program,
             database,
             method=args.method,
-            max_iterations=args.max_iterations,
+            max_iterations=max_iterations,
             plan=args.plan,
             schedule=args.schedule,
             engine=args.engine,
             engine_workers=args.workers,
+            max_wall_s=args.budget_wall_s,
+            max_tuples=args.budget_tuples,
+            preflight=args.preflight,
         )
+    except BudgetExceeded as exc:
+        return _report_budget_exceeded(args, exc)
     except ValueError as exc:
         # Knob conflicts (e.g. --plan naive --engine codegen) surface
         # as engine-layer ValueErrors; report them CLI-style.
@@ -136,14 +180,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             "pops": pops.name,
             "instance": instance_to_dict(result.instance),
         }
+        if result.verdict is not None:
+            payload["verdict"] = result.verdict.as_dict()
+        if args.stats:
+            payload["stats"] = result.stats
         print(json.dumps(payload, indent=2, ensure_ascii=False))
         return 0
     print(f"# converged in {result.steps} steps over {pops.name}")
-    for rel in sorted(result.instance.relations()):
-        for key in sorted(result.instance.support(rel), key=repr):
-            value = result.instance.get(rel, key)
-            key_text = ", ".join(str(k) for k in key)
-            print(f"{rel}({key_text}) = {_format_value(value)}")
+    if result.verdict is not None:
+        print(f"# pre-flight verdict: {result.verdict.describe()}")
+    _print_facts(result.instance)
+    if args.stats:
+        _print_stats(result.stats)
     return 0
 
 
@@ -227,6 +275,54 @@ def build_parser() -> argparse.ArgumentParser:
             "shard the semi-naïve delta across N worker processes "
             "(partition-local joins + delta-shipping exchange; "
             "requires --method seminaive; default 1 = in-process)"
+        ),
+    )
+    run.add_argument(
+        "--budget-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "iteration budget (overrides --max-iterations); exceeding "
+            "it exits 3 with the partial fixpoint prefix"
+        ),
+    )
+    run.add_argument(
+        "--budget-wall-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "wall-clock budget in seconds, polled inside kernel "
+            "applications; exceeding it exits 3 with the partial prefix"
+        ),
+    )
+    run.add_argument(
+        "--budget-tuples",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "budget on the total derived-tuple count; exceeding it "
+            "exits 3 with the partial prefix"
+        ),
+    )
+    run.add_argument(
+        "--preflight",
+        default="auto",
+        choices=("auto", "off"),
+        help=(
+            "run the stability/convergence pre-flight and report its "
+            "verdict (converges / bounded-by-N / may-diverge) with the "
+            "result (default auto)"
+        ),
+    )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print the run's counters (join core, exchange volume, "
+            "shard_fallbacks / shard_stall_fallbacks, …) after the facts"
         ),
     )
     run.add_argument(

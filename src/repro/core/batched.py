@@ -322,6 +322,10 @@ class BatchedKernel:
         self.ir = ir
         self.label = label
         self._stats = stats
+        #: Optional budget poll (repro.core.guardrails.Budget): checked
+        #: between pipeline stages, so a wall budget interrupts inside
+        #: a single whole-batch rule application.
+        self.poll = None
         self._bool_lookup = bool_lookup
         self._domain = tuple(fallback_domain)
         self._emit_mode = emit_mode
@@ -887,11 +891,16 @@ class BatchedKernel:
                 ctr[_C_VEC_PRUNES] += 1
                 return cols, slots, 0
         n = 1
+        poll = self.poll
         for stage in (self._step_fns if step_fns is None else step_fns):
+            if poll is not None:
+                poll()
             n = stage(guards, cols, slots, n, ctr)
             if n == 0:
                 return cols, slots, 0
         for stage in self._fallback_fns:
+            if poll is not None:
+                poll()
             n = stage(guards, cols, slots, n, ctr)
             if n == 0:
                 return cols, slots, 0
@@ -904,6 +913,10 @@ class BatchedKernel:
                 if n == 0:
                     return cols, slots, 0
         return cols, slots, n
+
+    def install_poll(self, poll) -> None:
+        """Arm the kernel with a budget poll hook (``None`` = unarmed)."""
+        self.poll = poll
 
     def run(self, guards: Sequence, state, bucket) -> int:
         """Accumulate mode: join, ⊗-fold and grouped ⊕-reduce at once."""

@@ -147,6 +147,24 @@ class CodegenKernel:
         self.source = source
         self.filename = filename
 
+    def install_poll(self, poll: Optional[Callable]) -> None:
+        """Arm the kernel with a budget poll hook.
+
+        Wraps ``run`` so the poll fires once per invocation of the
+        generated function (the codegen-path budget check); when no
+        budget is armed ``run`` stays the raw compiled function with
+        zero added frames.
+        """
+        if poll is None:
+            return
+        fn = self.run
+
+        def guarded(*args, _fn=fn, _poll=poll):
+            _poll()
+            return _fn(*args)
+
+        self.run = guarded
+
     # ------------------------------------------------------------------
     def execute(self, guards: Sequence, emit: Callable) -> int:
         """Emit-mode alias mirroring ``CompiledKernel.execute``."""

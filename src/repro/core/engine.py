@@ -29,6 +29,7 @@ from typing import Optional
 
 from ..semirings.base import FunctionRegistry
 from .grounding import assignment_to_instance, ground_program
+from .guardrails import Budget, preflight as run_preflight
 from .indexes import JoinStats
 from .instance import Database
 from .kernels import VALID_ENGINES
@@ -51,6 +52,9 @@ def solve(
     schedule: str = "auto",
     engine: str = "auto",
     engine_workers: int = 1,
+    max_wall_s: Optional[float] = None,
+    max_tuples: Optional[int] = None,
+    preflight: str = "auto",
 ) -> EvaluationResult:
     """Evaluate a datalog° program to its least fixpoint.
 
@@ -119,9 +123,29 @@ def solve(
             delta to shard) and is incompatible with ``capture_trace``.
             Composes with ``engine`` (each worker runs that pipeline)
             and ``schedule`` (each recursive stratum's fixpoint is
-            sharded).  A worker crash or stall falls back to
-            single-process evaluation with a warning
-            (``stats["shard_fallbacks"]``).
+            sharded).  Worker faults self-heal through a degradation
+            ladder — restart + replay (``stats["shard_restarts"]``),
+            pool demotion (``stats["shard_demotions"]``), and only then
+            single-process fallback with a warning
+            (``stats["shard_fallbacks"]``; stall-origin fallbacks also
+            count in ``stats["shard_stall_fallbacks"]``).
+        max_wall_s: Wall-clock budget in seconds for the iterative
+            methods.  Checked once per iteration and polled inside
+            kernel applications; exceeding it raises
+            :class:`~repro.core.guardrails.BudgetExceeded` carrying the
+            last consistent fixpoint prefix
+            (:class:`~repro.core.guardrails.PartialResult`).
+        max_tuples: Budget on the total derived-tuple count, enforced
+            like ``max_wall_s``.  Both budgets require an iterative
+            method (``naive``/``seminaive``); ``grounded``/``linear``
+            reject them.
+        preflight: ``"auto"`` (default) runs the stability/convergence
+            pre-flight (:func:`~repro.core.guardrails.preflight`)
+            before evaluating and attaches its
+            :class:`~repro.core.guardrails.PreflightVerdict` to the
+            result (``result.verdict``) and to any ``BudgetExceeded``;
+            ``"off"`` skips it.  Advisory only — a ``may-diverge``
+            verdict never blocks evaluation.
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.
@@ -146,6 +170,27 @@ def solve(
                 "sharded evaluation keeps no global iteration chain; "
                 "use engine_workers=1 with capture_trace"
             )
+    if preflight not in ("auto", "off"):
+        raise ValueError(
+            f"unknown preflight mode {preflight!r}; use 'auto' or 'off'"
+        )
+    if method in ("grounded", "linear") and (
+        max_wall_s is not None or max_tuples is not None
+    ):
+        raise ValueError(
+            "max_wall_s/max_tuples budgets interrupt the iterative "
+            f"methods; method={method!r} grounds one-shot — use "
+            "method='naive' or 'seminaive'"
+        )
+    verdict = run_preflight(program, database) if preflight == "auto" else None
+    budget: Optional[Budget] = None
+    if max_wall_s is not None or max_tuples is not None or verdict is not None:
+        budget = Budget(
+            max_iterations=max_iterations,
+            max_wall_s=max_wall_s,
+            max_tuples=max_tuples,
+            verdict=verdict,
+        )
     if method in ("naive", "seminaive"):
         resolved = schedule
         if schedule == "auto":
@@ -156,7 +201,7 @@ def solve(
                     f"schedule={resolved!r} has no global iteration chain "
                     "to trace; use schedule='monolithic' with capture_trace"
                 )
-            return scheduled_fixpoint(
+            result = scheduled_fixpoint(
                 program,
                 database,
                 method=method,
@@ -166,9 +211,12 @@ def solve(
                 engine=engine,
                 parallel=resolved == "parallel",
                 workers=engine_workers,
+                budget=budget,
             )
+            result.verdict = verdict
+            return result
     if method == "naive":
-        return naive_fixpoint(
+        result = naive_fixpoint(
             program,
             database,
             functions=functions,
@@ -176,12 +224,15 @@ def solve(
             capture_trace=capture_trace,
             plan=plan,
             engine=engine,
+            budget=budget,
         )
+        result.verdict = verdict
+        return result
     if method == "seminaive":
         if engine_workers > 1:
             from .sharded import ShardedSemiNaiveEvaluator
 
-            return ShardedSemiNaiveEvaluator(
+            result = ShardedSemiNaiveEvaluator(
                 program,
                 database,
                 functions=functions,
@@ -189,16 +240,21 @@ def solve(
                 plan=plan,
                 engine=engine,
                 workers=engine_workers,
+                budget=budget,
             ).run()
-        return seminaive_fixpoint(
-            program,
-            database,
-            functions=functions,
-            max_iterations=max_iterations,
-            capture_trace=capture_trace,
-            plan=plan,
-            engine=engine,
-        )
+        else:
+            result = seminaive_fixpoint(
+                program,
+                database,
+                functions=functions,
+                max_iterations=max_iterations,
+                capture_trace=capture_trace,
+                plan=plan,
+                engine=engine,
+                budget=budget,
+            )
+        result.verdict = verdict
+        return result
     if method == "grounded":
         join_stats = JoinStats()
         system = ground_program(
@@ -218,6 +274,7 @@ def solve(
             steps=result.steps,
             trace=trace,
             stats=join_stats.snapshot(),
+            verdict=verdict,
         )
     if method == "linear":
         if stability_p is None:
@@ -233,5 +290,6 @@ def solve(
             steps=0,
             trace=[],
             stats=join_stats.snapshot(),
+            verdict=verdict,
         )
     raise ValueError(f"unknown method {method!r}")

@@ -151,8 +151,20 @@ class JoinStats:
       ``engine_workers > 1`` this is a regression-gate *floor*: a drop
       means the exchange stopped shipping deltas — i.e. sharded
       evaluation silently stopped being engaged;
-    * ``shard_fallbacks`` — sharded runs that tore the worker pool
-      down (crash/deadline) and finished single-process.
+    * ``shard_fallbacks`` — sharded runs that exhausted the degradation
+      ladder (restart → demote → single-process) and finished
+      single-process;
+    * ``shard_stall_fallbacks`` — the subset of ``shard_fallbacks``
+      whose final triggering fault was a stall (a worker missing its
+      heartbeat deadline) rather than a crash/corruption;
+    * ``shard_restarts`` — dead/stalled/bad workers re-forked and
+      replayed from the coordinator's master state (the self-healing
+      rung that keeps the fixpoint byte-identical without falling
+      back);
+    * ``shard_demotions`` — pool rebuilds at a smaller width after the
+      restart budget was exhausted (the middle rung of the ladder);
+    * ``crc_retransmits`` — exchange payloads whose CRC check failed
+      and were retransmitted once before declaring the worker bad.
     """
 
     probes: int = 0
@@ -178,6 +190,10 @@ class JoinStats:
     exchange_rounds: int = 0
     exchange_tuples: int = 0
     shard_fallbacks: int = 0
+    shard_stall_fallbacks: int = 0
+    shard_restarts: int = 0
+    shard_demotions: int = 0
+    crc_retransmits: int = 0
 
     @property
     def keys_examined(self) -> int:
@@ -208,6 +224,10 @@ class JoinStats:
         self.exchange_rounds += other.exchange_rounds
         self.exchange_tuples += other.exchange_tuples
         self.shard_fallbacks += other.shard_fallbacks
+        self.shard_stall_fallbacks += other.shard_stall_fallbacks
+        self.shard_restarts += other.shard_restarts
+        self.shard_demotions += other.shard_demotions
+        self.crc_retransmits += other.crc_retransmits
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -234,6 +254,10 @@ class JoinStats:
             "exchange_rounds": self.exchange_rounds,
             "exchange_tuples": self.exchange_tuples,
             "shard_fallbacks": self.shard_fallbacks,
+            "shard_stall_fallbacks": self.shard_stall_fallbacks,
+            "shard_restarts": self.shard_restarts,
+            "shard_demotions": self.shard_demotions,
+            "crc_retransmits": self.crc_retransmits,
             "keys_examined": self.keys_examined,
         }
 

@@ -518,6 +518,14 @@ class CompiledKernel:
         self._domain_set = domain_set
         self._n_slots = n_slots
         self._stats = stats
+        #: Optional budget poll (see repro.core.guardrails.Budget):
+        #: checked once per rule application in the execute prologue,
+        #: so a wall budget interrupts even a single runaway iteration.
+        self.poll = None
+
+    def install_poll(self, poll) -> None:
+        """Arm the kernel with a budget poll hook (``None`` = unarmed)."""
+        self.poll = poll
 
     # ------------------------------------------------------------------
     def execute(self, guards: Sequence[Guard], emit: Emit) -> None:
@@ -531,6 +539,8 @@ class CompiledKernel:
         join counters flush into the kernel's
         :class:`~repro.core.indexes.JoinStats` exactly once.
         """
+        if self.poll is not None:
+            self.poll()
         stats = self._stats
         # Per-invocation counter cells: [probes, probed, scans, scanned,
         # arity_skips, prunes, fb_candidates, fb_extensions, eq_binds].

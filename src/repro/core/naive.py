@@ -20,9 +20,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
 from .ast import And, BoolAtom, Condition, Not, Or, eval_term
+from .guardrails import Budget, BudgetExceeded, PartialResult, attach_partial
 from .indexes import IndexManager, JoinStats
 from .instance import Database, Instance, Key
 from .kernels import (
@@ -120,6 +120,11 @@ class EvaluationResult:
         strata: Per-stratum
             :class:`~repro.core.scheduler.StratumReport` records when
             the run was SCC-scheduled (empty for monolithic runs).
+        verdict: The pre-flight
+            :class:`~repro.core.guardrails.PreflightVerdict` when
+            ``solve()`` ran its convergence check (``None`` when
+            pre-flight was off or the result came from a bare
+            evaluator).
     """
 
     instance: Instance
@@ -127,6 +132,7 @@ class EvaluationResult:
     trace: List[Instance] = field(default_factory=list)
     stats: Dict[str, int] = field(default_factory=dict)
     strata: List = field(default_factory=list)
+    verdict: Optional[object] = None
 
 
 def _relation_equal(pops, current, previous) -> bool:
@@ -196,6 +202,7 @@ class NaiveEvaluator:
         stats: Optional[EvalStats] = None,
         indexes: Optional[IndexManager] = None,
         engine: str = "auto",
+        budget: Optional[Budget] = None,
     ):
         """``domain``, ``stats`` and ``indexes`` exist for the stratum
         scheduler: per-stratum evaluators must enumerate over the
@@ -223,6 +230,10 @@ class NaiveEvaluator:
         self.pops = database.pops
         self.functions = functions or FunctionRegistry()
         self.max_iterations = max_iterations
+        self.budget = budget
+        #: Wall-clock poll for the hot loops; ``None`` when no wall
+        #: budget is armed, so the happy path pays one load per plan.
+        self._poll = budget.wall_hook() if budget is not None else None
         self.plan = plan
         self.engine = engine
         self.mode = resolve_engine_mode(engine, plan)
@@ -391,7 +402,7 @@ class NaiveEvaluator:
                     stats=self.stats.join,
                     n_slots=len(body.factors),
                 )
-                return generate_rule_kernel(
+                generated = generate_rule_kernel(
                     ir,
                     body,
                     rule.head_args,
@@ -405,6 +416,8 @@ class NaiveEvaluator:
                     stats=self.stats.join,
                     label=f"{rule.head_relation}.{idx}",
                 )
+                generated.install_poll(self._poll)
+                return generated
             kernel = compile_kernel(
                 guards,
                 variables,
@@ -416,6 +429,7 @@ class NaiveEvaluator:
                 stats=self.stats.join,
                 n_slots=len(body.factors),
             )
+            kernel.install_poll(self._poll)
             value_fn = BodyValue(
                 body,
                 self.pops,
@@ -483,9 +497,12 @@ class NaiveEvaluator:
                 for key in itertools.product(self.domain, repeat=arity):
                     bucket[key] = zero
         add = self.pops.add
+        poll = self._poll
         for idx, (rule, body, guards, variables, extra_conjuncts) in enumerate(
             self._plans
         ):
+            if poll is not None:
+                poll()
             bucket = acc.setdefault(rule.head_relation, {})
             if self.compiled:
                 # Delta-driven activation: a body whose input relations
@@ -552,13 +569,37 @@ class NaiveEvaluator:
                 out_set(rel, key, value)
         return out
 
+    def _partial(
+        self, instance: Instance, steps: int, trace: List[Instance]
+    ) -> PartialResult:
+        return PartialResult(
+            instance=instance,
+            steps=steps,
+            stats=self.stats.snapshot(),
+            trace=trace,
+        )
+
     def run(self, capture_trace: bool = False) -> EvaluationResult:
-        """Iterate the ICO from ``⊥`` until convergence (Algorithm 1)."""
+        """Iterate the ICO from ``⊥`` until convergence (Algorithm 1).
+
+        A tripped budget (wall poll inside :meth:`ico`, or the
+        per-iteration size/wall charge) raises
+        :class:`~repro.core.guardrails.BudgetExceeded` carrying the
+        last *completed* iterate as its partial result; exhausting
+        ``max_iterations`` raises the same structured error (it
+        subclasses the old ``DivergenceError``), with the final iterate
+        attached.
+        """
+        budget = self.budget
         current = Instance(self.pops)
         trace: List[Instance] = [current.copy()] if capture_trace else []
         for step in range(self.max_iterations):
             self.stats.iterations += 1
-            nxt = self.ico(current)
+            try:
+                nxt = self.ico(current)
+            except BudgetExceeded as exc:
+                attach_partial(exc, self._partial(current, step, trace))
+                raise
             if capture_trace:
                 trace.append(nxt.copy())
             if nxt.equals(current):
@@ -568,10 +609,21 @@ class NaiveEvaluator:
                     trace=trace,
                     stats=self.stats.snapshot(),
                 )
+            if budget is not None:
+                try:
+                    budget.charge_size(nxt.size())
+                except BudgetExceeded as exc:
+                    attach_partial(exc, self._partial(nxt, step + 1, trace))
+                    raise
             current = nxt
-        raise DivergenceError(
+        raise BudgetExceeded(
             f"naïve evaluation did not converge within "
             f"{self.max_iterations} iterations",
+            resource="iterations",
+            limit=self.max_iterations,
+            spent=self.max_iterations,
+            partial=self._partial(current, self.max_iterations, trace),
+            verdict=budget.verdict if budget is not None else None,
             trace=trace,
         )
 
@@ -585,6 +637,7 @@ def naive_fixpoint(
     total_heads: Optional[bool] = None,
     plan: str = "indexed",
     engine: str = "auto",
+    budget: Optional[Budget] = None,
 ) -> EvaluationResult:
     """Convenience wrapper: build a :class:`NaiveEvaluator` and run it."""
     evaluator = NaiveEvaluator(
@@ -595,5 +648,6 @@ def naive_fixpoint(
         total_heads=total_heads,
         plan=plan,
         engine=engine,
+        budget=budget,
     )
     return evaluator.run(capture_trace=capture_trace)

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..semirings.base import FunctionRegistry
+from .guardrails import Budget, BudgetExceeded, PartialResult
 from .indexes import IndexManager
 from .instance import Database, Instance
 from .naive import EvalStats, EvaluationResult, NaiveEvaluator
@@ -125,6 +126,7 @@ def _evaluate_component(
     indexes: Optional[IndexManager],
     engine: str,
     workers: int = 1,
+    budget: Optional[Budget] = None,
 ) -> Tuple[Instance, int]:
     """Run one component to its least fixpoint against frozen inputs."""
     pops = working.pops
@@ -143,9 +145,12 @@ def _evaluate_component(
             stats=stats,
             indexes=indexes,
             engine=engine,
+            budget=budget,
         )
         stats.iterations += 1
         instance = evaluator.ico(Instance(pops))
+        if budget is not None:
+            budget.charge_size(instance.size())
         return instance, (0 if instance.size() == 0 else 1)
     if method == "seminaive":
         if workers > 1:
@@ -164,6 +169,7 @@ def _evaluate_component(
                 indexes=indexes,
                 engine=engine,
                 workers=workers,
+                budget=budget,
             ).run()
             return result.instance, result.steps
         result = SemiNaiveEvaluator(
@@ -176,6 +182,7 @@ def _evaluate_component(
             stats=stats,
             indexes=indexes,
             engine=engine,
+            budget=budget,
         ).run()
     else:
         result = NaiveEvaluator(
@@ -189,6 +196,7 @@ def _evaluate_component(
             stats=stats,
             indexes=indexes,
             engine=engine,
+            budget=budget,
         ).run()
     return result.instance, result.steps
 
@@ -205,6 +213,7 @@ def scheduled_fixpoint(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     workers: int = 1,
+    budget: Optional[Budget] = None,
 ) -> EvaluationResult:
     """Evaluate a program stratum-by-stratum over its SCC condensation.
 
@@ -233,6 +242,13 @@ def scheduled_fixpoint(
             delta hash-partitioned across persistent workers.
             Orthogonal to ``parallel`` (which overlaps *independent*
             strata; sharding splits the work *inside* one stratum).
+        budget: Optional solve-time :class:`~repro.core.guardrails.Budget`.
+            Each stratum evaluator charges its in-flight instance size
+            against it; completed strata are committed so the tuple
+            budget tracks the union, not the per-stratum maximum.  On
+            :class:`~repro.core.guardrails.BudgetExceeded` the partial
+            result is enriched with every already-frozen stratum plus
+            the interrupted stratum's own partial prefix.
 
     Returns:
         An :class:`~repro.core.naive.EvaluationResult` whose ``steps``
@@ -270,6 +286,7 @@ def scheduled_fixpoint(
             engine=engine,
             max_workers=max_workers,
             workers=workers,
+            budget=budget,
         )
     stats = EvalStats()
     indexes = IndexManager(stats=stats.join) if is_indexed_plan(plan) else None
@@ -290,21 +307,59 @@ def scheduled_fixpoint(
             stats.rule_applications,
             stats.valuations,
         )
-        instance, steps = _evaluate_component(
-            sub,
-            working,
-            recursive,
-            method,
-            functions,
-            max_iterations,
-            plan,
-            total_heads,
-            domain,
-            stats,
-            indexes,
-            engine,
-            workers,
-        )
+        try:
+            instance, steps = _evaluate_component(
+                sub,
+                working,
+                recursive,
+                method,
+                functions,
+                max_iterations,
+                plan,
+                total_heads,
+                domain,
+                stats,
+                indexes,
+                engine,
+                workers,
+                budget,
+            )
+        except BudgetExceeded as exc:
+            # Enrich the partial: every frozen stratum is a consistent
+            # fixpoint prefix, and the interrupted stratum's own
+            # partial (if any) is an under-approximation of its
+            # fixpoint — their union is ⊑ the true least fixpoint.
+            inner = exc.partial
+            inner_steps = 0
+            if inner is not None:
+                inner_steps = inner.steps
+                for rel in component:
+                    for key, value in inner.instance.support(rel).items():
+                        combined.set(rel, key, value)
+            reports.append(
+                StratumReport(
+                    relations=component,
+                    recursive=recursive,
+                    steps=inner_steps,
+                    iterations=stats.iterations - before[0],
+                    rule_applications=stats.rule_applications - before[1],
+                    valuations=stats.valuations - before[2],
+                )
+            )
+            snapshot = stats.snapshot()
+            snapshot["strata"] = len(reports)
+            snapshot["recursive_strata"] = sum(
+                1 for r in reports if r.recursive
+            )
+            exc.partial = PartialResult(
+                instance=combined,
+                steps=max((r.steps for r in reports), default=0),
+                stats=snapshot,
+                strata=[r.as_dict() for r in reports],
+                delta=inner.delta if inner is not None else None,
+                trace=inner.trace if inner is not None else [],
+            )
+            raise
         reports.append(
             StratumReport(
                 relations=component,
@@ -323,6 +378,10 @@ def scheduled_fixpoint(
             working.relations[rel] = support
             for key, value in support.items():
                 combined.set(rel, key, value)
+        if budget is not None:
+            # Completed strata count permanently toward the tuple
+            # budget; the next stratum's in-flight charge rides on top.
+            budget.commit_tuples(instance.size())
 
     snapshot = stats.snapshot()
     snapshot["strata"] = len(reports)
@@ -392,6 +451,7 @@ def _parallel_schedule(
     engine: str,
     max_workers: Optional[int],
     workers: int = 1,
+    budget: Optional[Budget] = None,
 ) -> EvaluationResult:
     """Evaluate independent condensation branches concurrently.
 
@@ -468,6 +528,7 @@ def _parallel_schedule(
             indexes,
             engine,
             workers,
+            budget,
         )
         return i, instance, steps, stats
 
@@ -490,10 +551,35 @@ def _parallel_schedule(
             )
             for future in done:
                 i = futures.pop(future)
-                _i, instance, steps, stats = future.result()
+                try:
+                    _i, instance, steps, stats = future.result()
+                except BudgetExceeded as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    partial = Instance(pops)
+                    for rel, support in frozen.items():
+                        for key, value in support.items():
+                            partial.set(rel, key, value)
+                    inner = exc.partial
+                    if inner is not None:
+                        for rel in components.components[i]:
+                            sup = inner.instance.support(rel)
+                            for key, value in sup.items():
+                                partial.set(rel, key, value)
+                    exc.partial = PartialResult(
+                        instance=partial,
+                        steps=inner.steps if inner is not None else 0,
+                        stats={"parallel_workers": pool_width},
+                        strata=[],
+                        delta=inner.delta if inner is not None else None,
+                        trace=inner.trace if inner is not None else [],
+                    )
+                    raise
                 results[i] = (instance, steps, stats)
                 for rel in components.components[i]:
                     frozen[rel] = dict(instance.support(rel))
+                if budget is not None:
+                    budget.commit_tuples(instance.size())
                 for deps in waiting.values():
                     deps.discard(i)
             submit_ready()

@@ -26,9 +26,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..fixpoint.iteration import DivergenceError
 from ..semirings.base import FunctionRegistry, Value
 from .ast import Constant, Variable, eval_term
+from .guardrails import Budget, BudgetExceeded, PartialResult, attach_partial
 from .indexes import IndexManager, KeyIndex
 from .instance import Database, Instance, Key
 from .kernels import (
@@ -69,6 +69,7 @@ class SemiNaiveEvaluator:
         stats: Optional[EvalStats] = None,
         indexes: Optional[IndexManager] = None,
         engine: str = "auto",
+        budget: Optional[Budget] = None,
     ):
         """``domain``, ``stats`` and ``indexes`` serve the stratum
         scheduler exactly as in
@@ -87,6 +88,8 @@ class SemiNaiveEvaluator:
             )
         self.functions = functions or FunctionRegistry()
         self.max_iterations = max_iterations
+        self.budget = budget
+        self._poll = budget.wall_hook() if budget is not None else None
         self.plan = plan
         self.engine = engine
         self.mode = resolve_engine_mode(engine, plan)
@@ -433,7 +436,7 @@ class SemiNaiveEvaluator:
                     stats=self.stats.join,
                     n_slots=len(body.factors),
                 )
-                return generate_rule_kernel(
+                generated = generate_rule_kernel(
                     ir,
                     body,
                     rule.head_args,
@@ -448,6 +451,8 @@ class SemiNaiveEvaluator:
                     variant=(tuple(idb_positions), j),
                     label=f"{rule.head_relation}.{p_idx}.d{j}",
                 )
+                generated.install_poll(self._poll)
+                return generated
             kernel = compile_kernel(
                 guards,
                 body.enumeration_order(),
@@ -459,6 +464,7 @@ class SemiNaiveEvaluator:
                 stats=self.stats.join,
                 n_slots=len(body.factors),
             )
+            kernel.install_poll(self._poll)
             value_fn = VariantValue(
                 body,
                 idb_positions,
@@ -493,12 +499,15 @@ class SemiNaiveEvaluator:
         self._step = step
         contributions: Dict[str, Dict[Key, Value]] = {}
         add = self.pops.add
+        poll = self._poll
         for p_idx, (
             rule, body, idb_positions, extra_conjuncts
         ) in enumerate(self._plans):
             if not idb_positions:
                 continue  # Eq. 65: EDB-only bodies drop out for t ≥ 1.
             for j in range(len(idb_positions)):
+                if poll is not None:
+                    poll()
                 if self.compiled:
                     atom = body.factors[idb_positions[j]]
                     if not delta.support(atom.relation) and all(
@@ -648,17 +657,46 @@ class SemiNaiveEvaluator:
             stats=self.stats,
             indexes=self.indexes,
             engine=self.engine,
+            budget=self.budget,
         )
         new = bootstrap.ico(Instance(self.pops))
         self.stats.iterations += 1
         return new
 
+    def _partial(
+        self,
+        instance: Instance,
+        steps: int,
+        delta: Optional[Instance],
+        trace: List[Instance],
+    ) -> PartialResult:
+        return PartialResult(
+            instance=instance,
+            steps=steps,
+            stats=self.stats.snapshot(),
+            delta=delta,
+            trace=trace,
+        )
+
     # ------------------------------------------------------------------
     def run(self, capture_trace: bool = False) -> EvaluationResult:
-        """Run Algorithm 3 to fixpoint."""
+        """Run Algorithm 3 to fixpoint.
+
+        A tripped budget raises
+        :class:`~repro.core.guardrails.BudgetExceeded` carrying the
+        last fully applied iterate ``J⁽ᵗ⁾`` and the delta that was
+        still growing — a mid-iteration wall trip never exposes a
+        half-merged state, because deltas are applied atomically after
+        the iteration's contributions are complete.
+        """
+        budget = self.budget
         # J⁽¹⁾ = F(0̄) and δ⁽⁰⁾ = J⁽¹⁾ ⊖ 0̄ = J⁽¹⁾ (b ⊖ 0 = b).
         empty = Instance(self.pops)
-        new = self.bootstrap()
+        try:
+            new = self.bootstrap()
+        except BudgetExceeded as exc:
+            attach_partial(exc, self._partial(empty, 0, None, []))
+            raise
         delta = new.copy()
         old = empty
         trace: List[Instance] = []
@@ -674,9 +712,13 @@ class SemiNaiveEvaluator:
             # Per-relation buckets: the head relation is fixed per rule,
             # so matches accumulate under their head key alone (no
             # (rel, key) tuple allocation per match).
-            contributions = self._iteration_contributions(
-                delta, new, old, step
-            )
+            try:
+                contributions = self._iteration_contributions(
+                    delta, new, old, step
+                )
+            except BudgetExceeded as exc:
+                attach_partial(exc, self._partial(new, step, delta, trace))
+                raise
             next_delta = self._next_delta(contributions, new)
             if next_delta.size() == 0:
                 return EvaluationResult(
@@ -692,9 +734,22 @@ class SemiNaiveEvaluator:
             if capture_trace:
                 trace.append(new.copy())
             delta = next_delta
-        raise DivergenceError(
+            if budget is not None:
+                try:
+                    budget.charge_size(new.size())
+                except BudgetExceeded as exc:
+                    attach_partial(
+                        exc, self._partial(new, step + 1, delta, trace)
+                    )
+                    raise
+        raise BudgetExceeded(
             f"semi-naïve evaluation did not converge within "
-            f"{self.max_iterations} iterations"
+            f"{self.max_iterations} iterations",
+            resource="iterations",
+            limit=self.max_iterations,
+            spent=self.max_iterations,
+            partial=self._partial(new, self.max_iterations, delta, trace),
+            verdict=budget.verdict if budget is not None else None,
         )
 
 
@@ -706,6 +761,7 @@ def seminaive_fixpoint(
     capture_trace: bool = False,
     plan: str = "indexed",
     engine: str = "auto",
+    budget: Optional[Budget] = None,
 ) -> EvaluationResult:
     """Convenience wrapper: build a :class:`SemiNaiveEvaluator`, run it."""
     return SemiNaiveEvaluator(
@@ -715,4 +771,5 @@ def seminaive_fixpoint(
         max_iterations=max_iterations,
         plan=plan,
         engine=engine,
+        budget=budget,
     ).run(capture_trace=capture_trace)

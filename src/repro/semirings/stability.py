@@ -22,7 +22,7 @@ cross-checks of Propositions 5.2–5.4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from .base import POPS, PreSemiring, Value
 
@@ -92,6 +92,35 @@ def semiring_stability_index(
         assert report.index is not None
         worst = max(worst, report.index)
     return StabilityReport(stable=True, index=worst, budget=budget)
+
+
+#: Memo for :func:`cached_stability_probe`, keyed by structure name and
+#: budget.  Stability is a property of the structure's operations (the
+#: probe runs over its own sample values), so one probe per named
+#: structure serves every solve — this is what makes the solve-time
+#: pre-flight check (:func:`repro.core.guardrails.preflight`)
+#: effectively free after the first call.
+_PROBE_MEMO: Dict[Tuple[str, int], StabilityReport] = {}
+
+
+def cached_stability_probe(
+    structure: PreSemiring, budget: int = 64
+) -> StabilityReport:
+    """Memoized :func:`semiring_stability_index` over sample values.
+
+    Structures without a usable ``name`` fall back to the unmemoized
+    probe (identity-keyed memoization would leak per-instance
+    parameterized semirings).
+    """
+    name = getattr(structure, "name", None)
+    if not isinstance(name, str) or not name:
+        return semiring_stability_index(structure, budget=budget)
+    key = (name, budget)
+    hit = _PROBE_MEMO.get(key)
+    if hit is None:
+        hit = semiring_stability_index(structure, budget=budget)
+        _PROBE_MEMO[key] = hit
+    return hit
 
 
 def is_zero_stable(structure: PreSemiring, witnesses: Optional[Sequence[Value]] = None) -> bool:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import programs, workloads
-from repro.core import Database, NaiveEvaluator, naive_fixpoint
+from repro.core import Database, NaiveEvaluator, solve
 from repro.core.magic import (
     MagicError,
     MagicQuery,
@@ -17,11 +17,16 @@ from repro.core.magic import (
 from repro.semirings import BOOL, BOTTLENECK, LIFTED_REAL, TROP, VITERBI
 
 
-def run_magic(program, query, db):
+def run_magic(program, query, db, **solve_kw):
+    # Through the modern solve() entry point — SCC scheduling, indexed
+    # plans, compiled kernels and the guardrail pre-flight all apply to
+    # the rewritten program (magic programs are naive-only: the supp
+    # guard over an IDB magic atom has no differential affinity).
     rewritten = magic_rewrite(program, query, db.pops)
     registry = magic_registry(db.pops)
-    return rewritten, naive_fixpoint(program=rewritten, database=db,
-                                     functions=registry)
+    return rewritten, solve(
+        rewritten, db, method="naive", functions=registry, **solve_kw
+    )
 
 
 class TestSupportFunction:
@@ -81,7 +86,7 @@ class TestCorrectness:
     """Demanded atoms keep their full-evaluation values exactly."""
 
     def _compare(self, program, query, db, answer_rel):
-        full = naive_fixpoint(program, db)
+        full = solve(program, db, method="naive")
         _rw, magic = run_magic(program, query, db)
         full_support = full.instance.support(answer_rel)
         wanted = demanded_keys(query, list(full_support))
@@ -150,7 +155,7 @@ class TestRelevanceRestriction:
         edges.update({(a + 100, b + 100): w
                       for (a, b), w in workloads.line_edges(10).items()})
         db = Database(pops=TROP, relations={"E": edges})
-        full = naive_fixpoint(programs.apsp(), db)
+        full = solve(programs.apsp(), db, method="naive")
         _rw, magic = run_magic(
             programs.apsp(), MagicQuery("T", "bf", (0,)), db
         )
@@ -203,17 +208,82 @@ class TestIdempotencyRequirement:
     def test_quadratic_tc_demands_second_adornment(self):
         """Example 6.6's TC²: T(X,Z)·T(Z,Y) demands T under bf twice
         (the second occurrence is bf after Z is bound) — correctness
-        across occurrences."""
+        across occurrences.  Queries node 1, the DAG's productive
+        source (node 0 has no out-edges in this draw — querying it
+        would make every assertion below vacuous)."""
         edges = workloads.random_dag(7, 0.35, seed=11)
         db = Database(pops=BOOL, relations={"E": {e: True for e in edges}})
         prog = programs.quadratic_transitive_closure()
-        full = naive_fixpoint(prog, db)
-        rewritten = magic_rewrite(prog, MagicQuery("T", "bf", (0,)), BOOL)
-        magic = naive_fixpoint(
-            rewritten, db, functions=magic_registry(BOOL)
+        full = solve(prog, db, method="naive")
+        rewritten = magic_rewrite(prog, MagicQuery("T", "bf", (1,)), BOOL)
+        magic = solve(
+            rewritten, db, method="naive", functions=magic_registry(BOOL)
         )
-        for key, value in full.instance.support("T").items():
-            if key[0] == 0:
-                assert magic.instance.get("T", key) == value, key
+        demanded = [
+            key for key in full.instance.support("T") if key[0] == 1
+        ]
+        assert demanded, "query source must demand something"
+        for key in demanded:
+            assert magic.instance.get("T", key) == full.instance.get(
+                "T", key
+            ), key
         for key, value in magic.instance.support("T").items():
             assert full.instance.get("T", key) == value
+
+
+class TestModernEngineSurface:
+    """The rewritten programs run through the full modern engine.
+
+    Magic programs are naive-only — the ``supp`` guard wraps an IDB
+    magic atom, which has no differential affinity — but within
+    ``method="naive"`` every schedule and kernel engine must agree
+    byte-for-byte, and the guardrail pre-flight must classify the
+    rewritten program like any other.
+    """
+
+    def _db(self):
+        edges = workloads.random_weighted_digraph(8, 0.3, seed=3)
+        return Database(pops=TROP, relations={"E": dict(edges)})
+
+    @pytest.mark.parametrize("schedule", ["scc", "parallel", "monolithic"])
+    @pytest.mark.parametrize(
+        "engine", ["interpreted", "compiled", "codegen", "batched"]
+    )
+    def test_all_schedules_and_engines_agree(self, schedule, engine):
+        db = self._db()
+        rewritten = magic_rewrite(
+            programs.apsp(), MagicQuery("T", "bf", (0,)), TROP
+        )
+        registry = magic_registry(TROP)
+        base = solve(
+            rewritten, db, method="naive", functions=registry,
+            schedule="monolithic", engine="interpreted",
+        )
+        other = solve(
+            rewritten, db, method="naive", functions=registry,
+            schedule=schedule, engine=engine,
+        )
+        assert dict(other.instance.support("T")) == dict(
+            base.instance.support("T")
+        )
+
+    def test_preflight_verdict_rides_magic_solves(self):
+        db = self._db()
+        _rw, result = run_magic(
+            programs.apsp(), MagicQuery("T", "bf", (0,)), db
+        )
+        assert result.verdict is not None
+        assert result.verdict.status in ("bounded", "converges")
+
+    def test_seminaive_rejects_magic_programs_cleanly(self):
+        from repro.core import SemiNaiveError
+
+        db = self._db()
+        rewritten = magic_rewrite(
+            programs.apsp(), MagicQuery("T", "bf", (0,)), TROP
+        )
+        with pytest.raises(SemiNaiveError, match="affinity"):
+            solve(
+                rewritten, db, method="seminaive",
+                functions=magic_registry(TROP), schedule="monolithic",
+            )
