@@ -1,0 +1,217 @@
+"""E26 — the crash-safe service: sustained qps, tail latency, recovery.
+
+Three scenarios drive every serve subsystem and record its trajectory
+(``--serve-json``, gated by ``check_joincore_regression.py``):
+
+* **mixed read/write** — a warm TROP shortest-path service under an
+  interleaved workload (point queries : scans : mutation batches at
+  roughly 16:4:1).  Records sustained ``qps`` (floor-gated, loose
+  tolerance) and ``p50_us``/``p99_us`` (trajectory-charted, not
+  hard-gated: single-shot tail latency on shared runners is noise).
+  The deterministic counters — ``cache_hits`` (version-vector
+  memoization) and ``dred_deletions`` (the pure-DRed deletion path) —
+  gate as exact floors.
+* **crash recovery** — kills the service mid-mutation at the
+  ``apply`` fault site, then measures the timed reopen: last
+  checkpoint + journal-suffix replay.  ``journal_replays`` /
+  ``checkpoint_writes`` / ``recoveries`` gate as floors; the recovery
+  wall lands in ``wall_s`` for the trajectory charts.
+* **budgeted fallback** — a THREE-valued closure service (THREE is
+  not naturally ordered, so every shrink degrades to a counted full
+  re-solve): ``incremental_fallbacks`` gates that the escape hatch
+  keeps being exercised and keeps the fixpoint exact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_table, sized
+
+from repro import core, programs, workloads
+from repro.core.guardrails import FaultPlan
+from repro.core.incremental import Mutation, fingerprint
+from repro.core.journal import DurableInstance, InjectedCrash
+from repro.core.serve import DatalogService
+from repro.semirings import THREE, TROP
+
+
+def _graph_db(n_nodes: int, seed: int = 7):
+    edges = workloads.random_weighted_digraph(n_nodes, 0.12, seed=seed)
+    return core.Database(
+        pops=TROP,
+        relations={"E": {(u, v): w for (u, v), w in edges.items()}},
+    )
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+def test_e26_mixed_read_write_qps(quick, serve_log, tmp_path):
+    n_nodes = sized(quick, 60, 24)
+    ops = sized(quick, 2100, 420)
+    db = _graph_db(n_nodes)
+    nodes = sorted({u for (u, _v) in db.relations["E"]})
+    program = programs.sssp(nodes[0])
+    with DatalogService(
+        program, TROP, str(tmp_path), database=db, checkpoint_every=50
+    ) as service:
+        latencies = []
+        start = time.perf_counter()
+        for i in range(ops):
+            op_start = time.perf_counter()
+            if i % 21 == 20:
+                # ~1/21 ops is a mutation batch: alternate an insert
+                # with a delete of the same edge so reruns stay stable
+                # and the deletes keep driving the DRed path.
+                u = nodes[i % len(nodes)]
+                v = nodes[(i * 7 + 1) % len(nodes)]
+                if (i // 21) % 2 == 0:
+                    service.mutate([Mutation("insert", "E", (u, v), 0.9)])
+                else:
+                    service.mutate([Mutation("delete", "E", (u, v), None)])
+            elif i % 5 == 4:
+                service.scan("E", pattern=(nodes[i % len(nodes)], None))
+            else:
+                service.query("L", (nodes[i % len(nodes)],))
+            latencies.append(time.perf_counter() - op_start)
+        wall = time.perf_counter() - start
+        snap = service.stats_snapshot()
+        # the service answered every op and stayed exact
+        ref = core.solve(program, service.durable.database, method="seminaive")
+        assert fingerprint(service.durable.instance) == fingerprint(
+            ref.instance
+        )
+        assert snap["cache_hits"] > 0, "memoization never hit"
+        assert snap["dred_deletions"] > 0, "no deletion ran pure DRed"
+        assert snap["incremental_fallbacks"] == 0, (
+            "TROP service should never need the escape hatch"
+        )
+        qps = ops / wall
+        p50_us = _percentile(latencies, 0.50) * 1e6
+        p99_us = _percentile(latencies, 0.99) * 1e6
+        stats = {
+            "qps": int(qps),
+            "p50_us": int(p50_us),
+            "p99_us": int(p99_us),
+            "ops": ops,
+            "cache_hits": snap["cache_hits"],
+            "cache_misses": snap["cache_misses"],
+            "dred_deletions": snap["dred_deletions"],
+            "mutation_batches": snap["mutation_batches"],
+            "checkpoint_writes": snap["checkpoint_writes"],
+        }
+        serve_log.record("e26/serve/mixed-read-write", wall, stats)
+        emit_table(
+            "E26 mixed read/write service (TROP sssp)",
+            ["metric", "value"],
+            [
+                ["nodes", n_nodes],
+                ["ops", ops],
+                ["qps", f"{qps:,.0f}"],
+                ["p50", f"{p50_us:,.0f} µs"],
+                ["p99", f"{p99_us:,.0f} µs"],
+                ["cache hits", snap["cache_hits"]],
+                ["DRed deletions", snap["dred_deletions"]],
+            ],
+        )
+
+
+def test_e26_crash_recovery(quick, serve_log, tmp_path):
+    n_nodes = sized(quick, 40, 20)
+    batches = sized(quick, 24, 10)
+    db = _graph_db(n_nodes, seed=11)
+    nodes = sorted({u for (u, _v) in db.relations["E"]})
+    program = programs.sssp(nodes[0])
+    d = str(tmp_path)
+    crash_at = batches + 1
+    dur = DurableInstance(
+        d, program, TROP, database=db, checkpoint_every=8,
+        fault_plan=FaultPlan.parse(f"crash@apply:{crash_at}"),
+    )
+    for i in range(batches):
+        u, v = nodes[i % len(nodes)], nodes[(i * 3 + 1) % len(nodes)]
+        dur.apply([Mutation("insert", "E", (u, v), 1.0 + i * 0.1)])
+    crashed = False
+    try:
+        dur.apply([Mutation("insert", "E", (nodes[0], nodes[-1]), 0.1)])
+    except InjectedCrash:
+        crashed = True
+    assert crashed, "the fault plan must kill the final mutation"
+
+    start = time.perf_counter()
+    recovered = DurableInstance(d, program, TROP, checkpoint_every=8)
+    recovery_wall = time.perf_counter() - start
+    # the crashed batch was journaled before the apply fault: recovery
+    # must replay it, landing on the uncrashed state
+    assert recovered.seq == crash_at
+    assert recovered.stats["journal_replays"] >= 1
+    ref = core.solve(program, recovered.database, method="seminaive")
+    assert fingerprint(recovered.instance) == fingerprint(ref.instance)
+    snap = recovered.stats_snapshot()
+    stats = {
+        "journal_replays": snap["journal_replays"],
+        "journal_skips": snap["journal_skips"],
+        "checkpoint_writes": dur.stats["checkpoint_writes"],
+        "recoveries": snap["recoveries"],
+        "seq": snap["seq"],
+        "warm_tuples": snap["warm_tuples"],
+    }
+    serve_log.record("e26/serve/crash-recovery", recovery_wall, stats)
+    recovered.close()
+    emit_table(
+        "E26 crash-during-mutation recovery (TROP)",
+        ["metric", "value"],
+        [
+            ["batches before crash", batches],
+            ["recovery wall", f"{recovery_wall * 1e3:,.1f} ms"],
+            ["journal replays", snap["journal_replays"]],
+            ["checkpoints (writer)", dur.stats["checkpoint_writes"]],
+        ],
+    )
+
+
+def test_e26_budgeted_fallback(quick, serve_log, tmp_path):
+    deletes = sized(quick, 6, 3)
+    edges = {("a", "b"): True, ("b", "c"): True, ("c", "d"): False,
+             ("d", "a"): True, ("a", "c"): True}
+    db = core.Database(pops=THREE, relations={"E": dict(edges)})
+    program = programs.transitive_closure()
+    keys = sorted(edges)
+    with DatalogService(
+        program, THREE, str(tmp_path), database=db
+    ) as service:
+        start = time.perf_counter()
+        for i in range(deletes):
+            key = keys[i % len(keys)]
+            service.mutate([Mutation("delete", "E", key, None)])
+            service.mutate(
+                [Mutation("insert", "E", key, edges[key])]
+            )
+        wall = time.perf_counter() - start
+        snap = service.stats_snapshot()
+        # THREE is not naturally ordered: every delete must have taken
+        # the counted full re-solve escape hatch — and stayed exact.
+        assert snap["incremental_fallbacks"] >= deletes
+        ref = core.solve(program, service.durable.database, method="naive")
+        assert fingerprint(service.durable.instance) == fingerprint(
+            ref.instance
+        )
+        stats = {
+            "incremental_fallbacks": snap["incremental_fallbacks"],
+            "full_solves": snap["full_solves"],
+            "mutation_batches": snap["mutation_batches"],
+        }
+        serve_log.record("e26/serve/budgeted-fallback", wall, stats)
+        emit_table(
+            "E26 budgeted fallback (THREE closure)",
+            ["metric", "value"],
+            [
+                ["delete/reinsert rounds", deletes],
+                ["incremental_fallbacks", snap["incremental_fallbacks"]],
+                ["full_solves", snap["full_solves"]],
+            ],
+        )

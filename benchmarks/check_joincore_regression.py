@@ -16,6 +16,10 @@ Usage::
     python benchmarks/check_joincore_regression.py \
         BENCH_robust.json benchmarks/baselines/robust_quick.json
 
+    python benchmarks/check_joincore_regression.py \
+        BENCH_serve.json benchmarks/baselines/serve_quick.json \
+        --tolerance 0.60
+
 Both files are artifacts of the benchmark suite (see
 ``benchmarks/conftest.py``): either a legacy single-snapshot
 (``*/1`` schema) or a longitudinal trajectory (``*/2`` schema, one run
@@ -42,7 +46,12 @@ baseline:
   ``shard_stall_fallbacks``, ``budget_trips``, ``partial_tuples``) are
   floors for the same reason: each robust-bench scenario injects a
   deterministic fault to drive exactly one recovery path, so a drop
-  means the path stopped being exercised.
+  means the path stopped being exercised.  The serve-bench family
+  gates ``qps`` (sustained mixed read/write throughput — use a loose
+  ``--tolerance`` for it, CI runners are noisy) and the deterministic
+  service counters (``cache_hits``, ``dred_deletions``,
+  ``incremental_fallbacks``, ``journal_replays``,
+  ``checkpoint_writes``, ``recoveries``) the same way.
 
 ``--wall-tolerance`` additionally gates **wall time** against the
 baseline's ``wall_s`` fields (intended for a pinned runner; off by
@@ -68,6 +77,7 @@ _FAMILIES = (
     "schedule-bench",
     "sharded-bench",
     "robust-bench",
+    "serve-bench",
 )
 
 #: Gated counters where *more* is better: these gate as floors
@@ -90,6 +100,17 @@ _HIGHER_IS_BETTER = frozenset(
         "shard_stall_fallbacks",
         "budget_trips",
         "partial_tuples",
+        # Serve scenarios (serve-bench): throughput plus the service
+        # counters each scenario exists to drive — memoization, the
+        # pure-DRed deletion path, the budgeted fallback, and journal
+        # recovery.
+        "qps",
+        "cache_hits",
+        "dred_deletions",
+        "incremental_fallbacks",
+        "journal_replays",
+        "checkpoint_writes",
+        "recoveries",
     }
 )
 

@@ -99,6 +99,17 @@ def pytest_addoption(parser) -> None:
         ),
     )
     parser.addoption(
+        "--serve-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the serve/incremental scenarios' sustained qps, "
+            "latency and recovery counters to the trajectory at PATH "
+            "(e.g. BENCH_serve.json)"
+        ),
+    )
+    parser.addoption(
         "--json-sha",
         action="store",
         default=None,
@@ -272,6 +283,44 @@ class RobustLog(JoinCoreLog):
     )
 
 
+class ServeLog(JoinCoreLog):
+    """Collects the serve scenarios' counters for ``--serve-json``.
+
+    ``qps`` is the mixed read/write workload's sustained throughput
+    (gated as a floor with a loose tolerance — CI runners are noisy,
+    but an order-of-magnitude collapse must fail).  The deterministic
+    counters gate as exact floors: ``cache_hits`` (memoization),
+    ``dred_deletions`` (the pure-DRed deletion path),
+    ``incremental_fallbacks`` (the budgeted escape hatch, driven by
+    the THREE scenario), ``journal_replays`` / ``checkpoint_writes``
+    / ``recoveries`` (the crash-recovery path) — any of them dropping
+    to zero means that serve subsystem silently stopped being
+    exercised.  ``p99_us`` and recovery walls are recorded for the
+    trajectory charts but not hard-gated (single-shot latency on
+    shared runners is noise).
+    """
+
+    GATED = (
+        "qps",
+        "cache_hits",
+        "dred_deletions",
+        "incremental_fallbacks",
+        "journal_replays",
+        "checkpoint_writes",
+        "recoveries",
+    )
+
+
+@pytest.fixture
+def serve_log(request) -> ServeLog:
+    """Session-wide recorder behind the ``--serve-json`` knob."""
+    records = getattr(request.config, "_serve_records", None)
+    if records is None:
+        records = []
+        request.config._serve_records = records
+    return ServeLog(records)
+
+
 @pytest.fixture
 def robust_log(request) -> RobustLog:
     """Session-wide recorder behind the ``--robust-json`` knob."""
@@ -397,6 +446,12 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             "_robust_records",
             "robust-bench",
             RobustLog.GATED,
+        ),
+        (
+            "--serve-json",
+            "_serve_records",
+            "serve-bench",
+            ServeLog.GATED,
         ),
     ):
         path = config.getoption(option, default=None)

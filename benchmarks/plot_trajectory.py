@@ -64,7 +64,10 @@ VARIANT_SEGMENTS = frozenset(
      # Robustness scenarios (bench_e25): recovery walls side by side
      # with the fault-free baseline.
      "clean", "crash-restart", "stall-restart", "corrupt-retransmit",
-     "ladder-fallback"}
+     "ladder-fallback",
+     # Serve scenarios (bench_e26): the mixed-workload wall next to the
+     # crash-recovery and budgeted-fallback walls.
+     "mixed-read-write", "crash-recovery", "budgeted-fallback"}
 )
 
 PANEL_W = 640

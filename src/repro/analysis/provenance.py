@@ -13,12 +13,14 @@ number of distinct derivation trees using that bag.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
+from ..core.ast import eval_term
 from ..core.grounding import ground_program
-from ..core.instance import Database, Key
+from ..core.instance import Database, Instance, Key
 from ..core.polynomial import VarId
-from ..core.rules import Program
+from ..core.rules import Program, RelAtom
+from ..core.valuations import Guard, enumerate_matches
 from ..semirings.free import FREE, FreeElement
 
 
@@ -79,6 +81,83 @@ def provenance(
         for var, value in state.items()
         if not FREE.eq(value, FREE.zero)
     }
+
+
+def immediate_support_counts(
+    program: Program,
+    database: Database,
+    instance: Instance,
+    domain: Optional[Sequence[Any]] = None,
+) -> Dict[Tuple[str, Key], int]:
+    """Count the *immediate* derivations of every stored IDB atom.
+
+    For each (rule, body) and each satisfying valuation over the fixpoint
+    ``instance`` (IDB atoms) and ``database`` (EDB/Boolean atoms), the
+    head atom gains one support.  This is the one-step slice of the
+    provenance polynomial's derivation count — exactly what DRed-style
+    over-deletion needs: an atom whose support count stays positive after
+    discounting the deleted derivations still has an alternative
+    derivation and need not be over-deleted.
+
+    Sound only over naturally ordered semirings (absent = ``⊥`` = ``0``
+    absorbs the product), which is the only regime the incremental
+    engine's DRed path runs in.
+    """
+    idbs = program.idb_names()
+    if domain is None:
+        extra: set = set()
+        for rel in instance.relations():
+            for key in instance.support_keys(rel):
+                extra.update(key)
+        domain = sorted(
+            database.active_domain() | program.constants() | extra, key=repr
+        )
+    counts: Dict[Tuple[str, Key], int] = {}
+    for rule in program.rules:
+        for body in rule.bodies:
+            guards = []
+            for factor in body.factors:
+                if not isinstance(factor, RelAtom):
+                    continue
+                rel = factor.relation
+                if rel in idbs:
+                    guards.append(
+                        Guard(
+                            args=factor.args,
+                            keys=lambda s=instance, r=rel: s.support(r),
+                            name=f"idb:{rel}",
+                        )
+                    )
+                elif rel in database.bool_relations:
+                    guards.append(
+                        Guard(
+                            args=factor.args,
+                            keys=lambda s=database.bool_relations[rel]: s,
+                            name=f"bool:{rel}",
+                        )
+                    )
+                else:
+                    guards.append(
+                        Guard(
+                            args=factor.args,
+                            keys=lambda d=database, r=rel: d.support(r),
+                            name=f"edb:{rel}",
+                        )
+                    )
+            for valuation, _slots in enumerate_matches(
+                body.enumeration_order(),
+                guards,
+                domain,
+                body.condition,
+                database.bool_holds,
+                plan="naive",
+            ):
+                head_key = tuple(
+                    eval_term(t, valuation) for t in rule.head_args
+                )
+                atom = (rule.head_relation, head_key)
+                counts[atom] = counts.get(atom, 0) + 1
+    return counts
 
 
 def derivation_count(element: FreeElement) -> int:

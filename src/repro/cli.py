@@ -27,7 +27,14 @@ import sys
 from typing import Any, Callable, Dict, Optional
 
 from . import analysis, semirings
-from .core import BudgetExceeded, Database, VALID_ENGINES, parse_program, solve
+from .core import (
+    VALID_ENGINES,
+    VALID_SCHEDULES,
+    BudgetExceeded,
+    Database,
+    parse_program,
+    solve,
+)
 from .semirings import POPS
 
 
@@ -195,6 +202,50 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the crash-safe always-on query service over HTTP."""
+    from .core.journal import CHECKPOINT_NAME, load_checkpoint
+    from .core.serve import DatalogService, make_server
+
+    pops = resolve_pops(args.pops)
+    with open(args.program) as f:
+        program = parse_program(f.read())
+    database = None
+    if args.edb is not None:
+        database = load_database(args.edb, pops)
+    elif load_checkpoint(args.data_dir) is None:
+        raise SystemExit(
+            f"error: no --edb given and no {CHECKPOINT_NAME} in "
+            f"{args.data_dir!r} to recover from"
+        )
+    try:
+        service = DatalogService(
+            program,
+            pops,
+            args.data_dir,
+            database=database,
+            checkpoint_every=args.checkpoint_every,
+            query_wall_s=args.query_wall_s,
+            pool_workers=args.threads,
+            plan=args.plan,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"# serving on http://{host}:{port} (seq {service.durable.seq})")
+    print("# routes: GET /health /stats /query /scan · POST /mutate /checkpoint")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down (state is journaled; restart to recover)")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     pops = resolve_pops(args.pops)
     with open(args.program) as f:
@@ -249,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--schedule",
         default="auto",
-        choices=("auto", "scc", "parallel", "monolithic"),
+        choices=VALID_SCHEDULES,
         help=(
             "fixpoint scheduling: per-SCC strata (auto/scc), parallel "
             "independent strata, or the whole-program iteration"
@@ -330,6 +381,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="result format (text facts or a JSON document)",
     )
     run.set_defaults(handler=cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe incremental query service over HTTP",
+    )
+    serve.add_argument("program", help="datalog° source file")
+    serve.add_argument("--pops", required=True, help="value space, e.g. trop")
+    serve.add_argument(
+        "--edb",
+        default=None,
+        help=(
+            "JSON EDB file for a cold start; omit to recover the warm "
+            "state from --data-dir's checkpoint + journal"
+        ),
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for the write-ahead journal and checkpoints",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="TCP port (0 picks an ephemeral port; default 8750)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="checkpoint + rotate the journal every N mutation batches",
+    )
+    serve.add_argument(
+        "--query-wall-s",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help=(
+            "per-request wall budget; a blown budget returns a "
+            "structured 408 instead of hanging"
+        ),
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help="request thread-pool width",
+    )
+    serve.add_argument(
+        "--plan",
+        default="indexed",
+        choices=("indexed", "indexed-greedy", "naive"),
+    )
+    serve.add_argument("--engine", default="auto", choices=VALID_ENGINES)
+    serve.set_defaults(handler=cmd_serve)
 
     classify = sub.add_parser(
         "classify", help="predict convergence (Theorem 1.2)"

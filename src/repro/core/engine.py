@@ -36,7 +36,7 @@ from .kernels import VALID_ENGINES
 from .linear import linear_lfp
 from .naive import EvaluationResult, naive_fixpoint
 from .rules import Program
-from .scheduler import scheduled_fixpoint
+from .scheduler import VALID_SCHEDULES, scheduled_fixpoint
 from .seminaive import seminaive_fixpoint
 
 
@@ -155,8 +155,11 @@ def solve(
             f"unknown engine {engine!r}; valid choices: "
             + ", ".join(VALID_ENGINES)
         )
-    if schedule not in ("auto", "scc", "parallel", "monolithic"):
-        raise ValueError(f"unknown schedule {schedule!r}")
+    if schedule not in VALID_SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; valid choices: "
+            + ", ".join(VALID_SCHEDULES)
+        )
     if engine_workers < 1:
         raise ValueError(f"engine_workers must be ≥ 1, got {engine_workers}")
     if engine_workers > 1:

@@ -1,0 +1,452 @@
+"""Crash-safe durability: write-ahead mutation journal + checkpoints.
+
+A long-running service (:mod:`repro.core.serve`) holds a warm
+:class:`~repro.core.incremental.IncrementalInstance` in memory; this
+module makes that state survive process death.  The design is the
+classic WAL pair:
+
+**Journal** — an append-only file of mutation-batch records.  Each
+record is one line ``crc32hex payload-json\\n`` where the payload
+carries its own sequence number and the encoded mutations; the CRC32
+covers the payload bytes, so a torn write (process died mid-``write``)
+or a corrupted tail is detected on replay, truncated away with a
+:class:`JournalWarning`, and the surviving whole-record prefix loads
+normally.  Appends are flushed and ``fsync``'d **before** the mutation
+is applied in memory — a batch is either durable or was never
+acknowledged.
+
+**Checkpoint** — a JSON snapshot of the full state (EDB database,
+warm fixpoint, last applied sequence number) written to a temp file,
+``fsync``'d, then atomically ``os.replace``'d over the previous
+checkpoint; the journal is rotated (reset to empty) only after the
+rename lands.  A reader therefore always sees either the old or the
+new checkpoint, never a torn one.
+
+**Recovery** — :class:`DurableInstance` opening a data directory loads
+the checkpoint, rebuilds the warm fixpoint without re-solving, and
+replays the journal suffix (records with sequence numbers beyond the
+checkpoint's) through the ordinary incremental-apply path.  Because
+incremental maintenance is deterministic and byte-identical to
+``solve()`` from scratch, a recovered process converges to exactly the
+state an uncrashed one would hold.
+
+Every crash window is exercised deterministically through the extended
+``DATALOGO_FAULT`` grammar (named mutation sites — see
+:mod:`repro.core.guardrails`): ``crash@journal:n`` dies after batch
+``n`` is durable but before the in-memory apply, ``corrupt@journal:n``
+tears the record mid-write, ``crash@apply:n`` dies after the apply,
+``crash@checkpoint:n`` dies between the checkpoint temp file and the
+rename, and ``crash@truncate:n`` dies between the rename and the
+journal rotation.  ``tests/test_journal.py`` drives every site and
+asserts recovery lands byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from warnings import warn
+
+from ..semirings.base import FunctionRegistry, POPS
+from .guardrails import FaultPlan
+from .incremental import ApplySummary, IncrementalInstance, Mutation
+from .instance import Database
+from .io import (
+    database_from_dict,
+    database_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+)
+from .rules import Program
+
+JOURNAL_NAME = "journal.log"
+CHECKPOINT_NAME = "checkpoint.json"
+CHECKPOINT_SCHEMA = "datalogo-checkpoint/1"
+
+
+class JournalWarning(UserWarning):
+    """A recoverable journal anomaly (torn/corrupt tail truncated)."""
+
+
+class JournalError(RuntimeError):
+    """An unrecoverable durability-layer failure (corrupt checkpoint)."""
+
+
+class InjectedCrash(RuntimeError):
+    """A ``DATALOGO_FAULT`` mutation-site crash fired.
+
+    Raised instead of ``os._exit`` so the fault matrix can run
+    in-process: the test abandons every in-memory object (exactly what
+    process death does) and re-opens the data directory; the on-disk
+    state is whatever the crash point left behind, byte for byte.
+    """
+
+
+def encode_record(seq: int, mutations: Sequence[Mutation]) -> bytes:
+    """Encode one journal record: ``crc32hex payload-json\\n``.
+
+    The payload JSON carries no literal newlines (``json.dumps``
+    escapes them), so records are line-delimited and a torn tail is
+    exactly a final line that fails the CRC or the parse.
+    """
+    payload = json.dumps(
+        {"seq": seq, "mutations": [m.as_dict() for m in mutations]},
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+    ).encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(payload), payload)
+
+
+def decode_records(
+    data: bytes,
+) -> Tuple[List[Tuple[int, List[Mutation]]], int, Optional[str]]:
+    """Decode a journal image into whole records plus the good length.
+
+    Returns ``(records, good_length, anomaly)``: every record that
+    passes the CRC and parses, the byte offset up to which the file is
+    intact, and a description of the first anomaly (``None`` on a clean
+    file).  Decoding stops at the first bad line — a mid-file
+    corruption invalidates everything after it, because sequence
+    numbers must replay in order.
+    """
+    records: List[Tuple[int, List[Mutation]]] = []
+    offset = 0
+    for line in data.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            return records, offset, "torn final record (no newline)"
+        body = line[:-1]
+        crc_hex, sep, payload = body.partition(b" ")
+        if not sep or len(crc_hex) != 8:
+            return records, offset, "malformed record framing"
+        try:
+            expected = int(crc_hex, 16)
+        except ValueError:
+            return records, offset, "malformed CRC field"
+        if zlib.crc32(payload) != expected:
+            return records, offset, "CRC mismatch"
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+            seq = int(doc["seq"])
+            mutations = [Mutation.from_dict(m) for m in doc["mutations"]]
+        except (ValueError, KeyError, TypeError) as exc:
+            return records, offset, f"undecodable payload ({exc})"
+        if records and seq <= records[-1][0]:
+            return records, offset, "non-monotonic sequence number"
+        records.append((seq, mutations))
+        offset += len(line)
+    return records, offset, None
+
+
+class MutationJournal:
+    """The append-only, CRC-checksummed write-ahead journal file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(
+        self, seq: int, mutations: Sequence[Mutation], torn_bytes: int = 0
+    ) -> None:
+        """Durably append one batch record (write + flush + fsync).
+
+        ``torn_bytes > 0`` is the fault harness's hook: only the first
+        ``torn_bytes`` of the record are written (then fsync'd), which
+        is byte-for-byte what a crash mid-``write`` leaves behind.
+        """
+        record = encode_record(seq, mutations)
+        if torn_bytes:
+            record = record[: max(1, min(torn_bytes, len(record) - 1))]
+        handle = self._open()
+        handle.write(record)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replay(self) -> List[Tuple[int, List[Mutation]]]:
+        """Read every whole record, truncating a torn/corrupt tail.
+
+        A detected anomaly truncates the file to its intact prefix and
+        warns — the un-acknowledged suffix is gone, the acknowledged
+        prefix replays normally.
+        """
+        if not os.path.exists(self.path):
+            return []
+        self.close()
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        records, good_length, anomaly = decode_records(data)
+        if anomaly is not None:
+            warn(
+                f"journal {self.path}: {anomaly} at byte {good_length}; "
+                f"truncating {len(data) - good_length} trailing bytes "
+                f"({len(records)} whole records survive)",
+                JournalWarning,
+                stacklevel=2,
+            )
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_length)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return records
+
+    def reset(self) -> None:
+        """Rotate after a checkpoint: every record is now redundant."""
+        self.close()
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a rename durable (best-effort on exotic filesystems)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_checkpoint(
+    data_dir: str,
+    payload: Dict[str, Any],
+    before_rename=None,
+) -> None:
+    """Atomically publish a checkpoint: temp file + fsync + rename.
+
+    ``before_rename`` is the fault harness's crash window between the
+    durable temp file and the atomic publish.
+    """
+    path = os.path.join(data_dir, CHECKPOINT_NAME)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    if before_rename is not None:
+        before_rename()
+    os.replace(tmp, path)
+    _fsync_dir(data_dir)
+
+
+def load_checkpoint(data_dir: str) -> Optional[Dict[str, Any]]:
+    """Load the published checkpoint, or ``None`` when absent.
+
+    The atomic-rename protocol means a present checkpoint is never
+    torn; one that fails to parse is real corruption (bad disk, manual
+    edit) and raises :class:`JournalError` rather than silently
+    re-solving from nothing.
+    """
+    path = os.path.join(data_dir, CHECKPOINT_NAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise JournalError(f"corrupt checkpoint {path}: {exc}") from exc
+    if payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise JournalError(
+            f"{path}: unknown checkpoint schema {payload.get('schema')!r}"
+        )
+    return payload
+
+
+class DurableInstance:
+    """An :class:`IncrementalInstance` whose state survives crashes.
+
+    Opening a data directory either recovers (checkpoint + journal
+    suffix replay) or, given an initial ``database``, solves once and
+    writes the first checkpoint.  :meth:`apply` is write-ahead: the
+    batch is durably journaled before it touches memory, and every
+    ``checkpoint_every`` batches the full state is re-checkpointed and
+    the journal rotated.
+
+    Stats (merged with the wrapped instance's in
+    :meth:`stats_snapshot`): ``journal_records`` (batches appended),
+    ``journal_replays`` (batches re-applied during recovery),
+    ``checkpoint_writes``, ``recoveries``, ``journal_skips`` (replay
+    records already covered by the checkpoint).
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        program: Program,
+        pops: POPS,
+        database: Optional[Database] = None,
+        functions: Optional[FunctionRegistry] = None,
+        checkpoint_every: int = 64,
+        plan: str = "indexed",
+        engine: str = "auto",
+        max_iterations: int = 100_000,
+        dred_cap: Optional[int] = None,
+        rederive_wall_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be ≥ 1, got {checkpoint_every}"
+            )
+        os.makedirs(data_dir, exist_ok=True)
+        self.data_dir = data_dir
+        self.program = program
+        self.pops = pops
+        self.checkpoint_every = checkpoint_every
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        self.journal = MutationJournal(os.path.join(data_dir, JOURNAL_NAME))
+        self.stats: Dict[str, int] = {
+            "journal_records": 0,
+            "journal_replays": 0,
+            "journal_skips": 0,
+            "checkpoint_writes": 0,
+            "recoveries": 0,
+        }
+        inc_kwargs = dict(
+            functions=functions,
+            plan=plan,
+            engine=engine,
+            max_iterations=max_iterations,
+            dred_cap=dred_cap,
+            rederive_wall_s=rederive_wall_s,
+        )
+        checkpoint = load_checkpoint(data_dir)
+        if checkpoint is not None:
+            self.seq = int(checkpoint["seq"])
+            self.inc = IncrementalInstance(
+                program,
+                database_from_dict(pops, checkpoint["database"]),
+                warm_instance=instance_from_dict(
+                    pops, checkpoint["instance"]
+                ),
+                warm_steps=int(checkpoint.get("steps", 0)),
+                **inc_kwargs,
+            )
+            for seq, mutations in self.journal.replay():
+                if seq <= self.seq:
+                    # Covered by the checkpoint: a crash between the
+                    # checkpoint rename and the journal rotation leaves
+                    # already-applied records behind.
+                    self.stats["journal_skips"] += 1
+                    continue
+                self.inc.apply(mutations)
+                self.seq = seq
+                self.stats["journal_replays"] += 1
+            self.stats["recoveries"] = 1
+        else:
+            if database is None:
+                raise ValueError(
+                    f"no checkpoint in {data_dir!r} and no initial "
+                    "database given"
+                )
+            self.seq = 0
+            self.inc = IncrementalInstance(program, database, **inc_kwargs)
+            self.checkpoint()
+        self._since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def instance(self):
+        return self.inc.instance
+
+    @property
+    def database(self):
+        return self.inc.database
+
+    @property
+    def versions(self) -> Dict[str, int]:
+        return self.inc.versions
+
+    def query(self, relation: str, key) -> Any:
+        return self.inc.query(relation, key)
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The merged durability + incremental-maintenance counters."""
+        out: Dict[str, Any] = dict(self.inc.stats)
+        out.update(self.stats)
+        out["seq"] = self.seq
+        out["warm_tuples"] = self.inc.instance.size()
+        return out
+
+    # ------------------------------------------------------------------
+    def _fault(self, site: str, seq: int) -> None:
+        if self.fault_plan.should("crash", site, seq, 0):
+            raise InjectedCrash(f"crash@{site}:{seq}")
+
+    def apply(self, mutations: Sequence[Any]) -> ApplySummary:
+        """Write-ahead apply: journal (durable) → memory → checkpoint.
+
+        Malformed batches raise :class:`ValueError` before any byte is
+        journaled.  A batch is acknowledged (the summary returns) only
+        after both the durable append and the in-memory apply; a crash
+        between them is recovered by replay.
+        """
+        muts = [
+            m if isinstance(m, Mutation) else Mutation.from_dict(m)
+            for m in mutations
+        ]
+        self.inc.validate(muts)
+        seq = self.seq + 1
+        if self.fault_plan.should("corrupt", "journal", seq, 0):
+            # Tear the record mid-write, then die: the torn tail is what
+            # replay must detect and truncate.
+            record_len = len(encode_record(seq, muts))
+            self.journal.append(seq, muts, torn_bytes=record_len // 2)
+            raise InjectedCrash(f"corrupt@journal:{seq}")
+        self.journal.append(seq, muts)
+        self._fault("journal", seq)
+        summary = self.inc.apply(muts)
+        self.seq = seq
+        self.stats["journal_records"] += 1
+        self._fault("apply", seq)
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+        return summary
+
+    def checkpoint(self) -> None:
+        """Snapshot the full state atomically, then rotate the journal."""
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "seq": self.seq,
+            "steps": self.inc.steps,
+            "pops": self.pops.name,
+            "database": database_to_dict(self.inc.database),
+            "instance": instance_to_dict(self.inc.instance),
+        }
+        write_checkpoint(
+            self.data_dir,
+            payload,
+            before_rename=lambda: self._fault("checkpoint", self.seq),
+        )
+        self._fault("truncate", self.seq)
+        self.journal.reset()
+        self._since_checkpoint = 0
+        self.stats["checkpoint_writes"] += 1
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "DurableInstance":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -61,6 +61,11 @@ from .rules import Program, Rule
 from .seminaive import SemiNaiveEvaluator
 from .valuations import is_indexed_plan
 
+#: The one source of truth for ``schedule=`` choices — consumed by
+#: ``solve()`` validation, the CLI's argparse choices, and the CI
+#: engine-matrix docs (``VALID_ENGINES`` lives in :mod:`.kernels`).
+VALID_SCHEDULES: Tuple[str, ...] = ("auto", "scc", "parallel", "monolithic")
+
 
 @dataclass
 class StratumReport:
@@ -263,6 +268,11 @@ def scheduled_fixpoint(
         raise ValueError(
             f"scheduled evaluation supports 'naive'/'seminaive', "
             f"not {method!r}"
+        )
+    if workers > 1 and method != "seminaive":
+        raise ValueError(
+            "engine_workers > 1 shards the semi-naïve delta; "
+            f"method={method!r} has none — use method='seminaive'"
         )
     pops = database.pops
     components = condensation(program)

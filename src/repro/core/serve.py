@@ -1,0 +1,490 @@
+"""``datalogo serve``: a fault-tolerant always-on query service.
+
+The batch engine answers one ``solve()`` and exits; this module turns
+the same fixpoint into a long-running service:
+
+* a :class:`DatalogService` keeps a crash-safe warm fixpoint
+  (:class:`~repro.core.journal.DurableInstance`) in memory, applies
+  mutation batches through the write-ahead journal under a writer
+  lock, and answers reads lock-free against the immutable published
+  instance (the incremental engine swaps ``instance`` atomically, so
+  readers never see a half-applied state);
+* point queries are O(1) against the fixpoint support; pattern scans
+  (``None`` wildcards) probe lazily built value-carrying
+  :class:`~repro.core.indexes.KeyIndex` masks, rebuilt only when the
+  relation's version counter moves;
+* query results are memoized keyed on the per-relation change
+  counters (the version vector the incremental engine bumps per
+  mutation) — a mutation that leaves relation ``R`` untouched keeps
+  every cached ``R`` read valid;
+* every request carries a wall budget: a scan that exceeds it (or a
+  request stuck behind a slow pool) degrades to an HTTP-style
+  structured error (:class:`ServeError` → ``{"error": …, "status":
+  408}``) instead of hanging the client;
+* the HTTP front end (stdlib ``ThreadingHTTPServer``; zero
+  dependencies) executes requests on a bounded thread pool —
+  ``GET /query``, ``GET /scan``, ``POST /mutate``,
+  ``POST /checkpoint``, ``GET /stats``, ``GET /health``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..semirings.base import FunctionRegistry, POPS
+from .guardrails import FaultPlan
+from .incremental import Mutation
+from .indexes import KeyIndex
+from .instance import Database
+from .io import encode_value
+from .journal import DurableInstance
+from .rules import Program
+
+#: Entries polled between wall-budget checks during a pattern scan.
+_SCAN_POLL_EVERY = 1024
+
+
+class ServeError(Exception):
+    """A structured, HTTP-shaped request failure (never a hang)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "error": {"code": self.code, "message": str(self)},
+        }
+
+
+class DatalogService:
+    """The warm-fixpoint query/mutation service (front-end agnostic).
+
+    One writer at a time (mutations serialize on ``_write_lock``);
+    reads never take it — they snapshot the published instance and the
+    version vector, which the incremental engine only replaces
+    atomically.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        pops: POPS,
+        data_dir: str,
+        database: Optional[Database] = None,
+        functions: Optional[FunctionRegistry] = None,
+        checkpoint_every: int = 64,
+        query_wall_s: float = 2.0,
+        cache_size: int = 4096,
+        pool_workers: int = 4,
+        plan: str = "indexed",
+        engine: str = "auto",
+        dred_cap: Optional[int] = None,
+        rederive_wall_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        self.durable = DurableInstance(
+            data_dir,
+            program,
+            pops,
+            database=database,
+            functions=functions,
+            checkpoint_every=checkpoint_every,
+            plan=plan,
+            engine=engine,
+            dred_cap=dred_cap,
+            rederive_wall_s=rederive_wall_s,
+            fault_plan=fault_plan,
+        )
+        self.program = program
+        self.pops = pops
+        self.query_wall_s = query_wall_s
+        self.cache_size = cache_size
+        self._write_lock = threading.Lock()
+        #: (relation, key) → (version, value): the memo the version
+        #: vector invalidates.
+        self._cache: "OrderedDict[Tuple[str, Tuple], Tuple[int, Any]]" = (
+            OrderedDict()
+        )
+        self._cache_lock = threading.Lock()
+        #: (relation, mask) → (version, KeyIndex): lazily built
+        #: value-carrying scan indexes, rebuilt per relation version.
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Tuple[int, KeyIndex]] = {}
+        self._index_lock = threading.Lock()
+        self.pool = ThreadPoolExecutor(
+            max_workers=pool_workers, thread_name_prefix="datalogo-serve"
+        )
+        self.stats: Dict[str, int] = {
+            "queries": 0,
+            "scans": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "mutation_batches": 0,
+            "query_timeouts": 0,
+            "request_errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _version(self, relation: str) -> int:
+        return self.durable.versions.get(relation, 0)
+
+    def query(self, relation: str, key: Sequence[Any]) -> Any:
+        """Point lookup with version-vector memoization."""
+        self._check_relation(relation)
+        key = tuple(key)
+        self.stats["queries"] += 1
+        version = self._version(relation)
+        cache_key = (relation, key)
+        with self._cache_lock:
+            hit = self._cache.get(cache_key)
+            if hit is not None and hit[0] == version:
+                self._cache.move_to_end(cache_key)
+                self.stats["cache_hits"] += 1
+                return hit[1]
+        self.stats["cache_misses"] += 1
+        value = self.durable.query(relation, key)
+        with self._cache_lock:
+            self._cache[cache_key] = (version, value)
+            self._cache.move_to_end(cache_key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return value
+
+    def scan(
+        self,
+        relation: str,
+        pattern: Optional[Sequence[Any]] = None,
+        wall_s: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[Tuple, Any]]:
+        """Pattern scan: ``None`` positions are wildcards.
+
+        Bound positions probe a value-carrying :class:`KeyIndex` mask
+        (built lazily, invalidated by the relation's version counter);
+        an all-wildcard pattern enumerates the support.  The wall
+        budget is polled during enumeration — a scan that blows it
+        raises a structured 408 instead of hanging the request thread.
+        """
+        self._check_relation(relation)
+        self.stats["scans"] += 1
+        budget = self.query_wall_s if wall_s is None else wall_s
+        deadline = time.monotonic() + budget
+        support = self._support(relation)
+        if pattern is None or all(v is None for v in pattern):
+            entries = list(support.items()) if hasattr(
+                support, "items"
+            ) else [(k, True) for k in support]
+            return self._clip(entries, deadline, limit)
+        mask = tuple(
+            i for i, v in enumerate(pattern) if v is not None
+        )
+        values = tuple(pattern[i] for i in mask)
+        index = self._scan_index(relation, mask, support)
+        out: List[Tuple[Tuple, Any]] = []
+        for n, entry in enumerate(index.probe_entries(mask, values)):
+            if n % _SCAN_POLL_EVERY == 0 and time.monotonic() > deadline:
+                self.stats["query_timeouts"] += 1
+                raise ServeError(
+                    408,
+                    "query-budget",
+                    f"scan of {relation!r} exceeded its "
+                    f"{budget:g}s wall budget",
+                )
+            out.append((entry[0], entry[1]))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def _clip(self, entries, deadline, limit):
+        out = []
+        for n, item in enumerate(entries):
+            if n % _SCAN_POLL_EVERY == 0 and time.monotonic() > deadline:
+                self.stats["query_timeouts"] += 1
+                raise ServeError(
+                    408, "query-budget", "scan exceeded its wall budget"
+                )
+            out.append(item)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def _support(self, relation: str):
+        inc = self.durable.inc
+        if relation in inc._idb_names:
+            return inc.instance.support(relation)
+        if inc._is_bool_relation(relation):
+            keys = inc.database.bool_relations.get(relation, set())
+            return {key: True for key in keys}
+        return inc.database.support(relation)
+
+    def _scan_index(self, relation: str, mask, support) -> KeyIndex:
+        version = self._version(relation)
+        slot = (relation, mask)
+        with self._index_lock:
+            hit = self._indexes.get(slot)
+            if hit is not None and hit[0] == version:
+                return hit[1]
+            index = KeyIndex(support)
+            self._indexes[slot] = (version, index)
+            return index
+
+    def _check_relation(self, relation: str) -> None:
+        inc = self.durable.inc
+        known = (
+            relation in inc._idb_names
+            or relation in inc.database.relations
+            or relation in self.program.edbs
+            or inc._is_bool_relation(relation)
+        )
+        if not known:
+            raise ServeError(
+                404,
+                "unknown-relation",
+                f"unknown relation {relation!r} (known: "
+                f"{sorted(set(self.program.idbs) | set(self.program.edbs) | set(self.program.bool_edbs))})",
+            )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def mutate(self, mutations: Sequence[Any]) -> Dict[str, Any]:
+        """Apply one batch through the journal; returns the summary."""
+        try:
+            muts = [
+                m if isinstance(m, Mutation) else Mutation.from_dict(m)
+                for m in mutations
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            self.stats["request_errors"] += 1
+            raise ServeError(
+                400, "bad-mutation", f"malformed mutation batch: {exc}"
+            ) from exc
+        try:
+            with self._write_lock:
+                summary = self.durable.apply(muts)
+        except ValueError as exc:
+            self.stats["request_errors"] += 1
+            raise ServeError(400, "bad-mutation", str(exc)) from exc
+        self.stats["mutation_batches"] += 1
+        return summary.as_dict()
+
+    def checkpoint(self) -> Dict[str, Any]:
+        with self._write_lock:
+            self.durable.checkpoint()
+        return {"seq": self.durable.seq}
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Serve + durability + incremental counters, one flat dict."""
+        out = self.durable.stats_snapshot()
+        out.update(self.stats)
+        out["cached_queries"] = len(self._cache)
+        return out
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=False)
+        self.durable.close()
+
+    def __enter__(self) -> "DatalogService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+def _parse_key(raw: str) -> Tuple:
+    """Parse a key/pattern query param: JSON array, else comma-split.
+
+    Comma-split atoms coerce to ``int`` when they look like one (the
+    workloads key on strings and ints); ``_`` and empty atoms are
+    wildcards (scan patterns).
+    """
+    raw = raw.strip()
+    if raw.startswith("["):
+        try:
+            parsed = json.loads(raw)
+        except ValueError as exc:
+            raise ServeError(
+                400, "bad-key", f"unparseable key {raw!r}: {exc}"
+            ) from exc
+        if not isinstance(parsed, list):
+            raise ServeError(400, "bad-key", f"key must be a list: {raw!r}")
+        return tuple(parsed)
+    atoms: List[Any] = []
+    for atom in raw.split(","):
+        atom = atom.strip()
+        if atom in ("", "_", "*"):
+            atoms.append(None)
+            continue
+        try:
+            atoms.append(int(atom))
+        except ValueError:
+            atoms.append(atom)
+    return tuple(atoms)
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the service's bounded thread pool."""
+
+    service: DatalogService = None  # set by make_server
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default stderr-per-request log line.
+    def log_message(self, *args) -> None:  # noqa: D102
+        pass
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _run(self, fn) -> None:
+        """Execute a request body on the pool under the wall budget."""
+        service = self.service
+        future = service.pool.submit(fn)
+        try:
+            # Pool-queue wait counts against the budget too: a request
+            # stuck behind slow scans times out instead of hanging.
+            payload = future.result(timeout=service.query_wall_s * 4 + 1.0)
+        except FutureTimeout:
+            future.cancel()
+            service.stats["query_timeouts"] += 1
+            self._reply(
+                503,
+                ServeError(
+                    503, "overloaded", "request timed out in the pool"
+                ).as_dict(),
+            )
+            return
+        except ServeError as exc:
+            self._reply(exc.status, exc.as_dict())
+            return
+        except Exception as exc:  # noqa: BLE001 — fault barrier
+            service.stats["request_errors"] += 1
+            self._reply(
+                500,
+                ServeError(500, "internal", repr(exc)).as_dict(),
+            )
+            return
+        self._reply(200, payload)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        url = urlparse(self.path)
+        params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        if url.path == "/health":
+            self._reply(200, {"status": "ok", "seq": self.service.durable.seq})
+            return
+        if url.path == "/stats":
+            self._run(lambda: dict(self.service.stats_snapshot()))
+            return
+        if url.path == "/query":
+            relation = params.get("relation")
+            raw_key = params.get("key")
+            if not relation or raw_key is None:
+                self._reply(
+                    400,
+                    ServeError(
+                        400, "bad-request", "need relation= and key= params"
+                    ).as_dict(),
+                )
+                return
+
+            def run_query():
+                value = self.service.query(relation, _parse_key(raw_key))
+                return {
+                    "relation": relation,
+                    "key": list(_parse_key(raw_key)),
+                    "value": encode_value(value),
+                }
+
+            self._run(run_query)
+            return
+        if url.path == "/scan":
+            relation = params.get("relation")
+            if not relation:
+                self._reply(
+                    400,
+                    ServeError(
+                        400, "bad-request", "need a relation= param"
+                    ).as_dict(),
+                )
+                return
+            pattern = (
+                _parse_key(params["pattern"]) if "pattern" in params else None
+            )
+            limit = int(params["limit"]) if "limit" in params else None
+
+            def run_scan():
+                entries = self.service.scan(
+                    relation, pattern=pattern, limit=limit
+                )
+                return {
+                    "relation": relation,
+                    "entries": [
+                        [list(key), encode_value(value)]
+                        for key, value in entries
+                    ],
+                }
+
+            self._run(run_scan)
+            return
+        self._reply(
+            404, ServeError(404, "no-route", f"no route {url.path!r}").as_dict()
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        url = urlparse(self.path)
+        if url.path == "/checkpoint":
+            self._run(self.service.checkpoint)
+            return
+        if url.path == "/mutate":
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                doc = json.loads(self.rfile.read(length) or b"{}")
+                mutations = doc["mutations"]
+            except (ValueError, KeyError) as exc:
+                self._reply(
+                    400,
+                    ServeError(
+                        400,
+                        "bad-request",
+                        f"body must be {{'mutations': […]}}: {exc}",
+                    ).as_dict(),
+                )
+                return
+            self._run(lambda: self.service.mutate(mutations))
+            return
+        self._reply(
+            404, ServeError(404, "no-route", f"no route {url.path!r}").as_dict()
+        )
+
+
+def make_server(
+    service: DatalogService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind the HTTP front end (``port=0`` picks an ephemeral port)."""
+    handler = type("BoundServeHandler", (_ServeHandler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

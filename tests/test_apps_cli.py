@@ -207,3 +207,145 @@ class TestCli:
         )
         assert proc.returncode == 0
         assert "T(a, c) = 4.0" in proc.stdout
+
+
+class TestWorkersValidation:
+    """Satellite: `engine_workers`/`--workers` fail loud at every boundary
+    with the same message naming the seminaive-only constraint."""
+
+    MSG = "engine_workers > 1 shards the semi-naïve delta"
+
+    @pytest.fixture()
+    def tc_files(self, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text("T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n")
+        edb = tmp_path / "edb.json"
+        edb.write_text(json.dumps({
+            "relations": {
+                "E": [[["a", "b"], 1.0], [["b", "c"], 3.0]],
+            }
+        }))
+        return str(program), str(edb)
+
+    def test_solve_rejects_naive_workers(self):
+        from repro import core, workloads
+        from repro.semirings import TROP
+
+        db = core.Database(
+            pops=TROP, relations={"E": dict(workloads.fig_2a_graph())}
+        )
+        program = core.parse_program(
+            "T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n"
+        )
+        with pytest.raises(ValueError, match="use method='seminaive'"):
+            core.solve(program, db, method="naive", engine_workers=2)
+
+    def test_scheduled_fixpoint_rejects_naive_workers(self):
+        from repro import core, workloads
+        from repro.core.scheduler import scheduled_fixpoint
+        from repro.semirings import TROP
+
+        db = core.Database(
+            pops=TROP, relations={"E": dict(workloads.fig_2a_graph())}
+        )
+        program = core.parse_program(
+            "T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n"
+        )
+        with pytest.raises(ValueError, match="use method='seminaive'"):
+            scheduled_fixpoint(program, db, method="naive", workers=2)
+
+    def test_cli_prints_same_message(self, tc_files):
+        program, edb = tc_files
+        with pytest.raises(SystemExit, match="use method='seminaive'"):
+            main(["run", program, "--pops", "trop", "--edb", edb,
+                  "--method", "naive", "--workers", "2"])
+
+
+class TestValidListsDeduped:
+    """Satellite: engine/schedule choices come from one module each."""
+
+    def test_valid_schedules_single_source(self):
+        from repro.core import VALID_SCHEDULES
+        from repro.core.scheduler import (
+            VALID_SCHEDULES as scheduler_schedules,
+        )
+
+        assert VALID_SCHEDULES is scheduler_schedules
+        assert VALID_SCHEDULES == ("auto", "scc", "parallel", "monolithic")
+
+    def test_solve_names_valid_schedules(self):
+        from repro import core, workloads
+        from repro.semirings import TROP
+
+        db = core.Database(
+            pops=TROP, relations={"E": dict(workloads.fig_2a_graph())}
+        )
+        program = core.parse_program(
+            "T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n"
+        )
+        with pytest.raises(ValueError, match="monolithic"):
+            core.solve(program, db, schedule="bogus")
+
+    def test_cli_choices_track_the_lists(self):
+        from repro.cli import build_parser
+        from repro.core import VALID_ENGINES, VALID_SCHEDULES
+
+        parser = build_parser()
+        run_parser = next(
+            a for a in parser._subparsers._group_actions[0].choices.items()
+            if a[0] == "run"
+        )[1]
+        by_dest = {a.dest: a for a in run_parser._actions}
+        assert tuple(by_dest["schedule"].choices) == VALID_SCHEDULES
+        assert tuple(by_dest["engine"].choices) == tuple(VALID_ENGINES)
+
+
+class TestServeCli:
+    @pytest.fixture()
+    def tc_files(self, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text("T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n")
+        edb = tmp_path / "edb.json"
+        edb.write_text(json.dumps({
+            "relations": {
+                "E": [[["a", "b"], 1.0], [["b", "c"], 3.0]],
+            }
+        }))
+        return str(program), str(edb)
+
+    def test_serve_requires_edb_or_checkpoint(self, tc_files, tmp_path):
+        program, _edb = tc_files
+        with pytest.raises(SystemExit, match="no --edb"):
+            main(["serve", program, "--pops", "trop",
+                  "--data-dir", str(tmp_path / "empty")])
+
+    def test_serve_round_trip_over_http(self, tc_files, tmp_path):
+        """Boot the real subcommand in a thread, hit it over HTTP."""
+        import threading
+        import urllib.request
+
+        from repro.cli import load_database, resolve_pops
+        from repro.core import parse_program
+        from repro.core.serve import DatalogService, make_server
+
+        program_path, edb_path = tc_files
+        pops = resolve_pops("trop")
+        with open(program_path) as f:
+            program = parse_program(f.read())
+        service = DatalogService(
+            program, pops, str(tmp_path / "data"),
+            database=load_database(edb_path, pops),
+        )
+        server = make_server(service, port=0)
+        port = server.server_address[1]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/query?relation=T&key=a,c",
+                timeout=10,
+            ) as r:
+                assert json.loads(r.read())["value"] == 4.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()

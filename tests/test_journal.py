@@ -1,0 +1,313 @@
+"""Durability layer (`core/journal.py`): WAL, checkpoints, recovery.
+
+The headline property: **any byte prefix** of a valid journal —
+including a torn mid-record tail — recovers to exactly the state of
+replaying the surviving whole records, across TROP/BOOL/THREE.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import core, programs, workloads
+from repro.core.guardrails import FaultPlan
+from repro.core.incremental import IncrementalInstance, Mutation, fingerprint
+from repro.core.journal import (
+    JOURNAL_NAME,
+    DurableInstance,
+    InjectedCrash,
+    JournalError,
+    JournalWarning,
+    MutationJournal,
+    decode_records,
+    encode_record,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.semirings import BOOL, THREE, TROP
+
+
+def trop_setup():
+    db = core.Database(
+        pops=TROP, relations={"E": dict(workloads.fig_2a_graph())}
+    )
+    batches = [
+        [Mutation("insert", "E", ("a", "x"), 1.0)],
+        [Mutation("insert", "E", ("x", "d"), 1.0),
+         Mutation("insert", "E", ("x", "b"), 0.5)],
+        [Mutation("delete", "E", ("a", "x"), None)],
+        [Mutation("insert", "E", ("c", "x"), 2.0)],
+    ]
+    return programs.sssp("a"), TROP, db, batches
+
+
+def bool_setup():
+    db = core.Database(
+        pops=BOOL,
+        relations={"E": {("a", "b"): True, ("b", "c"): True,
+                         ("a", "c"): True}},
+    )
+    batches = [
+        [Mutation("insert", "E", ("c", "d"), True)],
+        [Mutation("delete", "E", ("a", "b"), None)],
+        [Mutation("insert", "E", ("d", "a"), True)],
+    ]
+    return programs.transitive_closure(), BOOL, db, batches
+
+
+def three_setup():
+    db = core.Database(
+        pops=THREE,
+        relations={"E": {("a", "b"): True, ("b", "c"): False}},
+    )
+    batches = [
+        [Mutation("insert", "E", ("c", "a"), True)],
+        [Mutation("delete", "E", ("b", "c"), None)],
+        [Mutation("insert", "E", ("b", "b"), False)],
+    ]
+    return programs.transitive_closure(), THREE, db, batches
+
+
+SETUPS = {"trop": trop_setup, "bool": bool_setup, "three": three_setup}
+
+
+class TestRecordFormat:
+    def test_round_trip(self):
+        muts = [Mutation("insert", "E", ("a", "b"), 1.5),
+                Mutation("delete", "E", ("b", "c"), None)]
+        blob = encode_record(3, muts) + encode_record(4, muts[:1])
+        records, good, anomaly = decode_records(blob)
+        assert anomaly is None and good == len(blob)
+        assert [seq for seq, _ in records] == [3, 4]
+        assert records[0][1] == muts
+
+    def test_crc_flip_detected(self):
+        blob = bytearray(encode_record(1, [Mutation("insert", "E", ("a",), 1.0)]))
+        blob[len(blob) // 2] ^= 0xFF
+        records, good, anomaly = decode_records(bytes(blob))
+        assert records == [] and good == 0 and anomaly is not None
+
+    def test_non_monotonic_seq_rejected(self):
+        blob = encode_record(2, [Mutation("insert", "E", ("a",), 1.0)]) + \
+            encode_record(2, [Mutation("insert", "E", ("b",), 1.0)])
+        records, good, anomaly = decode_records(blob)
+        assert len(records) == 1 and anomaly is not None
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_any_prefix_yields_whole_record_prefix(self, data):
+        """decode_records(blob[:k]) = the longest whole-record prefix."""
+        batches = [
+            [Mutation("insert", "E", ("a", "b"), float(i))]
+            for i in range(4)
+        ]
+        blob = b"".join(
+            encode_record(i + 1, batch) for i, batch in enumerate(batches)
+        )
+        cut = data.draw(st.integers(0, len(blob)))
+        records, good, _ = decode_records(blob[:cut])
+        # good bytes always frame exactly the surviving records
+        assert blob[:good] == b"".join(
+            encode_record(i + 1, batches[i]) for i in range(len(records))
+        )
+        # a cut on a record boundary loses nothing before it
+        boundaries = []
+        off = 0
+        for i, batch in enumerate(batches):
+            off += len(encode_record(i + 1, batch))
+            boundaries.append(off)
+        expect_n = sum(1 for b in boundaries if b <= cut)
+        assert len(records) == expect_n
+
+
+class TestJournalPrefixRecovery:
+    """Acceptance criterion: arbitrary journal truncation is safe."""
+
+    @pytest.mark.parametrize("name", sorted(SETUPS))
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_recovers_surviving_whole_records(self, name, data, tmp_path_factory):
+        program, pops, db, batches = SETUPS[name]()
+        d = str(tmp_path_factory.mktemp(f"jp-{name}"))
+        with DurableInstance(
+            d, program, pops, database=db, checkpoint_every=100
+        ) as dur:
+            for batch in batches:
+                dur.apply(batch)
+        journal_path = os.path.join(d, JOURNAL_NAME)
+        blob = open(journal_path, "rb").read()
+        cut = data.draw(st.integers(0, len(blob)))
+        with open(journal_path, "wb") as f:
+            f.write(blob[:cut])
+        surviving, _, _ = decode_records(blob[:cut])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", JournalWarning)
+            with DurableInstance(
+                d, program, pops, checkpoint_every=100
+            ) as recovered:
+                got = fingerprint(recovered.instance)
+                assert recovered.seq == len(surviving)
+        program2, pops2, db2, _ = SETUPS[name]()
+        ref = IncrementalInstance(program2, db2)
+        for _seq, muts in surviving:
+            ref.apply(muts)
+        assert got == fingerprint(ref.instance)
+
+    def test_torn_tail_truncates_with_warning(self, tmp_path):
+        program, pops, db, batches = trop_setup()
+        d = str(tmp_path)
+        with DurableInstance(
+            d, program, pops, database=db, checkpoint_every=100
+        ) as dur:
+            for batch in batches[:2]:
+                dur.apply(batch)
+        journal_path = os.path.join(d, JOURNAL_NAME)
+        with open(journal_path, "ab") as f:
+            f.write(b"deadbeef {\"seq\": 3, \"mutations\"")  # torn write
+        with pytest.warns(JournalWarning):
+            with DurableInstance(
+                d, program, pops, checkpoint_every=100
+            ) as recovered:
+                assert recovered.seq == 2
+                assert recovered.stats["journal_replays"] == 2
+
+
+class TestCrashMatrix:
+    """Deterministic DATALOGO_FAULT sites: reopen equals uncrashed."""
+
+    # (site, does the batch survive the crash?)
+    MATRIX = [
+        ("crash@journal:2", True),    # record fsync'd before the fault
+        ("crash@apply:2", True),      # applied + journaled, no checkpoint
+        ("corrupt@journal:2", False),  # torn record → truncated on replay
+        ("crash@checkpoint:2", True),  # old checkpoint + full journal
+        ("crash@truncate:2", True),   # new checkpoint + stale journal
+    ]
+
+    @pytest.mark.parametrize("site,survives", MATRIX)
+    def test_reopen_equals_uncrashed(self, site, survives, tmp_path):
+        program, pops, db, batches = trop_setup()
+        crash_dir = str(tmp_path / "crashed")
+        ref_dir = str(tmp_path / "reference")
+        os.makedirs(crash_dir)
+        os.makedirs(ref_dir)
+        dur = DurableInstance(
+            crash_dir, program, pops, database=db, checkpoint_every=2,
+            fault_plan=FaultPlan.parse(site),
+        )
+        dur.apply(batches[0])
+        with pytest.raises(InjectedCrash):
+            dur.apply(batches[1])
+        # the journal handle is abandoned exactly as a dead process
+        # would leave it; recovery happens purely from disk
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", JournalWarning)
+            recovered = DurableInstance(
+                crash_dir, program, pops, checkpoint_every=2
+            )
+        program2, pops2, db2, batches2 = trop_setup()
+        with DurableInstance(
+            ref_dir, program2, pops2, database=db2, checkpoint_every=2
+        ) as ref:
+            ref.apply(batches2[0])
+            if survives:
+                ref.apply(batches2[1])
+            assert fingerprint(recovered.instance) == fingerprint(ref.instance)
+            assert recovered.seq == ref.seq
+        assert recovered.stats["recoveries"] == 1
+        recovered.close()
+
+    def test_corrupt_tail_warns(self, tmp_path):
+        program, pops, db, batches = trop_setup()
+        d = str(tmp_path)
+        dur = DurableInstance(
+            d, program, pops, database=db, checkpoint_every=100,
+            fault_plan=FaultPlan.parse("corrupt@journal:1"),
+        )
+        with pytest.raises(InjectedCrash):
+            dur.apply(batches[0])
+        with pytest.warns(JournalWarning):
+            DurableInstance(d, program, pops, checkpoint_every=100).close()
+
+    def test_crash_then_continue_then_crash_again(self, tmp_path):
+        """Recovery is re-entrant: crash, recover, mutate, crash, recover."""
+        program, pops, db, batches = trop_setup()
+        d = str(tmp_path)
+        dur = DurableInstance(
+            d, program, pops, database=db, checkpoint_every=2,
+            fault_plan=FaultPlan.parse("crash@apply:1"),
+        )
+        with pytest.raises(InjectedCrash):
+            dur.apply(batches[0])
+        dur2 = DurableInstance(
+            d, program, pops, checkpoint_every=1,
+            fault_plan=FaultPlan.parse("crash@checkpoint:2"),
+        )
+        assert dur2.seq == 1
+        with pytest.raises(InjectedCrash):
+            dur2.apply(batches[1])
+        with DurableInstance(d, program, pops, checkpoint_every=2) as dur3:
+            assert dur3.seq == 2
+            program2, _pops2, db2, _ = trop_setup()
+            ref = IncrementalInstance(program2, db2)
+            for batch in batches[:2]:
+                ref.apply(batch)
+            assert fingerprint(dur3.instance) == fingerprint(ref.instance)
+
+
+class TestCheckpointing:
+    def test_checkpoint_every_rotates_journal(self, tmp_path):
+        program, pops, db, batches = trop_setup()
+        d = str(tmp_path)
+        with DurableInstance(
+            d, program, pops, database=db, checkpoint_every=2
+        ) as dur:
+            for batch in batches:
+                dur.apply(batch)
+            # 4 batches, checkpoint every 2 → ≥ 2 periodic checkpoints
+            # (+1 at the initial solve)
+            assert dur.stats["checkpoint_writes"] >= 3
+            journal_size = os.path.getsize(os.path.join(d, JOURNAL_NAME))
+            assert journal_size == 0  # rotated at the last checkpoint
+        with DurableInstance(d, program, pops) as recovered:
+            assert recovered.stats["journal_replays"] == 0
+            assert recovered.seq == len(batches)
+
+    def test_checkpoint_schema_guard(self, tmp_path):
+        write_checkpoint(str(tmp_path), {"schema": "bogus/9", "seq": 0})
+        with pytest.raises(JournalError, match="schema"):
+            load_checkpoint(str(tmp_path))
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path)) is None
+
+    def test_stats_snapshot_has_gated_counters(self, tmp_path):
+        program, pops, db, batches = trop_setup()
+        with DurableInstance(
+            str(tmp_path), program, pops, database=db
+        ) as dur:
+            snap = dur.stats_snapshot()
+            for key in (
+                "incremental_fallbacks",
+                "journal_replays",
+                "checkpoint_writes",
+                "journal_records",
+                "recoveries",
+            ):
+                assert key in snap, key
+
+
+class TestMutationJournalUnit:
+    def test_append_replay_reset(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        j = MutationJournal(path)
+        j.append(1, [Mutation("insert", "E", ("a",), 1.0)])
+        j.append(2, [Mutation("delete", "E", ("a",), None)])
+        assert [seq for seq, _ in j.replay()] == [1, 2]
+        j.reset()
+        assert j.replay() == []
+        j.close()

@@ -1,0 +1,229 @@
+"""The fault-tolerant `datalogo serve` front end (`core/serve.py`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import core, programs, workloads
+from repro.core.incremental import Mutation, fingerprint
+from repro.core.serve import (
+    DatalogService,
+    ServeError,
+    _parse_key,
+    make_server,
+)
+from repro.semirings import TROP
+
+
+def trop_db():
+    return core.Database(
+        pops=TROP, relations={"E": dict(workloads.fig_2a_graph())}
+    )
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = DatalogService(
+        programs.sssp("a"), TROP, str(tmp_path), database=trop_db(),
+        checkpoint_every=100, query_wall_s=5.0,
+    )
+    yield svc
+    svc.close()
+
+
+class TestQueries:
+    def test_point_query_and_memoization(self, service):
+        assert service.query("L", ("d",)) == 8.0
+        assert service.query("L", ("d",)) == 8.0
+        assert service.stats["cache_hits"] == 1
+        assert service.stats["cache_misses"] == 1
+
+    def test_mutation_invalidates_via_version_vector(self, service):
+        service.query("L", ("d",))
+        service.mutate([Mutation("insert", "E", ("a", "d"), 0.5)])
+        assert service.query("L", ("d",)) == 0.5
+        assert service.stats["cache_misses"] == 2
+
+    def test_unrelated_relation_keeps_cache(self, tmp_path):
+        # Two independent EDBs: mutating one must not evict the other's
+        # cached reads (per-relation version keys, not a global epoch).
+        program = core.parse_program(
+            "T(X, Y) :- E(X, Y) | T(X, Z) * E(Z, Y).\n"
+            "U(X, Y) :- F(X, Y) | U(X, Z) * F(Z, Y).\n"
+        )
+        db = core.Database(
+            pops=TROP,
+            relations={"E": {("a", "b"): 1.0}, "F": {("p", "q"): 2.0}},
+        )
+        with DatalogService(
+            program, TROP, str(tmp_path), database=db
+        ) as svc:
+            assert svc.query("T", ("a", "b")) == 1.0
+            svc.mutate([Mutation("insert", "F", ("q", "r"), 1.0)])
+            svc.query("T", ("a", "b"))
+            assert svc.stats["cache_hits"] == 1
+
+    def test_scan_patterns(self, service):
+        full = service.scan("L")
+        assert len(full) == 4
+        bound = dict(service.scan("E", pattern=("a", None)))
+        assert bound[("a", "b")] == 1.0
+        assert ("b", "d") not in bound
+
+    def test_scan_budget_is_structured_not_a_hang(self, service):
+        with pytest.raises(ServeError) as exc:
+            service.scan("L", wall_s=-1.0)
+        assert exc.value.status == 408
+        assert exc.value.code == "query-budget"
+        assert service.stats["query_timeouts"] == 1
+
+    def test_unknown_relation_is_404(self, service):
+        with pytest.raises(ServeError) as exc:
+            service.query("Nope", ("a",))
+        assert exc.value.status == 404
+        assert exc.value.code == "unknown-relation"
+
+    def test_bad_mutation_is_400_and_leaves_state(self, service):
+        before = fingerprint(service.durable.instance)
+        with pytest.raises(ServeError) as exc:
+            service.mutate(
+                [{"op": "insert", "relation": "L", "key": ["a"], "value": 1.0}]
+            )
+        assert exc.value.status == 400
+        assert fingerprint(service.durable.instance) == before
+        # nothing journaled either: a reopened instance has seq 0
+        assert service.durable.seq == 0
+
+
+class TestDurability:
+    def test_service_state_survives_restart(self, tmp_path):
+        d = str(tmp_path)
+        with DatalogService(
+            programs.sssp("a"), TROP, d, database=trop_db()
+        ) as svc:
+            svc.mutate([Mutation("insert", "E", ("a", "d"), 0.5)])
+            fp = fingerprint(svc.durable.instance)
+        with DatalogService(programs.sssp("a"), TROP, d) as svc2:
+            assert fingerprint(svc2.durable.instance) == fp
+            assert svc2.query("L", ("d",)) == 0.5
+
+    def test_stats_snapshot_merges_all_layers(self, service):
+        service.query("L", ("d",))
+        service.mutate([Mutation("insert", "E", ("a", "d"), 0.5)])
+        snap = service.stats_snapshot()
+        for key in (
+            "queries", "cache_hits", "mutation_batches",       # serve
+            "journal_records", "checkpoint_writes",            # journal
+            "incremental_fallbacks", "dred_deletions",         # incremental
+        ):
+            assert key in snap, key
+
+
+class TestHttp:
+    @pytest.fixture()
+    def endpoint(self, service):
+        server = make_server(service, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{port}"
+        server.shutdown()
+        server.server_close()
+
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as r:
+            return r.status, json.loads(r.read())
+
+    def _post(self, url, payload):
+        req = urllib.request.Request(
+            url, data=json.dumps(payload).encode(), method="POST"
+        )
+        with urllib.request.urlopen(req, timeout=10) as r:
+            return r.status, json.loads(r.read())
+
+    def test_round_trip(self, endpoint):
+        assert self._get(endpoint + "/health")[1]["status"] == "ok"
+        status, doc = self._get(endpoint + "/query?relation=L&key=d")
+        assert status == 200 and doc["value"] == 8.0
+        status, doc = self._post(
+            endpoint + "/mutate",
+            {"mutations": [
+                {"op": "insert", "relation": "E", "key": ["a", "d"],
+                 "value": 0.5},
+            ]},
+        )
+        assert status == 200 and doc["path"] == "seminaive"
+        assert self._get(endpoint + "/query?relation=L&key=d")[1]["value"] == 0.5
+        status, doc = self._get(
+            endpoint + "/scan?relation=E&pattern=a,_&limit=9"
+        )
+        assert status == 200
+        assert [["a", "d"], 0.5] in doc["entries"]
+        status, doc = self._post(endpoint + "/checkpoint", {})
+        assert status == 200 and doc["seq"] == 1
+        assert self._get(endpoint + "/stats")[1]["mutation_batches"] == 1
+
+    def test_errors_are_structured_json(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._get(endpoint + "/query?relation=Nope&key=a")
+        assert exc.value.code == 404
+        body = json.loads(exc.value.read())
+        assert body["error"]["code"] == "unknown-relation"
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._get(endpoint + "/query?relation=L")
+        assert exc.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(endpoint + "/mutate", {"not-mutations": []})
+        assert exc.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._get(endpoint + "/no/such/route")
+        assert exc.value.code == 404
+
+    def test_concurrent_reads_during_writes(self, endpoint):
+        """Hammer reads while a writer mutates: every response is a
+        consistent fixpoint value, never an error or a torn state."""
+        errors = []
+
+        def reader():
+            for _ in range(20):
+                try:
+                    _status, doc = self._get(
+                        endpoint + "/query?relation=L&key=d"
+                    )
+                    assert doc["value"] in (8.0, 0.5)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        self._post(
+            endpoint + "/mutate",
+            {"mutations": [
+                {"op": "insert", "relation": "E", "key": ["a", "d"],
+                 "value": 0.5},
+            ]},
+        )
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestKeyParsing:
+    def test_comma_form(self):
+        assert _parse_key("a,b") == ("a", "b")
+        assert _parse_key("a, 3") == ("a", 3)
+        assert _parse_key("a,_") == ("a", None)
+        assert _parse_key("a,") == ("a", None)
+
+    def test_json_form(self):
+        assert _parse_key('["a", 3, null]') == ("a", 3, None)
+        with pytest.raises(ServeError):
+            _parse_key("[not json")
+        with pytest.raises(ServeError):
+            _parse_key('["unclosed"')
