@@ -20,9 +20,11 @@ The paper's semiring framing makes this precise:
   derivation trees, hence ``J⁻ ⊑ F′(J⁻)`` and ``J⁻ ⊑ lfp(F′)`` — the
   same warm-restart lemma applies.  When every EDB value is the
   multiplicative unit and ``1 ⊕ 1 = 1`` (Boolean-like spaces), the
-  provenance support counts
-  (:func:`repro.analysis.provenance.immediate_support_counts`) prune
-  the over-deletion: an atom with a surviving immediate derivation is
+  well-founded provenance support counts
+  (:func:`repro.analysis.provenance.wellfounded_support_counts`) prune
+  the over-deletion: an atom with a surviving *grounded* immediate
+  derivation — every IDB body atom strictly below the head's
+  first-derivation level, so cyclic self-supports never count — is
   provably unaffected and is skipped (``dred_support_skips``).
 * **Everything else** — non-naturally-ordered spaces (``THREE``, lifted
   orders: an EDB mutation is not monotone in the knowledge order, so no
@@ -530,7 +532,10 @@ class IncrementalInstance:
         fixpoint.  Returns the surviving instance ``J⁻`` plus marking
         telemetry.  Over-marking is always sound (re-derivation restores
         anything erased too eagerly); support counts only ever *skip*
-        marking when a surviving immediate derivation provably exists.
+        marking when a surviving well-founded derivation provably
+        exists — cyclic supports are excluded from both the counts and
+        the decrements, so an atom whose only remaining "support" is a
+        derivation through itself still gets marked.
         """
         pops = self.pops
         database = self.database
@@ -539,10 +544,11 @@ class IncrementalInstance:
         if cap is None:
             cap = max(256, 2 * self.instance.size())
         counts: Optional[Dict[Tuple[str, Key], int]] = None
+        levels: Dict[Tuple[str, Key], int] = {}
         if self._uniform_one():
-            from ..analysis.provenance import immediate_support_counts
+            from ..analysis.provenance import wellfounded_support_counts
 
-            counts = immediate_support_counts(
+            counts, levels = wellfounded_support_counts(
                 self.program,
                 database,
                 self.instance,
@@ -588,11 +594,30 @@ class IncrementalInstance:
                                 continue
                             if counts is not None:
                                 atom = (rule.head_relation, head_key)
-                                remaining = counts.get(atom, 0) - 1
-                                counts[atom] = remaining
-                                if remaining > 0:
-                                    self.stats["dred_support_skips"] += 1
-                                    continue
+                                head_level = levels.get(atom)
+                                if head_level is not None:
+                                    if not self._grounded_below(
+                                        factors,
+                                        valuation,
+                                        head_level,
+                                        levels,
+                                    ):
+                                        # A cyclic support (some body
+                                        # atom at/above the head's
+                                        # level) was never counted:
+                                        # destroying it cannot shrink
+                                        # the grounded count.
+                                        self.stats[
+                                            "dred_support_skips"
+                                        ] += 1
+                                        continue
+                                    remaining = counts.get(atom, 0) - 1
+                                    counts[atom] = remaining
+                                    if remaining > 0:
+                                        self.stats[
+                                            "dred_support_skips"
+                                        ] += 1
+                                        continue
                             hits.setdefault(
                                 rule.head_relation, set()
                             ).add(head_key)
@@ -612,6 +637,33 @@ class IncrementalInstance:
         self.stats["dred_rounds"] += rounds
         self.stats["dred_deletions"] += marked_total
         return working, marked_total, rounds, marked_relations
+
+    def _grounded_below(
+        self,
+        factors: Tuple,
+        valuation: Dict[str, Any],
+        head_level: int,
+        levels: Dict[Tuple[str, Key], int],
+    ) -> bool:
+        """Whether a matched derivation is one of the head's counted,
+        well-founded supports: every IDB body atom sits strictly below
+        the head's first-derivation level.  Derivations failing this are
+        cyclic (they presuppose the head or a same-round peer) and were
+        excluded from the support counts, so the marking pass must
+        neither decrement for them nor treat them as destroyed
+        evidence."""
+        for factor in factors:
+            if not isinstance(factor, RelAtom):
+                continue
+            if factor.relation not in self._idb_names:
+                continue
+            body_key = tuple(
+                eval_term(t, valuation) for t in factor.args
+            )
+            body_level = levels.get((factor.relation, body_key))
+            if body_level is None or body_level >= head_level:
+                return False
+        return True
 
     def _dred_guards(
         self,

@@ -169,6 +169,27 @@ class MutationJournal:
         handle.flush()
         os.fsync(handle.fileno())
 
+    def size(self) -> int:
+        """The journal's current on-disk length in bytes."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def truncate(self, length: int) -> None:
+        """Durably cut the journal back to ``length`` bytes.
+
+        Used to scrub a record whose in-memory apply failed: the batch
+        was never acknowledged, so it must not be replayed on recovery.
+        """
+        self.close()
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r+b") as handle:
+            handle.truncate(length)
+            handle.flush()
+            os.fsync(handle.fileno())
+
     def replay(self) -> List[Tuple[int, List[Mutation]]]:
         """Read every whole record, truncating a torn/corrupt tail.
 
@@ -282,7 +303,8 @@ class DurableInstance:
     :meth:`stats_snapshot`): ``journal_records`` (batches appended),
     ``journal_replays`` (batches re-applied during recovery),
     ``checkpoint_writes``, ``recoveries``, ``journal_skips`` (replay
-    records already covered by the checkpoint).
+    records already covered by the checkpoint), ``apply_aborts``
+    (journaled batches scrubbed because their in-memory apply failed).
     """
 
     def __init__(
@@ -319,8 +341,9 @@ class DurableInstance:
             "journal_skips": 0,
             "checkpoint_writes": 0,
             "recoveries": 0,
+            "apply_aborts": 0,
         }
-        inc_kwargs = dict(
+        self._inc_kwargs = dict(
             functions=functions,
             plan=plan,
             engine=engine,
@@ -328,29 +351,13 @@ class DurableInstance:
             dred_cap=dred_cap,
             rederive_wall_s=rederive_wall_s,
         )
+        #: Cleared when a failed apply cannot be rolled back; every
+        #: subsequent write raises :class:`JournalError` rather than
+        #: journaling against a possibly-desynced in-memory state.
+        self.healthy = True
         checkpoint = load_checkpoint(data_dir)
         if checkpoint is not None:
-            self.seq = int(checkpoint["seq"])
-            self.inc = IncrementalInstance(
-                program,
-                database_from_dict(pops, checkpoint["database"]),
-                warm_instance=instance_from_dict(
-                    pops, checkpoint["instance"]
-                ),
-                warm_steps=int(checkpoint.get("steps", 0)),
-                **inc_kwargs,
-            )
-            for seq, mutations in self.journal.replay():
-                if seq <= self.seq:
-                    # Covered by the checkpoint: a crash between the
-                    # checkpoint rename and the journal rotation leaves
-                    # already-applied records behind.
-                    self.stats["journal_skips"] += 1
-                    continue
-                self.inc.apply(mutations)
-                self.seq = seq
-                self.stats["journal_replays"] += 1
-            self.stats["recoveries"] = 1
+            self._recover(checkpoint)
         else:
             if database is None:
                 raise ValueError(
@@ -358,9 +365,54 @@ class DurableInstance:
                     "database given"
                 )
             self.seq = 0
-            self.inc = IncrementalInstance(program, database, **inc_kwargs)
+            self.inc = IncrementalInstance(
+                program, database, **self._inc_kwargs
+            )
             self.checkpoint()
         self._since_checkpoint = 0
+
+    def _recover(self, checkpoint: Optional[Dict[str, Any]] = None) -> None:
+        """(Re)build the in-memory state purely from disk.
+
+        Runs at open (process restart) and after an aborted apply (the
+        in-memory database may hold a half-applied batch): load the
+        checkpoint, rebuild the warm fixpoint without re-solving, replay
+        the journal suffix.
+        """
+        if checkpoint is None:
+            checkpoint = load_checkpoint(self.data_dir)
+            if checkpoint is None:
+                raise JournalError(
+                    f"no checkpoint in {self.data_dir!r} to recover from"
+                )
+        ck_pops = checkpoint.get("pops")
+        if ck_pops != self.pops.name:
+            raise JournalError(
+                f"checkpoint in {self.data_dir!r} was written under value "
+                f"space {ck_pops!r}; refusing to decode it as "
+                f"{self.pops.name!r}"
+            )
+        self.seq = int(checkpoint["seq"])
+        self.inc = IncrementalInstance(
+            self.program,
+            database_from_dict(self.pops, checkpoint["database"]),
+            warm_instance=instance_from_dict(
+                self.pops, checkpoint["instance"]
+            ),
+            warm_steps=int(checkpoint.get("steps", 0)),
+            **self._inc_kwargs,
+        )
+        for seq, mutations in self.journal.replay():
+            if seq <= self.seq:
+                # Covered by the checkpoint: a crash between the
+                # checkpoint rename and the journal rotation leaves
+                # already-applied records behind.
+                self.stats["journal_skips"] += 1
+                continue
+            self.inc.apply(mutations)
+            self.seq = seq
+            self.stats["journal_replays"] += 1
+        self.stats["recoveries"] += 1
 
     # ------------------------------------------------------------------
     @property
@@ -391,29 +443,81 @@ class DurableInstance:
         if self.fault_plan.should("crash", site, seq, 0):
             raise InjectedCrash(f"crash@{site}:{seq}")
 
+    def _abort_batch(self, pre_length: int, rebuild: bool) -> None:
+        """Scrub a batch that was journaled but never acknowledged.
+
+        Truncating back to the pre-append length keeps the journal a
+        clean prefix of acknowledged records — without it, the next
+        successful batch would reuse the failed record's sequence
+        number, and recovery's monotonicity check would replay the
+        failed batch while silently truncating everything acknowledged
+        after it.  ``rebuild`` re-derives the in-memory state from disk
+        (the failed apply may have half-mutated the database).  If the
+        rollback itself fails, the instance is marked unhealthy and
+        refuses further writes.
+        """
+        self.stats["apply_aborts"] += 1
+        try:
+            self.journal.truncate(pre_length)
+            if rebuild:
+                self._recover()
+        except Exception as exc:  # noqa: BLE001 — last-ditch containment
+            self.healthy = False
+            warn(
+                f"durable instance in {self.data_dir!r} could not roll "
+                f"back a failed apply ({exc!r}); marking it unhealthy — "
+                "writes are refused until the data dir is reopened",
+                JournalWarning,
+                stacklevel=3,
+            )
+
     def apply(self, mutations: Sequence[Any]) -> ApplySummary:
         """Write-ahead apply: journal (durable) → memory → checkpoint.
 
         Malformed batches raise :class:`ValueError` before any byte is
         journaled.  A batch is acknowledged (the summary returns) only
         after both the durable append and the in-memory apply; a crash
-        between them is recovered by replay.
+        between them is recovered by replay.  An apply that *fails*
+        (rather than crashes — e.g. the full re-solve fallback diverges)
+        is aborted: the journaled record is truncated away and the
+        in-memory state rebuilt from disk, so the failed batch is
+        neither visible live nor replayed on recovery.
         """
+        if not self.healthy:
+            raise JournalError(
+                f"durable instance in {self.data_dir!r} is unhealthy "
+                "after a failed rollback; reopen the data dir to recover"
+            )
         muts = [
             m if isinstance(m, Mutation) else Mutation.from_dict(m)
             for m in mutations
         ]
         self.inc.validate(muts)
         seq = self.seq + 1
+        pre_length = self.journal.size()
         if self.fault_plan.should("corrupt", "journal", seq, 0):
             # Tear the record mid-write, then die: the torn tail is what
             # replay must detect and truncate.
             record_len = len(encode_record(seq, muts))
             self.journal.append(seq, muts, torn_bytes=record_len // 2)
             raise InjectedCrash(f"corrupt@journal:{seq}")
-        self.journal.append(seq, muts)
+        try:
+            self.journal.append(seq, muts)
+        except Exception:
+            # A torn real append (disk full) must not be left in place:
+            # a later complete record would fuse with the torn bytes and
+            # be truncated away on recovery despite being acknowledged.
+            self._abort_batch(pre_length, rebuild=False)
+            raise
         self._fault("journal", seq)
-        summary = self.inc.apply(muts)
+        try:
+            summary = self.inc.apply(muts)
+        except InjectedCrash:
+            # Simulated process death: leave the disk exactly as-is.
+            raise
+        except Exception:
+            self._abort_batch(pre_length, rebuild=True)
+            raise
         self.seq = seq
         self.stats["journal_records"] += 1
         self._fault("apply", seq)
@@ -424,6 +528,11 @@ class DurableInstance:
 
     def checkpoint(self) -> None:
         """Snapshot the full state atomically, then rotate the journal."""
+        if not self.healthy:
+            raise JournalError(
+                f"durable instance in {self.data_dir!r} is unhealthy; "
+                "refusing to checkpoint a possibly-desynced state"
+            )
         payload = {
             "schema": CHECKPOINT_SCHEMA,
             "seq": self.seq,

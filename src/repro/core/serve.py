@@ -17,10 +17,13 @@ the same fixpoint into a long-running service:
   counters (the version vector the incremental engine bumps per
   mutation) — a mutation that leaves relation ``R`` untouched keeps
   every cached ``R`` read valid;
-* every request carries a wall budget: a scan that exceeds it (or a
+* every read carries a wall budget: a scan that exceeds it (or a
   request stuck behind a slow pool) degrades to an HTTP-style
   structured error (:class:`ServeError` → ``{"error": …, "status":
-  408}``) instead of hanging the client;
+  408}``) instead of hanging the client; writes are exempt from the
+  pool timeout — a mutation is journaled durably before it is applied,
+  so abandoning one mid-flight would report failure for a batch that
+  was nonetheless applied;
 * the HTTP front end (stdlib ``ThreadingHTTPServer``; zero
   dependencies) executes requests on a bounded thread pool —
   ``GET /query``, ``GET /scan``, ``POST /mutate``,
@@ -45,7 +48,7 @@ from .incremental import Mutation
 from .indexes import KeyIndex
 from .instance import Database
 from .io import encode_value
-from .journal import DurableInstance
+from .journal import DurableInstance, JournalError
 from .rules import Program
 
 #: Entries polled between wall-budget checks during a pattern scan.
@@ -181,6 +184,13 @@ class DatalogService:
         self.stats["scans"] += 1
         budget = self.query_wall_s if wall_s is None else wall_s
         deadline = time.monotonic() + budget
+        # Version BEFORE support (the discipline query() follows): the
+        # writer swaps the instance before bumping versions, so reading
+        # in this order guarantees the snapshot is at least as new as
+        # the version it gets cached under — a concurrent mutation can
+        # only tag fresh data with a stale version (rebuilt on the next
+        # read), never stale data with a fresh version.
+        version = self._version(relation)
         support = self._support(relation)
         if pattern is None or all(v is None for v in pattern):
             entries = list(support.items()) if hasattr(
@@ -191,7 +201,7 @@ class DatalogService:
             i for i, v in enumerate(pattern) if v is not None
         )
         values = tuple(pattern[i] for i in mask)
-        index = self._scan_index(relation, mask, support)
+        index = self._scan_index(relation, mask, support, version)
         out: List[Tuple[Tuple, Any]] = []
         for n, entry in enumerate(index.probe_entries(mask, values)):
             if n % _SCAN_POLL_EVERY == 0 and time.monotonic() > deadline:
@@ -229,8 +239,10 @@ class DatalogService:
             return {key: True for key in keys}
         return inc.database.support(relation)
 
-    def _scan_index(self, relation: str, mask, support) -> KeyIndex:
-        version = self._version(relation)
+    def _scan_index(self, relation: str, mask, support, version: int) -> KeyIndex:
+        # ``version`` was read before ``support`` was snapshotted; an
+        # index is only ever cached under the version its data is at
+        # least as new as.
         slot = (relation, mask)
         with self._index_lock:
             hit = self._indexes.get(slot)
@@ -260,7 +272,12 @@ class DatalogService:
     # writes
     # ------------------------------------------------------------------
     def mutate(self, mutations: Sequence[Any]) -> Dict[str, Any]:
-        """Apply one batch through the journal; returns the summary."""
+        """Apply one batch through the journal; returns the summary.
+
+        The returned dict carries the batch's journal ``seq`` so a
+        client whose request failed ambiguously (connection drop) can
+        de-duplicate a retry against ``GET /health``'s sequence number.
+        """
         try:
             muts = [
                 m if isinstance(m, Mutation) else Mutation.from_dict(m)
@@ -274,16 +291,27 @@ class DatalogService:
         try:
             with self._write_lock:
                 summary = self.durable.apply(muts)
+                seq = self.durable.seq
         except ValueError as exc:
             self.stats["request_errors"] += 1
             raise ServeError(400, "bad-mutation", str(exc)) from exc
+        except JournalError as exc:
+            self.stats["request_errors"] += 1
+            raise ServeError(503, "unhealthy", str(exc)) from exc
         self.stats["mutation_batches"] += 1
-        return summary.as_dict()
+        out = summary.as_dict()
+        out["seq"] = seq
+        return out
 
     def checkpoint(self) -> Dict[str, Any]:
-        with self._write_lock:
-            self.durable.checkpoint()
-        return {"seq": self.durable.seq}
+        try:
+            with self._write_lock:
+                self.durable.checkpoint()
+                seq = self.durable.seq
+        except JournalError as exc:
+            self.stats["request_errors"] += 1
+            raise ServeError(503, "unhealthy", str(exc)) from exc
+        return {"seq": seq}
 
     # ------------------------------------------------------------------
     def stats_snapshot(self) -> Dict[str, Any]:
@@ -358,14 +386,25 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _run(self, fn) -> None:
-        """Execute a request body on the pool under the wall budget."""
+    def _run(self, fn, is_write: bool = False) -> None:
+        """Execute a request body on the pool under the wall budget.
+
+        Reads are abandoned when the pool budget expires (a 503 beats a
+        hang).  Writes are exempt: ``future.cancel()`` cannot stop a
+        running task, so timing out a mutation would tell the client
+        "overloaded" while the batch is nonetheless durably journaled
+        and applied — instead the handler waits for the write to finish
+        and reports what actually happened (the mutation itself is
+        bounded by the journal layer's re-derivation budgets).
+        """
         service = self.service
         future = service.pool.submit(fn)
         try:
             # Pool-queue wait counts against the budget too: a request
             # stuck behind slow scans times out instead of hanging.
-            payload = future.result(timeout=service.query_wall_s * 4 + 1.0)
+            payload = future.result(
+                timeout=None if is_write else service.query_wall_s * 4 + 1.0
+            )
         except FutureTimeout:
             future.cancel()
             service.stats["query_timeouts"] += 1
@@ -393,7 +432,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         params = {k: v[-1] for k, v in parse_qs(url.query).items()}
         if url.path == "/health":
-            self._reply(200, {"status": "ok", "seq": self.service.durable.seq})
+            healthy = self.service.durable.healthy
+            self._reply(
+                200 if healthy else 503,
+                {
+                    "status": "ok" if healthy else "unhealthy",
+                    "seq": self.service.durable.seq,
+                },
+            )
             return
         if url.path == "/stats":
             self._run(lambda: dict(self.service.stats_snapshot()))
@@ -456,7 +502,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         url = urlparse(self.path)
         if url.path == "/checkpoint":
-            self._run(self.service.checkpoint)
+            self._run(self.service.checkpoint, is_write=True)
             return
         if url.path == "/mutate":
             length = int(self.headers.get("Content-Length", 0))
@@ -473,7 +519,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     ).as_dict(),
                 )
                 return
-            self._run(lambda: self.service.mutate(mutations))
+            self._run(lambda: self.service.mutate(mutations), is_write=True)
             return
         self._reply(
             404, ServeError(404, "no-route", f"no route {url.path!r}").as_dict()

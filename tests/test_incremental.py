@@ -150,6 +150,20 @@ class TestMaintenancePaths:
         assert inc.stats["dred_support_skips"] >= 1
         assert inc.query("T", ("a", "c")) is True
 
+    def test_cyclic_self_support_does_not_survive_deletion(self):
+        """Regression: with a self-loop E(a,a), T(b,a) supports itself
+        via T(b,a) ⊗ E(a,a).  Naive immediate-support counting sees that
+        cyclic derivation as a survivor and skips the over-delete,
+        leaving T(b,a)/T(b,b) stale; well-founded counting must not."""
+        inc = IncrementalInstance(programs.transitive_closure(), bool_db())
+        inc.apply([Mutation("insert", "E", ("a", "a"), True)])
+        inc.apply([Mutation("insert", "E", ("b", "a"), True)])
+        inc.apply([Mutation("delete", "E", ("b", "a"), None)])
+        assert not inc.query("T", ("b", "a"))
+        assert not inc.query("T", ("b", "b"))
+        ref = solve(inc.program, inc.database, method="seminaive")
+        assert fingerprint(inc.instance) == fingerprint(ref.instance)
+
     def test_three_falls_back_to_resolve(self):
         inc = IncrementalInstance(programs.transitive_closure(), three_db())
         summary = inc.apply([Mutation("delete", "E", ("a", "b"), None)])

@@ -259,6 +259,93 @@ class TestCrashMatrix:
             assert fingerprint(dur3.instance) == fingerprint(ref.instance)
 
 
+class TestApplyAbort:
+    """A journaled batch whose in-memory apply *fails* (rather than
+    crashes) must be scrubbed: never replayed on recovery, never left
+    half-applied in memory, and never allowed to poison the sequence
+    numbering of later acknowledged batches."""
+
+    def test_failed_apply_scrubs_journal_and_rolls_back(
+        self, tmp_path, monkeypatch
+    ):
+        program, pops, db, batches = trop_setup()
+        d = str(tmp_path)
+        dur = DurableInstance(
+            d, program, pops, database=db, checkpoint_every=100
+        )
+        dur.apply(batches[0])
+        good_fp = fingerprint(dur.instance)
+
+        def half_applied_failure(muts):
+            # Worst case: the database is mutated, then the maintenance
+            # path (e.g. the full re-solve fallback) blows up.
+            dur.inc._apply_to_database(muts)
+            raise RuntimeError("synthetic non-convergence")
+
+        monkeypatch.setattr(dur.inc, "apply", half_applied_failure)
+        with pytest.raises(RuntimeError, match="synthetic"):
+            dur.apply(batches[1])
+        # The abort rebuilt the live state from disk (discarding the
+        # monkeypatched instance) and scrubbed the failed record.
+        assert dur.seq == 1
+        assert dur.healthy
+        assert dur.stats["apply_aborts"] == 1
+        assert fingerprint(dur.instance) == good_fp
+        # The next acknowledged batch takes the freed sequence number
+        # cleanly: the journal stays a monotonic prefix with no
+        # duplicate for recovery's monotonicity check to stop at.
+        dur.apply(batches[1])
+        assert dur.seq == 2
+        blob = open(os.path.join(d, JOURNAL_NAME), "rb").read()
+        records, _good, anomaly = decode_records(blob)
+        assert anomaly is None
+        assert [seq for seq, _ in records] == [1, 2]
+        live_fp = fingerprint(dur.instance)
+        dur.close()
+        # Recovery replays exactly the acknowledged batches — the
+        # failed batch is gone, the later one is not truncated away.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", JournalWarning)
+            with DurableInstance(
+                d, program, pops, checkpoint_every=100
+            ) as recovered:
+                assert recovered.seq == 2
+                assert recovered.stats["journal_replays"] == 2
+                assert fingerprint(recovered.instance) == live_fp
+
+    def test_failed_rollback_marks_unhealthy(self, tmp_path, monkeypatch):
+        program, pops, db, batches = trop_setup()
+        dur = DurableInstance(
+            str(tmp_path), program, pops, database=db, checkpoint_every=100
+        )
+        dur.apply(batches[0])
+
+        def failing_apply(muts):
+            raise RuntimeError("synthetic apply failure")
+
+        def failing_truncate(length):
+            raise OSError("synthetic disk failure")
+
+        monkeypatch.setattr(dur.inc, "apply", failing_apply)
+        monkeypatch.setattr(dur.journal, "truncate", failing_truncate)
+        with pytest.warns(JournalWarning, match="unhealthy"):
+            with pytest.raises(RuntimeError, match="apply failure"):
+                dur.apply(batches[1])
+        assert not dur.healthy
+        with pytest.raises(JournalError, match="unhealthy"):
+            dur.apply(batches[1])
+        with pytest.raises(JournalError, match="unhealthy"):
+            dur.checkpoint()
+        dur.close()
+
+    def test_reopen_under_wrong_pops_fails_fast(self, tmp_path):
+        program, pops, db, _batches = trop_setup()
+        d = str(tmp_path)
+        DurableInstance(d, program, pops, database=db).close()
+        with pytest.raises(JournalError, match="value space"):
+            DurableInstance(d, programs.transitive_closure(), BOOL)
+
+
 class TestCheckpointing:
     def test_checkpoint_every_rotates_journal(self, tmp_path):
         program, pops, db, batches = trop_setup()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -82,6 +83,32 @@ class TestQueries:
         assert exc.value.code == "query-budget"
         assert service.stats["query_timeouts"] == 1
 
+    def test_scan_index_never_caches_stale_data_under_new_version(
+        self, service, monkeypatch
+    ):
+        """TOCTOU regression: a mutation landing between scan()'s
+        support snapshot and the index build must not cache the
+        pre-mutation index under the post-mutation version (which would
+        serve stale results until the version moved again)."""
+        assert dict(service.scan("L", pattern=("d",)))[("d",)] == 8.0
+        real_support = DatalogService._support
+        fired = []
+
+        def racing_support(self, relation):
+            support = real_support(self, relation)
+            if not fired:
+                fired.append(True)
+                # The writer swaps the instance, then bumps versions —
+                # exactly the window the version-before-support
+                # discipline must tolerate.
+                self.mutate([Mutation("insert", "E", ("a", "d"), 0.5)])
+            return support
+
+        monkeypatch.setattr(DatalogService, "_support", racing_support)
+        service.scan("L", pattern=("d",))  # the racy scan
+        monkeypatch.setattr(DatalogService, "_support", real_support)
+        assert dict(service.scan("L", pattern=("d",)))[("d",)] == 0.5
+
     def test_unknown_relation_is_404(self, service):
         with pytest.raises(ServeError) as exc:
             service.query("Nope", ("a",))
@@ -98,6 +125,23 @@ class TestQueries:
         assert fingerprint(service.durable.instance) == before
         # nothing journaled either: a reopened instance has seq 0
         assert service.durable.seq == 0
+
+
+class TestWriteSemantics:
+    def test_mutate_returns_journal_seq_for_dedup(self, service):
+        out = service.mutate([Mutation("insert", "E", ("a", "d"), 0.5)])
+        assert out["seq"] == 1
+        assert out["seq"] == service.durable.seq
+
+    def test_unhealthy_instance_refuses_writes(self, service):
+        service.durable.healthy = False
+        with pytest.raises(ServeError) as exc:
+            service.mutate([Mutation("insert", "E", ("a", "d"), 0.5)])
+        assert exc.value.status == 503
+        assert exc.value.code == "unhealthy"
+        with pytest.raises(ServeError) as exc:
+            service.checkpoint()
+        assert exc.value.status == 503
 
 
 class TestDurability:
@@ -183,6 +227,48 @@ class TestHttp:
         with pytest.raises(urllib.error.HTTPError) as exc:
             self._get(endpoint + "/no/such/route")
         assert exc.value.code == 404
+
+    def test_health_reports_unhealthy_as_503(self, service, endpoint):
+        assert self._get(endpoint + "/health")[1]["status"] == "ok"
+        service.durable.healthy = False
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._get(endpoint + "/health")
+        assert exc.value.code == 503
+        assert json.loads(exc.value.read())["status"] == "unhealthy"
+
+    def test_slow_mutation_is_not_reported_overloaded(self, tmp_path):
+        """Writes are exempt from the pool timeout: a mutation slower
+        than the read budget must return its real outcome (200 + seq),
+        not a 503 for a batch that was durably applied anyway."""
+        svc = DatalogService(
+            programs.sssp("a"), TROP, str(tmp_path), database=trop_db(),
+            query_wall_s=0.01,  # pool timeout ≈ 1.04s for reads
+        )
+        real_apply = svc.durable.apply
+
+        def slow_apply(muts):
+            time.sleep(1.5)
+            return real_apply(muts)
+
+        svc.durable.apply = slow_apply
+        server = make_server(svc, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, doc = self._post(
+                f"http://127.0.0.1:{port}/mutate",
+                {"mutations": [
+                    {"op": "insert", "relation": "E", "key": ["a", "d"],
+                     "value": 0.5},
+                ]},
+            )
+            assert status == 200
+            assert doc["seq"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
 
     def test_concurrent_reads_during_writes(self, endpoint):
         """Hammer reads while a writer mutates: every response is a
