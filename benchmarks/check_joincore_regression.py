@@ -20,6 +20,9 @@ Usage::
         BENCH_serve.json benchmarks/baselines/serve_quick.json \
         --tolerance 0.60
 
+    python benchmarks/check_joincore_regression.py \
+        BENCH_magic.json benchmarks/baselines/magic_quick.json
+
 Both files are artifacts of the benchmark suite (see
 ``benchmarks/conftest.py``): either a legacy single-snapshot
 (``*/1`` schema) or a longitudinal trajectory (``*/2`` schema, one run
@@ -51,7 +54,11 @@ baseline:
   ``--tolerance`` for it, CI runners are noisy) and the deterministic
   service counters (``cache_hits``, ``dred_deletions``,
   ``incremental_fallbacks``, ``journal_replays``,
-  ``checkpoint_writes``, ``recoveries``) the same way.
+  ``checkpoint_writes``, ``recoveries``) the same way.  The
+  magic-bench family gates the demand path's point-query work
+  reductions (``rule_app_reduction_x``, ``keys_reduction_x``) and
+  ``demanded_atoms`` as floors, and ``demand_fallbacks`` as
+  lower-is-better off its 0 baseline.
 
 ``--wall-tolerance`` additionally gates **wall time** against the
 baseline's ``wall_s`` fields (intended for a pinned runner; off by
@@ -78,6 +85,7 @@ _FAMILIES = (
     "sharded-bench",
     "robust-bench",
     "serve-bench",
+    "magic-bench",
 )
 
 #: Gated counters where *more* is better: these gate as floors
@@ -111,6 +119,12 @@ _HIGHER_IS_BETTER = frozenset(
         "journal_replays",
         "checkpoint_writes",
         "recoveries",
+        # Demand path (magic-bench): the point-query work reductions
+        # versus the full fixpoint — the whole point of the rewrite —
+        # and the demanded answer count, which must not shrink.
+        "rule_app_reduction_x",
+        "keys_reduction_x",
+        "demanded_atoms",
     }
 )
 

@@ -110,6 +110,17 @@ def pytest_addoption(parser) -> None:
         ),
     )
     parser.addoption(
+        "--magic-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the demand path's demanded-vs-full work counters "
+            "and reduction ratios to the trajectory at PATH "
+            "(e.g. BENCH_magic.json)"
+        ),
+    )
+    parser.addoption(
         "--json-sha",
         action="store",
         default=None,
@@ -311,6 +322,43 @@ class ServeLog(JoinCoreLog):
     )
 
 
+class MagicLog(JoinCoreLog):
+    """Collects the demand path's measurements for ``--magic-json``.
+
+    The ``…/reduction`` record carries the headline ratios —
+    ``rule_app_reduction_x`` and ``keys_reduction_x``, full-fixpoint
+    work over demanded work — gated as *floors*: the demand path
+    exists to do proportionally less work than full evaluation, so a
+    ratio collapsing means the magic rewrite or the SCC-roots pruning
+    silently stopped restricting.  ``demanded_atoms`` is a floor too
+    (the query must keep producing its answers).  The per-run counters
+    (``iterations``, ``rule_applications``, ``keys_examined``,
+    ``demand_fallbacks``) gate the usual lower-is-better way — a
+    supported workload starting to fall back to full evaluation shows
+    up as ``demand_fallbacks`` rising off its 0 baseline.
+    """
+
+    GATED = (
+        "iterations",
+        "rule_applications",
+        "keys_examined",
+        "demand_fallbacks",
+        "rule_app_reduction_x",
+        "keys_reduction_x",
+        "demanded_atoms",
+    )
+
+
+@pytest.fixture
+def magic_log(request) -> MagicLog:
+    """Session-wide recorder behind the ``--magic-json`` knob."""
+    records = getattr(request.config, "_magic_records", None)
+    if records is None:
+        records = []
+        request.config._magic_records = records
+    return MagicLog(records)
+
+
 @pytest.fixture
 def serve_log(request) -> ServeLog:
     """Session-wide recorder behind the ``--serve-json`` knob."""
@@ -452,6 +500,12 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             "_serve_records",
             "serve-bench",
             ServeLog.GATED,
+        ),
+        (
+            "--magic-json",
+            "_magic_records",
+            "magic-bench",
+            MagicLog.GATED,
         ),
     ):
         path = config.getoption(option, default=None)

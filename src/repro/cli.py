@@ -172,6 +172,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_wall_s=args.budget_wall_s,
             max_tuples=args.budget_tuples,
             preflight=args.preflight,
+            query=args.query,
         )
     except BudgetExceeded as exc:
         return _report_budget_exceeded(args, exc)
@@ -326,6 +327,18 @@ def build_parser() -> argparse.ArgumentParser:
             "shard the semi-naïve delta across N worker processes "
             "(partition-local joins + delta-shipping exchange; "
             "requires --method seminaive; default 1 = in-process)"
+        ),
+    )
+    run.add_argument(
+        "--query",
+        default=None,
+        metavar="PATTERN",
+        help=(
+            "demand pattern like 'T(a,?)' ('?'/'_' = free position): "
+            "magic-set-specialize the program to the bound pattern and "
+            "evaluate only the demanded part of the fixpoint; outside "
+            "the supported fragment the full fixpoint runs with "
+            "stats['demand_fallbacks'] counted (see --stats)"
         ),
     )
     run.add_argument(

@@ -25,7 +25,7 @@ differential baseline).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..semirings.base import FunctionRegistry
 from .grounding import assignment_to_instance, ground_program
@@ -38,6 +38,9 @@ from .naive import EvaluationResult, naive_fixpoint
 from .rules import Program
 from .scheduler import VALID_SCHEDULES, scheduled_fixpoint
 from .seminaive import seminaive_fixpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .demand import QueryLike
 
 
 def solve(
@@ -55,6 +58,8 @@ def solve(
     max_wall_s: Optional[float] = None,
     max_tuples: Optional[int] = None,
     preflight: str = "auto",
+    query: Optional["QueryLike"] = None,
+    _demand_roots: Optional[Tuple[str, ...]] = None,
 ) -> EvaluationResult:
     """Evaluate a datalog° program to its least fixpoint.
 
@@ -146,10 +151,44 @@ def solve(
             result (``result.verdict``) and to any ``BudgetExceeded``;
             ``"off"`` skips it.  Advisory only — a ``may-diverge``
             verdict never blocks evaluation.
+        query: A demand pattern — ``("T", ("a", None))``, the string
+            form ``"T(a,?)"``, or a
+            :class:`~repro.core.demand.DemandQuery`.  When the
+            fragment verdict supports it (naturally ordered semiring,
+            no zero divisors, EDB-only sideways prefixes) the program
+            is magic-set-specialized to the query's bound pattern and
+            only the demanded part of the fixpoint is evaluated
+            (:mod:`repro.core.demand`); otherwise the full fixpoint
+            runs with ``stats["demand_fallbacks"]`` counted.  Demanded
+            atoms are byte-identical to the full fixpoint either way.
+        _demand_roots: Internal — the demand path re-enters ``solve``
+            with the rewritten program and the query relation here, so
+            the SCC scheduler prunes the condensation to the strata the
+            query's adornment reaches.
 
     Returns:
         The least-fixpoint instance plus step counts and statistics.
     """
+    if query is not None:
+        from .demand import demand_solve
+
+        return demand_solve(
+            program,
+            database,
+            query,
+            method=method,
+            functions=functions,
+            max_iterations=max_iterations,
+            capture_trace=capture_trace,
+            stability_p=stability_p,
+            plan=plan,
+            schedule=schedule,
+            engine=engine,
+            engine_workers=engine_workers,
+            max_wall_s=max_wall_s,
+            max_tuples=max_tuples,
+            preflight=preflight,
+        )
     if engine not in VALID_ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; valid choices: "
@@ -215,6 +254,7 @@ def solve(
                 parallel=resolved == "parallel",
                 workers=engine_workers,
                 budget=budget,
+                roots=_demand_roots,
             )
             result.verdict = verdict
             return result

@@ -19,13 +19,25 @@ fixpoint *relevant* to the query:
   monotone function on every naturally ordered semiring.
 
 Correctness over a value space requires (and the implementation
-checks): a naturally ordered semiring without zero divisors — then the
-*support* of a magic predicate equals the classic Boolean magic set, so
-demanded atoms keep exactly their full-evaluation values (verified
-differentially by the tests over ``B``, ``Trop+``, bottleneck and
-Viterbi).  The flagship effect is query-directed evaluation: asking
-``T(a, ?)`` of the all-pairs program evaluates like the single-source
-program (experiment E21).
+checks): a naturally ordered semiring — probed with
+:func:`repro.semirings.stability.natural_preorder_holds` on top of the
+declared flags — with an idempotent ``⊕``; then the *support* of a
+magic predicate equals the classic Boolean magic set, so demanded atoms
+keep exactly their full-evaluation values (verified differentially by
+the tests over ``B``, ``Trop+``, bottleneck and Viterbi).
+
+**This is the legacy reference implementation.**  Its ``supp`` guard is
+an interpreted :class:`~repro.core.rules.FuncFactor` over an IDB atom,
+so the rewritten program only runs under ``method="naive"`` (semi-naïve
+evaluation rejects the guard for lack of differential affinity) and
+pays a per-tuple Python call.  The modern engine's demand path —
+``solve(..., query=...)`` / ``datalogo run --query`` — lives in
+:mod:`repro.core.demand`: the same sideways-information-passing
+rewrite, but with magic guards as plain value-``1`` atoms and support
+views in the pushdown-filter slot, running unchanged through the
+compiled/codegen/batched backends, SCC scheduling and sharding
+(experiment E21 measures it).  This module remains the differential
+baseline for the transformation itself.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..semirings.base import FunctionRegistry, POPS, Value
+from ..semirings.stability import natural_preorder_holds
 from .ast import Constant, Term, Variable, term_variables
 from .rules import (
     Factor,
@@ -49,7 +62,13 @@ Adornment = str  # e.g. "bf": first argument bound, second free.
 
 
 class MagicError(ValueError):
-    """Raised when a program/query is outside the supported fragment."""
+    """Raised when a program/query is outside the supported fragment.
+
+    Messages name the offending piece — the adorned predicate
+    (``R^bf``), the query pattern, or the value-space law that failed —
+    so callers can report *which* fragment boundary was crossed, not
+    just that one was.
+    """
 
 
 def support_function(pops: POPS):
@@ -74,7 +93,9 @@ def _magic_name(relation: str, adornment: Adornment) -> str:
     return f"m_{relation}_{adornment}"
 
 
-def _atom_adornment(atom: RelAtom, bound_vars: Set[str]) -> Adornment:
+def _atom_adornment(
+    atom: RelAtom, bound_vars: Set[str], context: str = ""
+) -> Adornment:
     letters = []
     for arg in atom.args:
         if isinstance(arg, Constant):
@@ -82,9 +103,11 @@ def _atom_adornment(atom: RelAtom, bound_vars: Set[str]) -> Adornment:
         elif isinstance(arg, Variable):
             letters.append("b" if arg.name in bound_vars else "f")
         else:
+            where = f" (while adorning {context})" if context else ""
             raise MagicError(
-                "interpreted key functions are not supported by the "
-                f"magic transformation: {arg}"
+                f"occurrence of {atom.relation} carries the interpreted "
+                f"key function {arg}{where}: the magic transformation "
+                "adorns constant/variable arguments only"
             )
     return "".join(letters)
 
@@ -116,20 +139,36 @@ class MagicQuery:
             raise MagicError(f"bad adornment {self.adornment!r}")
 
 
-def _check_value_space(pops: POPS) -> None:
-    if not (pops.is_semiring and pops.is_naturally_ordered):
+def _check_value_space(pops: POPS, query: MagicQuery) -> None:
+    # Natural order: on top of the declared flags, probe 0 ⪯ v with
+    # the stability analysis' witnessed preorder check (shared with
+    # repro.core.demand) instead of trusting the flags alone.
+    witnesses = tuple(pops.sample_values()) + (pops.zero, pops.one)
+    naturally_ordered = (
+        pops.is_semiring
+        and pops.is_naturally_ordered
+        and all(
+            natural_preorder_holds(pops, pops.zero, v, witnesses)
+            for v in witnesses
+        )
+    )
+    if not naturally_ordered:
         raise MagicError(
-            f"magic sets require a naturally ordered semiring, not {pops.name}"
+            f"rewriting {query.relation}^{query.adornment} requires a "
+            f"naturally ordered semiring; {pops.name} is not (the "
+            "natural-preorder probe 0 ⪯ v failed, so supp is not "
+            "monotone there)"
         )
     # When a relation is demanded under several adornments its answer
     # rules coexist; a non-idempotent ⊕ would then double-count
     # derivations demanded by more than one pattern.
-    for v in pops.sample_values():
+    for v in witnesses:
         if not pops.eq(pops.add(v, v), v):
             raise MagicError(
-                f"magic sets require an idempotent ⊕; {pops.name} is not "
-                "(a derivation demanded under two adornments would be "
-                "counted twice)"
+                f"rewriting {query.relation}^{query.adornment} requires "
+                f"an idempotent ⊕; {pops.name} is not (v ⊕ v ≠ v for "
+                f"{v!r}: a derivation demanded under two adornments "
+                "would be counted twice)"
             )
 
 
@@ -147,11 +186,18 @@ def magic_rewrite(program: Program, query: MagicQuery, pops: POPS) -> Program:
     implementation (rules are adorned per reachable pattern; patterns
     are tracked through a worklist).
     """
-    _check_value_space(pops)
+    _check_value_space(pops, query)
     if query.relation not in program.idbs:
-        raise MagicError(f"{query.relation} is not an IDB of the program")
+        raise MagicError(
+            f"query relation {query.relation!r} is not an IDB of the "
+            f"program (IDBs: {sorted(program.idbs)})"
+        )
     if len(query.adornment) != program.idbs[query.relation]:
-        raise MagicError("adornment length must match the relation arity")
+        raise MagicError(
+            f"adornment {query.adornment!r} has {len(query.adornment)} "
+            f"positions; {query.relation} has arity "
+            f"{program.idbs[query.relation]}"
+        )
 
     rules_by_head: Dict[str, List[Rule]] = {}
     for r in program.rules:
@@ -188,7 +234,9 @@ def magic_rewrite(program: Program, query: MagicQuery, pops: POPS) -> Program:
                 prefix: List[Factor] = [guard]
                 for factor in body.factors:
                     if isinstance(factor, RelAtom) and factor.relation in idbs:
-                        occ_adornment = _atom_adornment(factor, bound_vars)
+                        occ_adornment = _atom_adornment(
+                            factor, bound_vars, f"{relation}^{adornment}"
+                        )
                         m_rel = _magic_name(factor.relation, occ_adornment)
                         m_args = _bound_args(factor.args, occ_adornment)
                         # Magic rule (0-ary for fully-free occurrences:

@@ -206,6 +206,42 @@ def _evaluate_component(
     return result.instance, result.steps
 
 
+def _restrict_to_roots(components: Any, roots: Tuple[str, ...]) -> Any:
+    """Prune a condensation to the components reachable *from* roots.
+
+    "Reachable" runs against the dependency direction: keep every
+    component containing a root relation plus, transitively, every
+    component it reads (``dependencies``).  Indices are remapped so the
+    filtered :class:`~repro.analysis.graphs.Condensation` stays valid
+    for both the sequential loop and the parallel readiness DAG.
+    """
+    from ..analysis.graphs import Condensation  # local: avoids a cycle
+
+    rootset = set(roots)
+    needed: set = set()
+    stack = [
+        i
+        for i, comp in enumerate(components.components)
+        if rootset.intersection(comp)
+    ]
+    while stack:
+        i = stack.pop()
+        if i in needed:
+            continue
+        needed.add(i)
+        stack.extend(components.dependencies[i])
+    keep = sorted(needed)
+    remap = {old: new for new, old in enumerate(keep)}
+    return Condensation(
+        components=[components.components[i] for i in keep],
+        recursive=[components.recursive[i] for i in keep],
+        dependencies=[
+            frozenset(remap[j] for j in components.dependencies[i])
+            for i in keep
+        ],
+    )
+
+
 def scheduled_fixpoint(
     program: Program,
     database: Database,
@@ -219,6 +255,7 @@ def scheduled_fixpoint(
     max_workers: Optional[int] = None,
     workers: int = 1,
     budget: Optional[Budget] = None,
+    roots: Optional[Tuple[str, ...]] = None,
 ) -> EvaluationResult:
     """Evaluate a program stratum-by-stratum over its SCC condensation.
 
@@ -254,6 +291,13 @@ def scheduled_fixpoint(
             :class:`~repro.core.guardrails.BudgetExceeded` the partial
             result is enriched with every already-frozen stratum plus
             the interrupted stratum's own partial prefix.
+        roots: Optional goal relations.  When given, the condensation
+            is pruned to the components those relations live in plus
+            their transitive dependencies — strata the goals cannot
+            read are never evaluated (the demand path's adornment
+            reachability: :mod:`repro.core.demand` passes its query
+            relation here).  Relations outside every surviving
+            component simply stay empty.
 
     Returns:
         An :class:`~repro.core.naive.EvaluationResult` whose ``steps``
@@ -276,6 +320,8 @@ def scheduled_fixpoint(
         )
     pops = database.pops
     components = condensation(program)
+    if roots is not None:
+        components = _restrict_to_roots(components, roots)
     # The monolithic engines enumerate over the whole program's domain;
     # pinning it here keeps totalized heads and fallback enumeration
     # identical stratum-by-stratum.

@@ -13,6 +13,12 @@ the same fixpoint into a long-running service:
   (``None`` wildcards) probe lazily built value-carrying
   :class:`~repro.core.indexes.KeyIndex` masks, rebuilt only when the
   relation's version counter moves;
+* ``GET /query?...&bound=1`` routes through the demand-driven path
+  (:mod:`repro.core.demand`): when the relation's answers are already
+  materialized in the warm fixpoint the warm read wins (byte-identical
+  by the demand theorem), otherwise a magic-rewritten solve runs
+  against the journaled EDB — work proportional to the demanded
+  answers, not the full fixpoint;
 * query results are memoized keyed on the per-relation change
   counters (the version vector the incremental engine bumps per
   mutation) — a mutation that leaves relation ``R`` untouched keeps
@@ -135,6 +141,8 @@ class DatalogService:
             "mutation_batches": 0,
             "query_timeouts": 0,
             "request_errors": 0,
+            "demand_queries": 0,
+            "demand_queries_warm": 0,
         }
 
     # ------------------------------------------------------------------
@@ -164,6 +172,43 @@ class DatalogService:
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         return value
+
+    def query_bound(self, relation: str, key: Sequence[Any]) -> Any:
+        """Demand-driven point lookup (``bound=1`` on ``GET /query``).
+
+        When the relation's answers are already materialized in the
+        warm fixpoint (or it is an EDB), the warm read wins — the
+        demand theorem makes the two byte-identical, and the warm path
+        is O(1).  Otherwise the query runs through the demand rewrite
+        (:mod:`repro.core.demand`) against the journaled EDB, so the
+        work done is proportional to the demanded answers; programs
+        outside the supported fragment fall back to a full solve
+        inside :func:`~repro.core.demand.demand_solve`.
+        """
+        self._check_relation(relation)
+        key = tuple(key)
+        inc = self.durable.inc
+        warm = (
+            relation not in self.program.idbs
+            or (relation in inc._idb_names and inc.instance.support(relation))
+        )
+        if warm:
+            self.stats["demand_queries_warm"] += 1
+            return self.query(relation, key)
+        self.stats["demand_queries"] += 1
+        from .engine import solve
+
+        try:
+            result = solve(
+                self.program,
+                inc.database,
+                method="seminaive",
+                functions=inc.functions,
+                query=(relation, key),
+            )
+        except ValueError as exc:
+            raise ServeError(400, "bad-query", str(exc)) from exc
+        return result.instance.get(relation, key)
 
     def scan(
         self,
@@ -456,8 +501,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 )
                 return
 
+            bound = params.get("bound", "").lower() in ("1", "true", "yes")
+
             def run_query():
-                value = self.service.query(relation, _parse_key(raw_key))
+                lookup = (
+                    self.service.query_bound if bound else self.service.query
+                )
+                value = lookup(relation, _parse_key(raw_key))
                 return {
                     "relation": relation,
                     "key": list(_parse_key(raw_key)),

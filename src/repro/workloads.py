@@ -13,7 +13,7 @@ random generation):
 
 * :func:`random_weighted_digraph`, :func:`cycle_edges`,
   :func:`grid_edges`, :func:`line_edges`, :func:`random_dag`,
-  :func:`part_hierarchy`.
+  :func:`part_hierarchy`, :func:`power_law_digraph`.
 """
 
 from __future__ import annotations
@@ -135,6 +135,60 @@ def random_dag(n: int, p: float, seed: int = 0) -> Set[Edge]:
         for b in range(a + 1, n)
         if rng.random() < p
     }
+
+
+def power_law_digraph(
+    n: int,
+    m: int,
+    seed: int = 0,
+    alpha: float = 1.5,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+    acyclic: bool = True,
+) -> WeightedEdges:
+    """Chung–Lu-style power-law digraph with ``m`` distinct edges.
+
+    Node ``i`` (0-based) is drawn with probability ∝ ``(i+1)^-alpha``
+    at both endpoints, so low-id nodes become heavy hubs and the
+    out-degree distribution follows a power law — the regime where a
+    point query touches a vanishing fraction of the transitive
+    closure.  With ``acyclic=True`` (the default) each sampled pair is
+    oriented low→high id, so the full fixpoint stays polynomial-sized
+    and benchmarkable; ``acyclic=False`` keeps the sampled direction.
+    Self-loops and duplicates are re-drawn; weights are uniform in
+    ``weight_range``.
+    """
+    if m > n * (n - 1) // (2 if acyclic else 1):
+        raise ValueError(
+            f"cannot place {m} distinct edges on {n} nodes"
+        )
+    rng = random.Random(seed)
+    weights = [(i + 1) ** -alpha for i in range(n)]
+    cum = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cum.append(total)
+    lo, hi = weight_range
+    edges: WeightedEdges = {}
+    attempts = 0
+    budget = 200 * m + 10_000
+    while len(edges) < m:
+        attempts += 1
+        if attempts > budget:
+            raise ValueError(
+                f"gave up placing {m} distinct edges on {n} nodes after "
+                f"{budget} draws; the alpha={alpha} hub mass is too "
+                "concentrated — lower alpha or m, or raise n"
+            )
+        a, b = rng.choices(range(n), cum_weights=cum, k=2)
+        if a == b:
+            continue
+        if acyclic and a > b:
+            a, b = b, a
+        if (a, b) in edges:
+            continue
+        edges[(a, b)] = round(rng.uniform(lo, hi), 3)
+    return edges
 
 
 def part_hierarchy(

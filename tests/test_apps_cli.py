@@ -119,6 +119,42 @@ class TestCli:
         assert code == 0
         assert "T(a, c) = 4.0" in capsys.readouterr().out
 
+    def test_run_query_demands_point(self, tc_files, capsys):
+        program, edb = tc_files
+        code = main([
+            "run", program, "--pops", "trop", "--edb", edb,
+            "--method", "seminaive", "--query", "T(a,?)", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T(a, c) = 4.0" in out
+        # Only the demanded source materializes…
+        assert "T(b, c)" not in out
+        # …through the demand path, not a counted fallback.
+        assert "# stat demand_fallbacks = 0" in out
+
+    def test_run_query_string_forms(self, tc_files, capsys):
+        program, edb = tc_files
+        code = main([
+            "run", program, "--pops", "trop", "--edb", edb,
+            "--query", "T(a, _)",
+        ])
+        assert code == 0
+        assert "T(a, b) = 1.0" in capsys.readouterr().out
+
+    def test_run_query_malformed_rejected(self, tc_files):
+        program, edb = tc_files
+        with pytest.raises(SystemExit, match="error:"):
+            main([
+                "run", program, "--pops", "trop", "--edb", edb,
+                "--query", "T(a",
+            ])
+        with pytest.raises(SystemExit, match="not an IDB"):
+            main([
+                "run", program, "--pops", "trop", "--edb", edb,
+                "--query", "Nope(a,?)",
+            ])
+
     @pytest.mark.parametrize("engine", ["compiled", "codegen", "interpreted"])
     def test_run_engine_flag(self, tc_files, capsys, engine):
         program, edb = tc_files

@@ -517,3 +517,66 @@ class TestCostBasedOrdering:
         greedy = solve(prog, db, plan="indexed-greedy")
         seed = solve(prog, db, plan="naive")
         assert greedy.instance.equals(seed.instance)
+
+
+# ---------------------------------------------------------------------------
+# Demand-roots pruning of the condensation (PR 10).
+# ---------------------------------------------------------------------------
+
+
+class TestRestrictToRoots:
+    """``_restrict_to_roots`` — the lever the demand path pulls to skip
+    strata its query adornment never reaches."""
+
+    def _pruned(self, roots):
+        from repro.core.scheduler import _restrict_to_roots
+
+        return _restrict_to_roots(
+            condensation(programs.graph_analytics()), roots
+        )
+
+    def test_keeps_only_components_the_root_reads(self):
+        pruned = self._pruned(("T",))
+        kept = {name for comp in pruned.components for name in comp}
+        assert "T" in kept
+        assert kept.isdisjoint({"Rev", "C", "Out"})
+
+    def test_remapped_indexes_stay_topological(self):
+        pruned = self._pruned(("T",))
+        for i, deps in enumerate(pruned.dependencies):
+            for j in deps:
+                assert 0 <= j < len(pruned.components)
+                assert j < i  # Kahn order survives the remap
+
+    def test_recursive_flags_survive(self):
+        full = condensation(programs.graph_analytics())
+        flags = dict(zip(full.components, full.recursive))
+        pruned = self._pruned(("T",))
+        for comp, recursive in zip(pruned.components, pruned.recursive):
+            assert flags[comp] == recursive
+
+    def test_all_roots_is_identity(self):
+        full = condensation(programs.graph_analytics())
+        pruned = self._pruned(("T", "Rev", "C", "Out"))
+        assert pruned.components == full.components
+        assert pruned.recursive == full.recursive
+
+    def test_unknown_root_keeps_nothing(self):
+        pruned = self._pruned(("NoSuchRelation",))
+        assert pruned.components == []
+
+    def test_scheduled_fixpoint_skips_pruned_strata(self):
+        db = Database(
+            pops=TROP, relations={"E": dict(workloads.grid_edges(3, 3))}
+        )
+        prog = programs.graph_analytics()
+        full = scheduled_fixpoint(prog, db, method="seminaive")
+        pruned = scheduled_fixpoint(
+            prog, db, method="seminaive", roots=("T",)
+        )
+        assert dict(pruned.instance.support("T")) == dict(
+            full.instance.support("T")
+        )
+        for view in ("Rev", "C", "Out"):
+            assert full.instance.support(view)
+            assert not pruned.instance.support(view)

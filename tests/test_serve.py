@@ -127,6 +127,48 @@ class TestQueries:
         assert service.durable.seq == 0
 
 
+class TestBoundQueries:
+    """``GET /query?...&bound=1`` / :meth:`DatalogService.query_bound`:
+    the demand-driven read path."""
+
+    def test_warm_idb_routes_to_memoized_read(self, service):
+        assert service.query_bound("L", ("d",)) == 8.0
+        assert service.stats["demand_queries_warm"] == 1
+        assert service.stats["demand_queries"] == 0
+        # Second read hits the ordinary memo cache.
+        assert service.query_bound("L", ("d",)) == 8.0
+        assert service.stats["cache_hits"] == 1
+
+    def test_cold_idb_recomputes_through_demand_path(self, service):
+        expected = service.query("L", ("d",))
+        # Evict the materialized IDB: the demand path must recompute
+        # the answer from the EDB alone, not serve a stale memo.
+        service.durable.inc.instance._data.pop("L")
+        service._cache.clear()
+        assert service.query_bound("L", ("d",)) == expected
+        assert service.stats["demand_queries"] == 1
+
+    def test_unknown_relation_still_404(self, service):
+        with pytest.raises(ServeError) as err:
+            service.query_bound("Nope", ("d",))
+        assert err.value.status == 404
+
+    def test_http_bound_param(self, service):
+        server = make_server(service, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{port}/query?relation=L&key=d&bound=1"
+            with urllib.request.urlopen(url, timeout=10) as r:
+                doc = json.loads(r.read())
+            assert doc["value"] == 8.0
+            assert service.stats["demand_queries_warm"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 class TestWriteSemantics:
     def test_mutate_returns_journal_seq_for_dedup(self, service):
         out = service.mutate([Mutation("insert", "E", ("a", "d"), 0.5)])
